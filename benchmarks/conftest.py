@@ -1,0 +1,23 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables/figures (at a reduced
+scale where the full sweep would take minutes) and asserts the published
+*shape* — who wins, by roughly what factor, where the crossovers fall.
+"""
+
+import pytest
+
+from repro import config
+from repro.sim.context import SimContext
+
+
+@pytest.fixture(scope="session")
+def ctx16():
+    """Shared motivational-platform models (calibration amortized)."""
+    return SimContext(config.motivational())
+
+
+@pytest.fixture(scope="session")
+def ctx64():
+    """Shared evaluation-platform models."""
+    return SimContext(config.table1())

@@ -1,0 +1,66 @@
+"""Ablation: the thermal headroom Delta (paper Section VI: 1 degC).
+
+Delta is the safety margin HotPotato keeps between its analytic peak and
+the DTM threshold.  Larger Delta buys robustness against power-estimate
+lag (fewer threshold crossings) at the cost of performance (threads land
+in outer rings / rotation stays faster than necessary).
+"""
+
+import pytest
+
+from repro.sched import HotPotatoScheduler
+from repro.sim.context import SimContext
+from repro.sim.engine import IntervalSimulator
+from repro.workload.generator import homogeneous_fill, materialize
+
+_DELTAS_C = (0.5, 1.0, 3.0)
+
+
+def _run(ctx64, delta_c):
+    tasks = materialize(
+        homogeneous_fill("blackscholes", 64, seed=42, work_scale=1.2)
+    )
+    sim = IntervalSimulator(
+        ctx64.config,
+        HotPotatoScheduler(headroom_delta_c=delta_c),
+        tasks,
+        ctx=SimContext(ctx64.config, ctx64.thermal_model),
+    )
+    return sim.run(max_time_s=4.0)
+
+
+@pytest.fixture(scope="module")
+def outcomes(ctx64):
+    return {delta: _run(ctx64, delta) for delta in _DELTAS_C}
+
+
+def test_headroom_regeneration(benchmark, ctx64):
+    result = benchmark.pedantic(
+        lambda: _run(ctx64, 1.0), rounds=1, iterations=1
+    )
+    assert result.tasks
+
+
+class TestShape:
+    def test_all_complete(self, outcomes):
+        for result in outcomes.values():
+            assert result.tasks
+
+    def test_larger_delta_is_cooler_or_equal(self, outcomes):
+        """More headroom never raises the observed peak (small tolerance
+        for transient noise)."""
+        assert (
+            outcomes[3.0].peak_temperature_c
+            <= outcomes[0.5].peak_temperature_c + 0.3
+        )
+
+    def test_larger_delta_reduces_dtm_pressure(self, outcomes):
+        assert outcomes[3.0].dtm_triggers <= outcomes[0.5].dtm_triggers
+
+    def test_conservatism_costs_performance(self, outcomes):
+        """The paper's Delta=1 choice trades a little performance for
+        safety; Delta=3 must not be faster than Delta=0.5 by more than
+        noise."""
+        assert (
+            outcomes[3.0].makespan_s >= outcomes[0.5].makespan_s * 0.97
+        )

@@ -1,0 +1,81 @@
+"""Ablation: unified rotation + DVFS (the paper's Section VII future work).
+
+On an overloaded hot workload (full-chip swaptions), vanilla HotPotato runs
+at f_max and rides hardware DTM across the threshold; the unified scheduler
+replaces DTM with graceful analytic frequency scaling.  Expected shape:
+
+- hybrid eliminates DTM events entirely and stays strictly below the
+  threshold;
+- hybrid stays competitive with (or beats) PCMig;
+- vanilla HotPotato remains the fastest but kisses the threshold.
+"""
+
+import pytest
+
+from repro.sched import HotPotatoDvfsScheduler, HotPotatoScheduler, PCMigScheduler
+from repro.sim.context import SimContext
+from repro.sim.engine import IntervalSimulator
+from repro.workload.generator import homogeneous_fill, materialize
+
+
+@pytest.fixture(scope="module")
+def outcomes(ctx64):
+    results = {}
+    for scheduler_cls in (
+        PCMigScheduler,
+        HotPotatoScheduler,
+        HotPotatoDvfsScheduler,
+    ):
+        tasks = materialize(
+            homogeneous_fill("swaptions", 64, seed=42, work_scale=1.5)
+        )
+        sim = IntervalSimulator(
+            ctx64.config,
+            scheduler_cls(),
+            tasks,
+            ctx=SimContext(ctx64.config, ctx64.thermal_model),
+        )
+        results[scheduler_cls.name] = sim.run(max_time_s=4.0)
+    return results
+
+
+def test_hybrid_regeneration(benchmark, ctx64):
+    def run():
+        tasks = materialize(
+            homogeneous_fill("swaptions", 64, seed=42, work_scale=1.0)
+        )
+        sim = IntervalSimulator(
+            ctx64.config,
+            HotPotatoDvfsScheduler(),
+            tasks,
+            ctx=SimContext(ctx64.config, ctx64.thermal_model),
+        )
+        return sim.run(max_time_s=3.0)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.dtm_triggers == 0
+
+
+class TestShape:
+    def test_hybrid_never_triggers_dtm(self, outcomes):
+        assert outcomes["hotpotato-dvfs"].dtm_triggers == 0
+
+    def test_hybrid_strictly_below_threshold(self, outcomes, ctx64):
+        assert (
+            outcomes["hotpotato-dvfs"].peak_temperature_c
+            < ctx64.config.thermal.dtm_threshold_c
+        )
+
+    def test_vanilla_rides_the_threshold(self, outcomes, ctx64):
+        assert outcomes["hotpotato"].dtm_triggers > 0
+
+    def test_hybrid_competitive_with_pcmig(self, outcomes):
+        assert (
+            outcomes["hotpotato-dvfs"].makespan_s
+            < outcomes["pcmig"].makespan_s * 1.08
+        )
+
+    def test_vanilla_fastest(self, outcomes):
+        assert outcomes["hotpotato"].makespan_s <= (
+            outcomes["hotpotato-dvfs"].makespan_s
+        )

@@ -1,0 +1,25 @@
+"""Extension: rotation on a 3D-stacked die (Section VII future work)."""
+
+import pytest
+
+from repro.experiments import stacked3d
+
+
+def test_stacked3d_regeneration(benchmark):
+    result = benchmark(stacked3d.run)
+    # the three headline findings, verified even under --benchmark-only
+    assert result.layer_gradient_c > 10.0  # upper layers run hotter
+    assert result.rotation_rescues_top_layer  # vertical rotation works
+    assert result.rings_span_layers  # 2D ring premise breaks
+
+
+def test_larger_stack(benchmark):
+    result = benchmark.pedantic(
+        lambda: stacked3d.run(width=4, height=4, layers=3),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.n_layers == 3
+    # the gradient is monotone through the stack
+    peaks = result.layer_peaks_c
+    assert peaks[0] < peaks[1] < peaks[2]

@@ -1,0 +1,65 @@
+"""Fig. 2: the motivational example's three thermal-management regimes.
+
+Paper numbers: none = 68 ms (~80 degC, violates the 70 degC threshold),
+TSP-DVFS = 84 ms (safe, slowest), rotation @ 0.5 ms = 74 ms (safe,
+~8 % rotation penalty, 11.9 % faster than DVFS).
+"""
+
+import pytest
+
+from repro.experiments import fig2
+
+
+@pytest.fixture(scope="module")
+def result(ctx16):
+    return fig2.run(model=ctx16.thermal_model)
+
+
+def test_fig2_regeneration(benchmark, ctx16):
+    result = benchmark.pedantic(
+        lambda: fig2.run(model=ctx16.thermal_model), rounds=1, iterations=1
+    )
+    # headline shape, verified even under --benchmark-only
+    assert result.violates("none")
+    assert not result.violates("tsp-dvfs")
+    assert not result.violates("rotation")
+    assert (
+        result.response_ms("none")
+        < result.response_ms("rotation")
+        < result.response_ms("tsp-dvfs")
+    )
+
+
+class TestShape:
+    def test_only_unmanaged_violates(self, result):
+        assert result.violates("none")
+        assert not result.violates("tsp-dvfs")
+        assert not result.violates("rotation")
+
+    def test_response_ordering(self, result):
+        """none < rotation < DVFS (the paper's Fig. 2 story)."""
+        assert (
+            result.response_ms("none")
+            < result.response_ms("rotation")
+            < result.response_ms("tsp-dvfs")
+        )
+
+    def test_rotation_penalty_band(self, result):
+        """Rotation costs ~8 % over unmanaged (paper: 8.1 %)."""
+        penalty = result.response_ms("rotation") / result.response_ms("none") - 1
+        assert 0.03 < penalty < 0.18
+
+    def test_rotation_beats_dvfs_clearly(self, result):
+        """Rotation is ~12 % faster than TSP-DVFS (paper: 11.9 %)."""
+        gain = result.response_ms("tsp-dvfs") / result.response_ms("rotation") - 1
+        assert gain > 0.05
+
+    def test_absolute_times_near_paper(self, result):
+        assert result.response_ms("none") == pytest.approx(68.0, abs=8.0)
+        assert result.response_ms("rotation") == pytest.approx(74.0, abs=8.0)
+        assert result.response_ms("tsp-dvfs") == pytest.approx(84.0, abs=10.0)
+
+    def test_rows_render(self, result):
+        text = result.render()
+        assert "rotation" in text
+        assert "trace" in text

@@ -1,0 +1,45 @@
+"""Fig. 3: concentric AMD rings and their performance/thermal trade-off."""
+
+import pytest
+
+from repro.experiments import fig3
+
+
+@pytest.fixture(scope="module")
+def result(ctx64):
+    return fig3.run(model=ctx64.thermal_model)
+
+
+def test_fig3_regeneration(benchmark, ctx64):
+    result = benchmark(lambda: fig3.run(model=ctx64.thermal_model))
+    # the Fig. 3 trade-off, verified even under --benchmark-only
+    assert result.performance_monotone()
+    assert result.thermals_monotone()
+
+
+class TestShape:
+    def test_nine_rings_on_64_cores(self, result):
+        assert len(result.rings) == 9
+        assert sum(r.capacity for r in result.rings) == 64
+
+    def test_performance_monotone_outward(self, result):
+        """LLC latency strictly grows with ring index (paper Section V:
+        rings become performance-wise constrained outward)."""
+        assert result.performance_monotone()
+
+    def test_thermals_monotone_outward(self, result):
+        """Single-hot-core peak never increases outward (rings become
+        thermal-wise unconstrained outward)."""
+        assert result.thermals_monotone()
+
+    def test_boundary_clearly_cooler(self, result):
+        assert result.rings[0].single_hot_peak_c > result.rings[-1].single_hot_peak_c + 5.0
+
+    def test_grid_is_concentric(self, result):
+        lines = result.grid_ascii.splitlines()
+        assert len(lines) == 8
+        # corners carry the highest ring index
+        top = lines[0].split()
+        assert top[0] == top[-1] == "8"
+        # centre carries ring 0
+        assert "0" in lines[3].split()

@@ -1,0 +1,78 @@
+"""Section VI: run-time overhead of the scheduling computation.
+
+Paper: 23.76 us per synchronous-rotation schedule computation on a fully
+loaded 64-core chip (C++ on a simulated core), 4.75 % of a 0.5 ms epoch.
+Our Python/NumPy implementation is measured the same way; absolute numbers
+differ by the language constant, the complexity scaling does not.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch.amd import AmdRings
+from repro.arch.topology import Mesh
+from repro.core.peak_temperature import PeakTemperatureCalculator
+from repro.experiments import overhead
+from repro.thermal.matex import ThermalDynamics
+
+
+def _loaded_sequence(ctx, delta):
+    rng = np.random.default_rng(0)
+    return rng.uniform(0.3, 8.0, size=(delta, ctx.n_cores))
+
+
+def test_algorithm1_peak_evaluation(benchmark, ctx64):
+    """The inner kernel: one Algorithm-1 peak evaluation on a full chip."""
+    calc = ctx64.calculator
+    seq = _loaded_sequence(ctx64, 24)
+    calc.peak(seq, 0.5e-3)  # design-time warm-up
+    peak = benchmark(calc.peak, seq, 0.5e-3)
+    assert peak > ctx64.config.thermal.ambient_c
+
+
+def test_design_time_phase(benchmark, ctx64):
+    """The one-time O(N^3) design-time phase (eigendecomposition)."""
+
+    def build():
+        dyn = ThermalDynamics(ctx64.thermal_model)
+        return PeakTemperatureCalculator(dyn, 45.0)
+
+    calc = benchmark(build)
+    assert calc.dynamics.model.n_cores == 64
+
+
+def test_full_overhead_report(benchmark, ctx64):
+    result = benchmark.pedantic(
+        lambda: overhead.run(model=ctx64.thermal_model, n_repetitions=20),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.peak_eval_us > 0
+    assert result.admit_decision_us > result.peak_eval_us
+    assert "Algorithm-1" in result.render()
+
+
+def test_scaling_with_core_count(benchmark):
+    """Complexity shape: the per-evaluation cost grows polynomially with N
+    (paper: O(2 delta^2 N^2) run-time phase)."""
+    from repro import config
+    from repro.sim.context import SimContext
+
+    times = {}
+    for width in (4, 8):
+        cfg = config.SystemConfig(mesh_width=width, mesh_height=width)
+        ctx = SimContext(cfg)
+        seq = _loaded_sequence(ctx, 8)
+        calc = ctx.calculator
+        calc.peak(seq, 0.5e-3)
+        import time as _time
+
+        start = _time.perf_counter()
+        for _ in range(20):
+            calc.peak(seq, 0.5e-3)
+        times[width] = (_time.perf_counter() - start) / 20
+
+    # 4x more cores must not cost more than ~40x (quadratic + overheads)
+    ratio = times[8] / times[4]
+    assert ratio < 40.0
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Homogeneous full-load campaign (paper Fig. 4a scenario, single benchmark).
+
+Fully loads the 64-core chip with vari-sized instances of one benchmark and
+compares HotPotato against PCMig on makespan — the closed-system campaign
+behind the paper's headline 10.72 % average speedup.
+
+Run:  python examples/homogeneous_campaign.py [benchmark]
+      (default: blackscholes; see repro.workload.PARSEC for choices)
+"""
+
+import sys
+
+from repro import config
+from repro.experiments import fig4a
+from repro.workload import PARSEC
+
+
+def main(benchmark: str = "blackscholes") -> None:
+    if benchmark not in PARSEC:
+        raise SystemExit(
+            f"unknown benchmark {benchmark!r}; choose from {', '.join(PARSEC)}"
+        )
+    cfg = config.table1()
+    print(
+        f"fully loading {cfg.n_cores} cores with vari-sized {benchmark} "
+        "instances (this takes a minute)...\n"
+    )
+    result = fig4a.run(benchmarks=(benchmark,), work_scale=2.5)
+    comparison = result.comparisons[benchmark]
+
+    for name, outcome in (
+        ("PCMig", comparison.pcmig),
+        ("HotPotato", comparison.hotpotato),
+    ):
+        print(f"--- {name} ---")
+        print(outcome.summary())
+        print()
+    print(
+        f"HotPotato speedup: {comparison.speedup_pct:+.2f} % "
+        f"(paper mean across all benchmarks: +10.72 %)"
+    )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "blackscholes")

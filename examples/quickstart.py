@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Quickstart: schedule a workload with HotPotato and inspect the result.
+
+Builds the paper's 16-core motivational platform (Fig. 1), runs a
+two-threaded blackscholes instance under the HotPotato scheduler, and prints
+the headline metrics plus a thermal trace — everything through the public
+API, in under a minute.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import config
+from repro.arch import AmdRings, Mesh
+from repro.sched import HotPotatoScheduler
+from repro.sim import IntervalSimulator
+from repro.workload import PARSEC, Task
+
+
+def main() -> None:
+    cfg = config.motivational()  # the paper's 16-core platform (Figs. 1-2)
+
+    # 1. the architecture: a 4x4 mesh decomposes into concentric AMD rings
+    rings = AmdRings(Mesh(cfg.mesh_width, cfg.mesh_height))
+    print("AMD rings of the 16-core chip (ring index per core):")
+    print(rings.render_ascii())
+    print(
+        f"-> {rings.n_rings} rings; ring 0 (cores {list(rings.ring(0))}) "
+        "is the fastest and hottest\n"
+    )
+
+    # 2. the workload: a 2-thread blackscholes instance (master/slave phases)
+    task = Task(0, PARSEC["blackscholes"], n_threads=2, seed=1)
+    print(
+        f"workload: {task.profile.name} x{task.n_threads}, "
+        f"{task.total_instructions() / 1e6:.0f} M instructions, "
+        f"{task.n_phases} phases\n"
+    )
+
+    # 3. simulate under HotPotato (synchronous thread rotation, no DVFS)
+    simulator = IntervalSimulator(cfg, HotPotatoScheduler(), [task])
+    result = simulator.run(max_time_s=1.0)
+
+    print(result.summary())
+    print()
+    print(
+        f"thermal threshold: {cfg.thermal.dtm_threshold_c:.0f} C -> "
+        f"exceeded: {result.trace.exceeds(cfg.thermal.dtm_threshold_c)}"
+    )
+    print("\nthermal trace of the two hottest centre cores:")
+    print(
+        result.trace.render_ascii(
+            core_ids=[5, 10],
+            threshold_c=cfg.thermal.dtm_threshold_c,
+            height=12,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

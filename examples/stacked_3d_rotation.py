@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Synchronous rotation on a 3D-stacked S-NUCA die (future-work extension).
+
+The paper's conclusion plans to explore rotation on 3D S-NUCA many-cores;
+this example runs that study: it builds a CoMeT-style stacked RC model,
+shows the layer gradient, and demonstrates that rotating a thread
+*vertically* through its stacked column averages the gradient exactly like
+2D rotation averages lateral hotspots.
+
+Run:  python examples/stacked_3d_rotation.py [layers]
+"""
+
+import sys
+
+from repro.experiments import stacked3d
+
+
+def main(layers: int = 2) -> None:
+    print(f"building a 4x4x{layers} stacked S-NUCA model...\n")
+    result = stacked3d.run(layers=layers)
+    print(result.render())
+    print()
+    print(
+        f"layer gradient: {result.layer_gradient_c:.1f} C between the "
+        "sink-side and top layers for the same 8 W core"
+    )
+    if result.rotation_rescues_top_layer:
+        print(
+            "vertical rotation rescues the top layer: the probe thread is "
+            "unsustainable pinned up there but sustainable when rotated."
+        )
+    if result.rings_span_layers:
+        print(
+            "note: equal-AMD rings span multiple layers, so a 3D HotPotato "
+            "must add layer-awareness to the ring heuristic."
+        )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 2)

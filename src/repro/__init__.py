@@ -1,0 +1,33 @@
+"""repro: reproduction of "Thermal Management for S-NUCA Many-Cores via
+Synchronous Thread Rotations" (Shen, Niknam, Pathania, Pimentel — DATE 2023).
+
+The package provides:
+
+- :mod:`repro.thermal` — HotSpot-style RC thermal model + MatEx solver;
+- :mod:`repro.arch` — mesh NoC, AMD rings, S-NUCA LLC, migration costs;
+- :mod:`repro.power` — power model, DVFS operating points, TSP budgets;
+- :mod:`repro.workload` — synthetic PARSEC profiles, tasks, generators;
+- :mod:`repro.core` — the paper's contribution: analytic rotation peak
+  temperature (Algorithm 1) and the HotPotato heuristic (Algorithm 2);
+- :mod:`repro.sim` — HotSniper-like interval thermal simulator;
+- :mod:`repro.sched` — HotPotato runtime + PCMig/PCGov/naive baselines;
+- :mod:`repro.experiments` — regeneration of every table and figure.
+
+Quickstart::
+
+    from repro import config
+    from repro.sim import IntervalSimulator
+    from repro.sched import HotPotatoScheduler
+    from repro.workload import homogeneous_fill, materialize
+
+    cfg = config.table1()
+    tasks = materialize(homogeneous_fill("blackscholes", cfg.n_cores))
+    result = IntervalSimulator(cfg, HotPotatoScheduler(), tasks).run()
+    print(result.summary())
+"""
+
+from . import config, units
+
+__version__ = "1.0.0"
+
+__all__ = ["config", "units", "__version__"]

@@ -1,0 +1,12 @@
+"""Analysis utilities: scheduler comparisons and die heat maps."""
+
+from .compare import PairedOutcome, run_pair, seed_averaged_speedup
+from .heatmap import hotspot_report, render_heatmap
+
+__all__ = [
+    "PairedOutcome",
+    "hotspot_report",
+    "render_heatmap",
+    "run_pair",
+    "seed_averaged_speedup",
+]

@@ -1,0 +1,83 @@
+"""Die heat maps: render per-core temperatures on the floorplan grid.
+
+Text-mode visualization of what HotSpot plots graphically — the spatial
+temperature distribution the paper's figures (and HotPotato's ring logic)
+reason about.  Used by examples and reports.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+#: Intensity ramp from cold to hot.
+_RAMP = " .:-=+*#%@"
+
+
+def render_heatmap(
+    core_temps_c: Sequence[float],
+    width: int,
+    height: int,
+    t_min_c: Optional[float] = None,
+    t_max_c: Optional[float] = None,
+    threshold_c: Optional[float] = None,
+    show_values: bool = False,
+) -> str:
+    """ASCII heat map of a ``width x height`` die.
+
+    Cores above ``threshold_c`` are marked with ``!`` regardless of ramp.
+    With ``show_values`` each cell prints its temperature instead of a
+    ramp glyph.
+    """
+    temps = np.asarray(core_temps_c, dtype=float)
+    if temps.shape != (width * height,):
+        raise ValueError(
+            f"expected {width * height} temperatures, got {temps.shape}"
+        )
+    lo = float(np.min(temps)) if t_min_c is None else t_min_c
+    hi = float(np.max(temps)) if t_max_c is None else t_max_c
+    span = max(hi - lo, 1e-9)
+
+    lines = []
+    for row in range(height):
+        cells = []
+        for col in range(width):
+            temp = temps[row * width + col]
+            if show_values:
+                cell = f"{temp:5.1f}"
+                if threshold_c is not None and temp > threshold_c:
+                    cell += "!"
+                cells.append(cell)
+            else:
+                if threshold_c is not None and temp > threshold_c:
+                    cells.append("!")
+                else:
+                    idx = int((temp - lo) / span * (len(_RAMP) - 1))
+                    cells.append(_RAMP[min(max(idx, 0), len(_RAMP) - 1)])
+        lines.append(" ".join(cells))
+    legend = f"[{lo:.1f} C '{_RAMP[0]}' .. {hi:.1f} C '{_RAMP[-1]}']"
+    if threshold_c is not None:
+        legend += f"  '!' > {threshold_c:.1f} C"
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def hotspot_report(
+    core_temps_c: Sequence[float], width: int, height: int, top_n: int = 3
+) -> str:
+    """The ``top_n`` hottest cores with their grid positions."""
+    temps = np.asarray(core_temps_c, dtype=float)
+    if temps.shape != (width * height,):
+        raise ValueError("temperature vector does not match the grid")
+    if top_n < 1:
+        raise ValueError("top_n must be positive")
+    order = np.argsort(temps)[::-1][:top_n]
+    lines = []
+    for rank, core in enumerate(order, start=1):
+        row, col = divmod(int(core), width)
+        lines.append(
+            f"#{rank}: core {int(core)} (row {row}, col {col}) "
+            f"at {temps[core]:.2f} C"
+        )
+    return "\n".join(lines)

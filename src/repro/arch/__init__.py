@@ -1,0 +1,23 @@
+"""Architecture substrate: mesh NoC, AMD rings, S-NUCA LLC, migration costs.
+
+Implements the paper's Section III-A architecture model: a grid-based
+XY-routed NoC of homogeneous cores, each holding one bank of the physically
+distributed logically shared LLC, with performance heterogeneity governed by
+each core's Average Manhattan Distance.
+"""
+
+from .amd import AmdRings, amd_vector, average_manhattan_distance
+from .cache import MigrationCostModel
+from .noc import Noc
+from .snuca import SnucaCache
+from .topology import Mesh
+
+__all__ = [
+    "AmdRings",
+    "Mesh",
+    "MigrationCostModel",
+    "Noc",
+    "SnucaCache",
+    "amd_vector",
+    "average_manhattan_distance",
+]

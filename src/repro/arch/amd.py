@@ -1,0 +1,119 @@
+"""Average Manhattan Distance (AMD) and concentric AMD rings (Fig. 3).
+
+On an S-NUCA many-core the LLC is interleaved across all cores' banks, so a
+core's average LLC access latency is proportional to its **Average Manhattan
+Distance** to every bank, i.e. to every core (Pathania & Henkel, DATE 2018).
+AMD is minimal at the mesh centre and grows outward; cores sharing an AMD
+value form concentric "rings" that are performance- and thermal-wise
+homogeneous (paper Section V, Fig. 3).  HotPotato rotates threads *within*
+one ring, so both per-thread performance and the ring's thermal picture are
+invariant under the rotation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from .topology import Mesh
+
+#: Two AMD values closer than this are considered the same ring.
+_AMD_TOLERANCE = 1e-9
+
+
+def average_manhattan_distance(mesh: Mesh, core_id: int) -> float:
+    """Mean Manhattan distance from ``core_id`` to every core (incl. itself).
+
+    The self-distance of zero is included because the local LLC bank is one
+    of the banks accessed — matching the S-NUCA characterization the paper
+    builds on.
+    """
+    total = sum(
+        mesh.manhattan_distance(core_id, other) for other in range(mesh.n_cores)
+    )
+    return total / mesh.n_cores
+
+
+def amd_vector(mesh: Mesh) -> np.ndarray:
+    """AMD of every core, shape ``(n_cores,)``."""
+    rows = np.arange(mesh.height)
+    cols = np.arange(mesh.width)
+    # sum over all (r2, c2) of |r - r2| + |c - c2| decomposes per axis
+    row_sums = np.array([np.sum(np.abs(rows - r)) for r in rows])  # per row
+    col_sums = np.array([np.sum(np.abs(cols - c)) for c in cols])  # per col
+    amd = (
+        row_sums[:, None] * mesh.width + col_sums[None, :] * mesh.height
+    ) / mesh.n_cores
+    return amd.reshape(mesh.n_cores)
+
+
+class AmdRings:
+    """The concentric AMD ring decomposition of a mesh.
+
+    Ring 0 has the lowest AMD (best performance, worst thermals); the last
+    ring has the highest AMD (worst performance, best thermals) — the
+    monotone trade-off HotPotato's greedy heuristic walks.
+    """
+
+    def __init__(self, mesh: Mesh):
+        self.mesh = mesh
+        self.amd = amd_vector(mesh)
+        order = np.argsort(self.amd, kind="stable")
+        rings: List[List[int]] = []
+        values: List[float] = []
+        for core in order:
+            value = float(self.amd[core])
+            if values and abs(value - values[-1]) < _AMD_TOLERANCE:
+                rings[-1].append(int(core))
+            else:
+                rings.append([int(core)])
+                values.append(value)
+        self._rings = [tuple(sorted(ring)) for ring in rings]
+        self._values = values
+        self._ring_of: Dict[int, int] = {}
+        for index, ring in enumerate(self._rings):
+            for core in ring:
+                self._ring_of[core] = index
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def n_rings(self) -> int:
+        """Number of distinct AMD values."""
+        return len(self._rings)
+
+    def ring(self, index: int) -> Sequence[int]:
+        """Cores of ring ``index`` (ascending core id)."""
+        return self._rings[index]
+
+    def rings(self) -> Sequence[Sequence[int]]:
+        """All rings, lowest AMD first."""
+        return tuple(self._rings)
+
+    def ring_value(self, index: int) -> float:
+        """The AMD shared by the cores of ring ``index``."""
+        return self._values[index]
+
+    def ring_of(self, core_id: int) -> int:
+        """Ring index of a core."""
+        return self._ring_of[core_id]
+
+    def capacity(self, index: int) -> int:
+        """Number of cores in ring ``index``."""
+        return len(self._rings[index])
+
+    def render_ascii(self) -> str:
+        """Grid rendering with each core labelled by its ring index."""
+        lines = []
+        for row in range(self.mesh.height):
+            cells = []
+            for col in range(self.mesh.width):
+                core = self.mesh.core_at(row, col)
+                cells.append(f"{self.ring_of(core):2d}")
+            lines.append(" ".join(cells))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        sizes = ", ".join(str(self.capacity(i)) for i in range(self.n_rings))
+        return f"AmdRings({self.mesh!r}, {self.n_rings} rings: [{sizes}])"

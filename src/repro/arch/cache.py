@@ -1,0 +1,90 @@
+"""Private-cache migration cost model.
+
+When a thread migrates on an S-NUCA many-core only its private L1 state is
+lost: dirty lines are flushed to the (shared, stationary) LLC and the
+working set is demand-refilled at the destination (paper Section I).  The
+penalty therefore scales with the live private-cache footprint and the
+destination core's average LLC latency.
+
+The flush of dirty lines overlaps with the migration itself (writebacks are
+posted), so the dominant term is the serialized refill of live lines, plus
+pipeline/TLB restart effects folded into ``cold_start_factor``.  The factor
+is calibrated so that a 0.5 ms synchronous rotation costs a compute-bound
+thread ~8 % — the rotation penalty the paper reports for the motivational
+example (Section I: 74 ms vs 68 ms response time).
+"""
+
+from __future__ import annotations
+
+from ..config import CacheConfig, NocConfig
+from .snuca import SnucaCache
+from .topology import Mesh
+
+
+class MigrationCostModel:
+    """Per-migration time penalty for a thread, by destination core."""
+
+    #: Multiplier on the raw serialized-refill time accounting for dependent
+    #: miss chains and replay effects (calibration constant, see module
+    #: docstring).
+    cold_start_factor: float = 3.0
+    #: Fixed per-migration cost [s]: OS context hand-off, pipeline drain and
+    #: restart, TLB shootdown.  Independent of the destination's AMD, which
+    #: keeps the migration-cost gradient across rings gentle — the S-NUCA
+    #: property the paper builds on.
+    restart_overhead_s: float = 25.0e-6
+
+    def __init__(
+        self,
+        mesh: Mesh,
+        cache_config: CacheConfig = None,
+        noc_config: NocConfig = None,
+    ):
+        self.mesh = mesh
+        self.cache = cache_config if cache_config is not None else CacheConfig()
+        self.snuca = SnucaCache(mesh, self.cache, noc_config)
+
+    def live_lines(self) -> int:
+        """Private lines that must be re-fetched after a migration."""
+        return int(self.cache.private_lines * self.cache.live_line_fraction)
+
+    def dirty_lines(self) -> int:
+        """Private lines that must be written back before restart."""
+        return int(self.live_lines() * self.cache.dirty_line_fraction)
+
+    def flush_time_s(self, src_core: int) -> float:
+        """Time to post the dirty-line writebacks from the source core.
+
+        Writebacks are pipelined into the NoC; the thread only waits for
+        injection (one link serialization per line), not for completion.
+        """
+        line_bits = self.cache.block_size_bytes * 8
+        flits = -(-line_bits // self.snuca.noc.config.link_width_bits)
+        return self.dirty_lines() * flits * self.snuca.noc.config.hop_latency_s
+
+    def refill_time_s(self, dst_core: int) -> float:
+        """Serialized demand-refill cost at the destination core."""
+        per_line = self.snuca.average_access_latency_s(dst_core)
+        return self.live_lines() * per_line * self.cold_start_factor
+
+    def migration_penalty_s(self, src_core: int, dst_core: int) -> float:
+        """Total execution-time penalty of migrating ``src -> dst``.
+
+        Migrating a thread onto the core it already occupies is free.
+        """
+        if src_core == dst_core:
+            return 0.0
+        return (
+            self.restart_overhead_s
+            + self.flush_time_s(src_core)
+            + self.refill_time_s(dst_core)
+        )
+
+    def dvfs_transition_penalty_s(self) -> float:
+        """Stall while a core re-locks its PLL after a frequency change.
+
+        Small compared to a migration — the paper's observation that S-NUCA
+        migrations are competitive with DVFS only holds if neither knob is
+        free; typical PLL relock is a few microseconds.
+        """
+        return 2.0e-6

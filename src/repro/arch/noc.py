@@ -1,0 +1,47 @@
+"""NoC latency/bandwidth model (Table I: 1.5 ns/hop, 256-bit links).
+
+A contention-free analytical model: message latency is per-hop router/link
+latency times hop count plus payload serialization over the link width.
+Interval simulation at millisecond granularity does not resolve individual
+packets, so the LLC latency model consumes the *average* traversal cost.
+"""
+
+from __future__ import annotations
+
+from ..config import NocConfig
+from .topology import Mesh
+
+
+class Noc:
+    """Analytical latency model for an XY-routed mesh NoC."""
+
+    def __init__(self, mesh: Mesh, config: NocConfig = None):
+        self.mesh = mesh
+        self.config = config if config is not None else NocConfig()
+
+    def traversal_latency_s(self, src: int, dst: int, payload_bits: int = 0) -> float:
+        """One-way latency of a message from ``src`` to ``dst``.
+
+        ``hops * hop_latency`` plus payload serialization (flits beyond the
+        head flit add one link cycle each).
+        """
+        hops = self.mesh.manhattan_distance(src, dst)
+        header = hops * self.config.hop_latency_s
+        if payload_bits <= 0:
+            return header
+        extra_flits = max(0, -(-payload_bits // self.config.link_width_bits) - 1)
+        return header + extra_flits * self.config.hop_latency_s
+
+    def cache_line_round_trip_s(self, core: int, bank: int, line_bits: int) -> float:
+        """Request/response round trip for one cache-line fetch.
+
+        Request is header-only; the response carries the line payload.  The
+        bank access time itself is added by the S-NUCA model.
+        """
+        request = self.traversal_latency_s(core, bank)
+        response = self.traversal_latency_s(bank, core, payload_bits=line_bits)
+        return request + response
+
+    def average_hop_latency_s(self, amd_hops: float) -> float:
+        """Average one-way NoC latency for a core with the given AMD."""
+        return amd_hops * self.config.hop_latency_s

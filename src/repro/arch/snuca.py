@@ -1,0 +1,90 @@
+"""S-NUCA last-level cache model.
+
+S-NUCA statically interleaves the physical address space across all LLC
+banks (one bank per core, Table I: 128 KB each).  Two consequences drive the
+paper:
+
+1. **Performance heterogeneity** — a core's average LLC access latency is
+   proportional to its AMD, because accesses spread uniformly over all
+   banks (Section III-A; Pathania & Henkel, DATE 2018).
+2. **Cheap migration** — the LLC needs no flush on migration; only the
+   private L1 state moves (Section I).
+
+This module computes per-core average LLC latency from the AMD vector and
+provides the static line-to-bank mapping for completeness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import CacheConfig, NocConfig
+from .amd import AmdRings, amd_vector
+from .noc import Noc
+from .topology import Mesh
+
+
+class SnucaCache:
+    """Distributed shared LLC with static (S-NUCA) bank interleaving."""
+
+    def __init__(
+        self,
+        mesh: Mesh,
+        cache_config: CacheConfig = None,
+        noc_config: NocConfig = None,
+    ):
+        self.mesh = mesh
+        self.cache = cache_config if cache_config is not None else CacheConfig()
+        self.noc = Noc(mesh, noc_config)
+        self._amd = amd_vector(mesh)
+
+    # -- static mapping --------------------------------------------------------
+
+    def bank_of_address(self, address: int) -> int:
+        """The LLC bank statically responsible for ``address``.
+
+        Line-granular interleaving: consecutive cache lines map to
+        consecutive banks.  Static means the lookup needs no directory —
+        the property that makes S-NUCA migrations cheap.
+        """
+        if address < 0:
+            raise ValueError("address must be non-negative")
+        line = address // self.cache.block_size_bytes
+        return line % self.mesh.n_cores
+
+    # -- latency ---------------------------------------------------------------
+
+    def access_latency_s(self, core: int, bank: int) -> float:
+        """Latency of one LLC access from ``core`` to ``bank``."""
+        line_bits = self.cache.block_size_bytes * 8
+        noc = self.noc.cache_line_round_trip_s(core, bank, line_bits)
+        return noc + self.noc.config.bank_access_latency_s
+
+    def average_access_latency_s(self, core: int) -> float:
+        """AMD-weighted mean LLC access latency seen by ``core``.
+
+        With uniformly interleaved accesses the mean NoC distance is exactly
+        the core's AMD, so the mean latency is affine in AMD — the paper's
+        performance-heterogeneity model.
+        """
+        line_bits = self.cache.block_size_bytes * 8
+        extra_flits = max(0, -(-line_bits // self.noc.config.link_width_bits) - 1)
+        per_hop = self.noc.config.hop_latency_s
+        round_trip = self.noc.config.round_trip_factor * self._amd[core] * per_hop
+        payload = extra_flits * per_hop
+        return round_trip + payload + self.noc.config.bank_access_latency_s
+
+    def latency_vector_s(self) -> np.ndarray:
+        """Average LLC access latency of every core, shape ``(n_cores,)``."""
+        return np.array(
+            [self.average_access_latency_s(c) for c in range(self.mesh.n_cores)]
+        )
+
+    def ring_latency_s(self, rings: AmdRings, ring_index: int) -> float:
+        """Average LLC latency of the cores in one AMD ring.
+
+        All cores in a ring share one AMD, hence one latency — the property
+        that makes intra-ring rotation performance-neutral.
+        """
+        cores = rings.ring(ring_index)
+        return self.average_access_latency_s(cores[0])

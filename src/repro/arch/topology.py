@@ -1,0 +1,108 @@
+"""Mesh topology and XY routing.
+
+The paper's platform is a grid-based NoC with XY (dimension-ordered) routing
+connecting micro-architecturally homogeneous cores (Section III-A).  This
+module provides the grid geometry queries — Manhattan distances, XY routes,
+hop counts — that both the S-NUCA latency model and the AMD ring
+decomposition build on.
+
+Core ids are row-major, identical to :class:`repro.thermal.floorplan.Floorplan`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import networkx as nx
+
+
+class Mesh:
+    """A ``width x height`` mesh NoC with XY routing."""
+
+    def __init__(self, width: int, height: int):
+        if width < 1 or height < 1:
+            raise ValueError("mesh dimensions must be at least 1x1")
+        self.width = width
+        self.height = height
+
+    @property
+    def n_cores(self) -> int:
+        """Number of routers/cores in the mesh."""
+        return self.width * self.height
+
+    def position(self, core_id: int) -> Tuple[int, int]:
+        """Grid position ``(row, col)`` of a core."""
+        if not (0 <= core_id < self.n_cores):
+            raise IndexError(f"core {core_id} outside 0..{self.n_cores - 1}")
+        return divmod(core_id, self.width)
+
+    def core_at(self, row: int, col: int) -> int:
+        """Core id at ``(row, col)``."""
+        if not (0 <= row < self.height and 0 <= col < self.width):
+            raise IndexError(f"({row}, {col}) outside {self.height}x{self.width} grid")
+        return row * self.width + col
+
+    def manhattan_distance(self, a: int, b: int) -> int:
+        """Hop count between cores ``a`` and ``b`` (XY routes are minimal)."""
+        ra, ca = self.position(a)
+        rb, cb = self.position(b)
+        return abs(ra - rb) + abs(ca - cb)
+
+    def xy_route(self, src: int, dst: int) -> List[int]:
+        """The XY route from ``src`` to ``dst``, inclusive of both endpoints.
+
+        Dimension-ordered: first traverse X (columns), then Y (rows) — the
+        deadlock-free routing the paper's platform uses.
+        """
+        r_src, c_src = self.position(src)
+        r_dst, c_dst = self.position(dst)
+        route = [src]
+        col = c_src
+        step = 1 if c_dst > c_src else -1
+        while col != c_dst:
+            col += step
+            route.append(self.core_at(r_src, col))
+        row = r_src
+        step = 1 if r_dst > r_src else -1
+        while row != r_dst:
+            row += step
+            route.append(self.core_at(row, c_dst))
+        return route
+
+    def neighbors(self, core_id: int) -> List[int]:
+        """Cores one hop away (N, S, W, E order)."""
+        row, col = self.position(core_id)
+        result = []
+        if row > 0:
+            result.append(self.core_at(row - 1, col))
+        if row < self.height - 1:
+            result.append(self.core_at(row + 1, col))
+        if col > 0:
+            result.append(self.core_at(row, col - 1))
+        if col < self.width - 1:
+            result.append(self.core_at(row, col + 1))
+        return result
+
+    def to_networkx(self) -> "nx.Graph":
+        """The mesh as an undirected :mod:`networkx` graph (nodes = core ids)."""
+        graph = nx.Graph()
+        graph.add_nodes_from(range(self.n_cores))
+        for core in range(self.n_cores):
+            for other in self.neighbors(core):
+                graph.add_edge(core, other)
+        return graph
+
+    def center_cores(self) -> List[int]:
+        """The 1, 2 or 4 most central cores (lowest maximum distance)."""
+        rows = self._center_indices(self.height)
+        cols = self._center_indices(self.width)
+        return [self.core_at(r, c) for r in rows for c in cols]
+
+    @staticmethod
+    def _center_indices(extent: int) -> List[int]:
+        if extent % 2 == 1:
+            return [extent // 2]
+        return [extent // 2 - 1, extent // 2]
+
+    def __repr__(self) -> str:
+        return f"Mesh({self.width}x{self.height})"

@@ -1,0 +1,167 @@
+"""System configuration — the single source of truth for Table I.
+
+Every experiment and substrate module draws its parameters from
+:class:`SystemConfig`.  :func:`table1` returns the 64-core configuration of
+the paper's evaluation (Table I); :func:`motivational` returns the 16-core
+configuration of the motivational example (Fig. 2).
+
+Paper parameters (Table I and Section VI):
+
+====================  ======================================
+Number of cores       64 (8x8 mesh)
+Core model            x86, 4.0 GHz, 14 nm, out-of-order
+L1 I/D cache          16/16 KB, 8/8-way, 64 B blocks
+LLC                   128 KB per core, 16-way, 64 B blocks
+NoC latency           1.5 ns per hop
+NoC link width        256 bit
+Core area             0.81 mm^2
+Thermal headroom      1 degC
+Idle core power       0.3 W
+Initial rotation      0.5 ms
+Ambient temperature   45 degC
+DTM threshold         70 degC
+====================  ======================================
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass, field
+
+from . import units
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Cache geometry from Table I."""
+
+    l1i_size_bytes: int = 16 * 1024
+    l1d_size_bytes: int = 16 * 1024
+    l1_associativity: int = 8
+    llc_bank_size_bytes: int = 128 * 1024
+    llc_associativity: int = 16
+    block_size_bytes: int = 64
+    #: Fraction of private-cache lines that are live (must be re-fetched after
+    #: a migration).  HotSniper observes warm caches are mostly full.
+    live_line_fraction: float = 0.8
+    #: Fraction of live lines that are dirty and must be written back to the
+    #: shared LLC before the thread can restart elsewhere.
+    dirty_line_fraction: float = 0.25
+
+    @property
+    def private_bytes(self) -> int:
+        """Total private cache state lost on a migration (L1 I + L1 D)."""
+        return self.l1i_size_bytes + self.l1d_size_bytes
+
+    @property
+    def private_lines(self) -> int:
+        """Number of private cache lines."""
+        return self.private_bytes // self.block_size_bytes
+
+
+@dataclass(frozen=True)
+class NocConfig:
+    """Network-on-chip parameters from Table I (XY-routed mesh)."""
+
+    hop_latency_s: float = 1.5e-9
+    link_width_bits: int = 256
+    #: Fixed LLC bank access time excluding NoC traversal.
+    bank_access_latency_s: float = 4.0e-9
+    #: Round trips per LLC access (request + response).
+    round_trip_factor: float = 2.0
+
+
+@dataclass(frozen=True)
+class DvfsConfig:
+    """Voltage/frequency operating range (Section VI: 100 MHz steps)."""
+
+    f_min_hz: float = 1.0e9
+    f_max_hz: float = 4.0e9
+    f_step_hz: float = 100.0e6
+    #: Supply voltage at the minimum / maximum frequency; voltage is
+    #: interpolated linearly in frequency between these anchors (a standard
+    #: approximation of published V/f tables for 14 nm parts).
+    v_min: float = 0.60
+    v_max: float = 1.20
+
+    def frequencies(self) -> tuple:
+        """All supported frequencies, ascending, f_min..f_max inclusive."""
+        count = int(round((self.f_max_hz - self.f_min_hz) / self.f_step_hz)) + 1
+        return tuple(self.f_min_hz + i * self.f_step_hz for i in range(count))
+
+    def voltage(self, f_hz: float) -> float:
+        """Supply voltage at frequency ``f_hz`` (linear V/f interpolation)."""
+        if not (self.f_min_hz <= f_hz <= self.f_max_hz):
+            raise ValueError(
+                f"frequency {f_hz/1e9:.2f} GHz outside "
+                f"[{self.f_min_hz/1e9:.2f}, {self.f_max_hz/1e9:.2f}] GHz"
+            )
+        span = self.f_max_hz - self.f_min_hz
+        frac = (f_hz - self.f_min_hz) / span
+        return self.v_min + frac * (self.v_max - self.v_min)
+
+
+@dataclass(frozen=True)
+class ThermalConfig:
+    """Thermal environment and management thresholds (Section VI)."""
+
+    ambient_c: float = 45.0
+    dtm_threshold_c: float = 70.0
+    headroom_delta_c: float = 1.0
+    idle_power_w: float = 0.3
+    #: DTM hysteresis: throttling stops once the hottest core cools this far
+    #: below the threshold.
+    dtm_hysteresis_c: float = 2.0
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Complete configuration of a simulated S-NUCA many-core."""
+
+    mesh_width: int = 8
+    mesh_height: int = 8
+    core_area_m2: float = 0.81e-6
+    cache: CacheConfig = field(default_factory=CacheConfig)
+    noc: NocConfig = field(default_factory=NocConfig)
+    dvfs: DvfsConfig = field(default_factory=DvfsConfig)
+    thermal: ThermalConfig = field(default_factory=ThermalConfig)
+    #: Initial synchronous rotation interval tau (Section VI: 0.5 ms).
+    rotation_interval_s: float = 0.5e-3
+    #: Simulator interval length (HotSniper-style interval simulation).
+    sim_interval_s: float = 0.5e-3
+    #: Power-history window used by Algorithm 1 (Section V: last 10 ms).
+    power_history_window_s: float = 10.0e-3
+
+    @property
+    def n_cores(self) -> int:
+        """Number of cores in the mesh."""
+        return self.mesh_width * self.mesh_height
+
+    @property
+    def core_edge_m(self) -> float:
+        """Edge length of one (square) core block in metres."""
+        return math.sqrt(self.core_area_m2)
+
+    def replace(self, **changes) -> "SystemConfig":
+        """Return a copy of this configuration with ``changes`` applied."""
+        return dataclasses.replace(self, **changes)
+
+
+def table1() -> SystemConfig:
+    """The 64-core evaluation platform of the paper (Table I)."""
+    return SystemConfig(mesh_width=8, mesh_height=8)
+
+
+def motivational() -> SystemConfig:
+    """The 16-core platform of the motivational example (Figs. 1-2)."""
+    return SystemConfig(mesh_width=4, mesh_height=4)
+
+
+def small_test() -> SystemConfig:
+    """A tiny 2x2 platform for fast unit tests."""
+    return SystemConfig(mesh_width=2, mesh_height=2)
+
+
+#: Convenience re-export of the peak frequency (Table I core model).
+PEAK_FREQUENCY_HZ = units.ghz(4.0)

@@ -1,0 +1,24 @@
+"""The paper's primary contribution: analytic rotation peak temperature
+(Section IV / Algorithm 1) and the HotPotato heuristic (Section V /
+Algorithm 2)."""
+
+from .hotpotato import DEFAULT_TAU_LADDER_S, HotPotato, ThreadInfo
+from .peak_temperature import (
+    PeakTemperatureCalculator,
+    brute_force_peak,
+    rotation_fixed_point,
+    rotation_peak_temperature,
+)
+from .rotation import RotationGroup, RotationSchedule
+
+__all__ = [
+    "DEFAULT_TAU_LADDER_S",
+    "HotPotato",
+    "PeakTemperatureCalculator",
+    "RotationGroup",
+    "RotationSchedule",
+    "ThreadInfo",
+    "brute_force_peak",
+    "rotation_fixed_point",
+    "rotation_peak_temperature",
+]

@@ -1,0 +1,347 @@
+"""The HotPotato scheduling heuristic (paper Section V, Algorithm 2).
+
+HotPotato maintains, per AMD ring, an ordered slot assignment of threads and
+a global rotation interval ``tau``.  Its decisions are driven exclusively by
+the analytic peak temperature of candidate schedules
+(:class:`~repro.core.peak_temperature.PeakTemperatureCalculator`,
+Algorithm 1) — no DVFS is ever used:
+
+- **Arrival** — try rings from the lowest AMD (fastest) outward; within a
+  ring evaluate every empty slot and keep the coolest; accept the first ring
+  whose peak leaves the headroom ``Delta`` below ``T_DTM``.  If even the
+  outermost ring is unsustainable, place there anyway, then (lines 8-14)
+  migrate the *lowest-CPI* (hottest, compute-bound) threads outward and
+  speed up the rotation until the schedule is sustainable or the knobs are
+  exhausted (hardware DTM remains as the backstop).
+- **Exit / headroom** — while more than ``Delta`` of headroom remains
+  (lines 16-27), migrate the *highest-CPI* (memory-bound, benefits most
+  from a low-AMD ring) threads inward as long as that stays sustainable;
+  then slow the rotation stepwise — and stop rotating entirely — as long as
+  the peak stays below ``T_DTM``.
+
+The class is simulator-agnostic: callers feed it per-thread power estimates
+(the 10 ms history average) and effective CPIs, and read back a
+:class:`~repro.core.rotation.RotationSchedule`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..arch.amd import AmdRings
+from .peak_temperature import PeakTemperatureCalculator
+from .rotation import RotationGroup, RotationSchedule, ThreadId
+
+#: Rotation-interval ladder [s], slowest first.  ``None`` (appended
+#: implicitly at the slow end) means rotation off.  The paper starts at
+#: 0.5 ms and adjusts from there.
+DEFAULT_TAU_LADDER_S: Tuple[float, ...] = (
+    4.0e-3,
+    2.0e-3,
+    1.0e-3,
+    0.5e-3,
+    0.25e-3,
+    0.125e-3,
+)
+
+
+@dataclass(frozen=True)
+class ThreadInfo:
+    """What HotPotato knows about one thread."""
+
+    thread_id: ThreadId
+    #: current power estimate [W] (10 ms history average, or a profile
+    #: estimate on arrival)
+    power_w: float
+    #: effective cycles per instruction (high = memory-bound = cold)
+    cpi: float
+
+    def with_power(self, power_w: float) -> "ThreadInfo":
+        """Copy with an updated power estimate."""
+        return replace(self, power_w=power_w)
+
+
+class HotPotato:
+    """Algorithm 2: greedy thermally-safe ring assignment with rotation."""
+
+    def __init__(
+        self,
+        rings: AmdRings,
+        calculator: PeakTemperatureCalculator,
+        t_dtm_c: float,
+        headroom_delta_c: float = 1.0,
+        idle_power_w: float = 0.3,
+        initial_tau_s: float = 0.5e-3,
+        tau_ladder_s: Sequence[float] = DEFAULT_TAU_LADDER_S,
+        max_mitigation_steps: int = 128,
+    ):
+        self.rings = rings
+        self.calculator = calculator
+        self.t_dtm_c = t_dtm_c
+        self.headroom_delta_c = headroom_delta_c
+        self.idle_power_w = idle_power_w
+        ladder = sorted(set(tau_ladder_s), reverse=True)
+        if initial_tau_s not in ladder:
+            ladder.append(initial_tau_s)
+            ladder.sort(reverse=True)
+        #: index 0 = no rotation; larger index = faster rotation
+        self._tau_ladder: List[Optional[float]] = [None] + ladder
+        self._tau_index = self._tau_ladder.index(initial_tau_s)
+        self.max_mitigation_steps = max_mitigation_steps
+        self._slots: List[List[Optional[ThreadId]]] = [
+            [None] * rings.capacity(i) for i in range(rings.n_rings)
+        ]
+        self._threads: Dict[ThreadId, ThreadInfo] = {}
+        self._location: Dict[ThreadId, Tuple[int, int]] = {}  # ring, slot
+
+    # -- state queries ----------------------------------------------------------
+
+    @property
+    def tau_s(self) -> Optional[float]:
+        """Current rotation interval (``None`` = rotation off)."""
+        return self._tau_ladder[self._tau_index]
+
+    @property
+    def n_threads(self) -> int:
+        """Number of threads currently scheduled."""
+        return len(self._threads)
+
+    def free_slots(self, ring: int) -> List[int]:
+        """Indices of the empty slots in ``ring``."""
+        return [i for i, t in enumerate(self._slots[ring]) if t is None]
+
+    def ring_of(self, thread_id: ThreadId) -> int:
+        """Ring a thread is currently assigned to."""
+        return self._location[thread_id][0]
+
+    def schedule(self) -> RotationSchedule:
+        """The current chip-wide rotation schedule."""
+        return self._schedule_for(self._slots, self.tau_s)
+
+    def state_fingerprint(self) -> tuple:
+        """Hashable snapshot of (tau, slot assignment) for change detection."""
+        return (self._tau_index, tuple(tuple(ring) for ring in self._slots))
+
+    def peak_temperature(self) -> float:
+        """Analytic peak temperature of the current schedule."""
+        return self._peak_for(self._slots, self.tau_s)
+
+    # -- internal evaluation ---------------------------------------------------
+
+    def _schedule_for(
+        self, slots: Sequence[Sequence[Optional[ThreadId]]], tau_s: Optional[float]
+    ) -> RotationSchedule:
+        groups = [
+            RotationGroup(self.rings.ring(i), slots[i])
+            for i in range(self.rings.n_rings)
+        ]
+        return RotationSchedule(groups, tau_s)
+
+    def _peak_for(
+        self, slots: Sequence[Sequence[Optional[ThreadId]]], tau_s: Optional[float]
+    ) -> float:
+        schedule = self._schedule_for(slots, tau_s)
+        powers = {t: info.power_w for t, info in self._threads.items()}
+        n_cores = self.rings.mesh.n_cores
+        seq = schedule.power_sequence(n_cores, powers, self.idle_power_w)
+        if not schedule.rotating:
+            return self.calculator.steady_peak(seq[0])
+        return self.calculator.peak(seq, schedule.tau_s)
+
+    def _sustainable(self, peak_c: float) -> bool:
+        return peak_c + self.headroom_delta_c < self.t_dtm_c
+
+    def _copy_slots(self) -> List[List[Optional[ThreadId]]]:
+        return [list(ring) for ring in self._slots]
+
+    # -- Algorithm 2: arrival -----------------------------------------------------
+
+    def admit(self, info: ThreadInfo) -> int:
+        """Place a new thread; returns the ring index it landed in.
+
+        Implements Algorithm 2 lines 1-14.  Raises ``ValueError`` when the
+        chip has no free core at all.
+        """
+        if info.thread_id in self._threads:
+            raise ValueError(f"thread {info.thread_id} already scheduled")
+        self._threads[info.thread_id] = info
+
+        best_unsustainable: Optional[Tuple[float, int, int]] = None
+        for ring in range(self.rings.n_rings):
+            placement = self._best_slot_in_ring(ring, info.thread_id)
+            if placement is None:
+                continue
+            peak_c, slot = placement
+            if self._sustainable(peak_c):
+                self._place(info.thread_id, ring, slot)
+                return ring
+            candidate = (peak_c, ring, slot)
+            if best_unsustainable is None or peak_c < best_unsustainable[0]:
+                best_unsustainable = candidate
+
+        if best_unsustainable is None:
+            del self._threads[info.thread_id]
+            raise ValueError("no free core for the arriving thread")
+
+        # Even the outermost ring is unsustainable: place at the coolest
+        # found slot, then mitigate (lines 8-14).
+        _, ring, slot = best_unsustainable
+        self._place(info.thread_id, ring, slot)
+        self._mitigate()
+        return self.ring_of(info.thread_id)
+
+    def _best_slot_in_ring(
+        self, ring: int, thread_id: ThreadId
+    ) -> Optional[Tuple[float, int]]:
+        """Coolest empty slot of ``ring`` (evaluates all, Algorithm 2 line 4)."""
+        free = self.free_slots(ring)
+        if not free:
+            return None
+        best: Optional[Tuple[float, int]] = None
+        trial = self._copy_slots()
+        for slot in free:
+            trial[ring][slot] = thread_id
+            peak_c = self._peak_for(trial, self.tau_s)
+            trial[ring][slot] = None
+            if best is None or peak_c < best[0]:
+                best = (peak_c, slot)
+        return best
+
+    def _place(self, thread_id: ThreadId, ring: int, slot: int) -> None:
+        if self._slots[ring][slot] is not None:
+            raise ValueError("slot already occupied")
+        self._slots[ring][slot] = thread_id
+        self._location[thread_id] = (ring, slot)
+
+    def _unplace(self, thread_id: ThreadId) -> None:
+        ring, slot = self._location.pop(thread_id)
+        self._slots[ring][slot] = None
+
+    def _mitigate(self) -> None:
+        """Lines 8-14: outward migrations, then rotation-interval update."""
+        steps = 0
+        while (
+            not self._sustainable(self.peak_temperature())
+            and steps < self.max_mitigation_steps
+        ):
+            if not self._migrate_coolest_knob_outward():
+                break
+            steps += 1
+        if not self._sustainable(self.peak_temperature()):
+            self._select_tau()
+
+    def _select_tau(self) -> None:
+        """Pick the rotation interval for the current assignment.
+
+        Rotation costs migration overhead, so among thermally equivalent
+        options the *slowest* interval wins:
+
+        - if the assignment is sustainable without rotation, rotation stops
+          (Algorithm 2 lines 23-27: "rotations stop to maximize
+          performance");
+        - otherwise the slowest interval that achieves sustainability;
+        - if no interval is sustainable (overload — DTM will backstop), the
+          slowest interval within 0.5 degC of the best achievable peak, so
+          hopeless extra rotation speed is never paid for.
+        """
+        peaks = [
+            self._peak_for(self._slots, tau) for tau in self._tau_ladder
+        ]
+        target = max(
+            self.t_dtm_c - self.headroom_delta_c, min(peaks) + 0.5
+        )
+        for index, peak_c in enumerate(peaks):
+            if peak_c <= target:
+                self._tau_index = index
+                return
+
+    def _migrate_coolest_knob_outward(self) -> bool:
+        """Move the lowest-CPI (hottest) migratable thread one ring outward.
+
+        A move is only taken when it strictly lowers the analytic peak —
+        blindly pushing threads outward can otherwise pile them into an
+        even denser (hotter) cluster.
+        """
+        current_peak = self.peak_temperature()
+        by_cpi = sorted(self._threads.values(), key=lambda i: i.cpi)
+        for info in by_cpi:
+            ring, slot = self._location[info.thread_id]
+            for target in range(ring + 1, self.rings.n_rings):
+                free = self.free_slots(target)
+                if not free:
+                    continue
+                self._unplace(info.thread_id)
+                placement = self._best_slot_in_ring(target, info.thread_id)
+                assert placement is not None
+                peak_c, best_slot = placement
+                if peak_c < current_peak - 1e-9:
+                    self._place(info.thread_id, target, best_slot)
+                    return True
+                self._place(info.thread_id, ring, slot)  # revert
+        return False
+
+    # -- Algorithm 2: exit / headroom ------------------------------------------------
+
+    def remove(self, thread_id: ThreadId) -> None:
+        """Remove a finished thread and re-optimize (lines 15-27)."""
+        if thread_id not in self._threads:
+            raise KeyError(f"unknown thread {thread_id}")
+        self._unplace(thread_id)
+        del self._threads[thread_id]
+        self.rebalance()
+
+    def rebalance(self) -> None:
+        """Consume surplus headroom: inward migrations, then slower rotation.
+
+        Called after exits and whenever the caller observes a drastic power
+        change (the paper's ``Delta`` trigger).
+        """
+        steps = 0
+        while (
+            self.t_dtm_c - self.peak_temperature() > self.headroom_delta_c
+            and steps < self.max_mitigation_steps
+        ):
+            if not self._migrate_memory_bound_inward():
+                break
+            steps += 1
+        # re-select the rotation interval: slow down (and eventually stop)
+        # when the new headroom allows it
+        self._select_tau()
+
+    def _migrate_memory_bound_inward(self) -> bool:
+        """Move the highest-CPI thread to the lowest sustainable ring."""
+        by_cpi = sorted(self._threads.values(), key=lambda i: -i.cpi)
+        for info in by_cpi:
+            ring, slot = self._location[info.thread_id]
+            for target in range(ring):  # lowest AMD first
+                free = self.free_slots(target)
+                if not free:
+                    continue
+                self._unplace(info.thread_id)
+                placement = self._best_slot_in_ring(target, info.thread_id)
+                assert placement is not None
+                peak_c, best_slot = placement
+                if peak_c < self.t_dtm_c:
+                    self._place(info.thread_id, target, best_slot)
+                    return True
+                self._place(info.thread_id, ring, slot)  # revert
+        return False
+
+    # -- run-time refresh ----------------------------------------------------------
+
+    def update_power(self, thread_id: ThreadId, power_w: float) -> None:
+        """Refresh a thread's power estimate (10 ms history average)."""
+        self._threads[thread_id] = self._threads[thread_id].with_power(power_w)
+
+    def refresh(self) -> None:
+        """React to drifted power estimates (paper's sudden-change handling).
+
+        If the schedule became unsustainable, mitigate; if surplus headroom
+        appeared, rebalance.
+        """
+        peak_c = self.peak_temperature()
+        if not self._sustainable(peak_c):
+            self._mitigate()
+        elif self.t_dtm_c - peak_c > self.headroom_delta_c:
+            self.rebalance()

@@ -1,0 +1,34 @@
+"""Regeneration of every table and figure in the paper's evaluation.
+
+=========  =============================================================
+module     reproduces
+=========  =============================================================
+table1     Table I (platform configuration)
+fig1       Fig. 1 architecture abstraction (tile grid + rotation ring)
+fig2       Fig. 2 motivational traces (none / TSP-DVFS / rotation)
+fig3       Fig. 3 concentric AMD rings + per-ring characterization
+fig4a      Fig. 4(a) homogeneous workloads, HotPotato vs PCMig
+fig4b      Fig. 4(b) heterogeneous Poisson open system, load sweep
+overhead   Section VI run-time overhead measurement
+stacked3d  Section VII future work: rotation on a 3D-stacked die
+=========  =============================================================
+
+Run any of them from the command line::
+
+    python -m repro.experiments table1
+    python -m repro.experiments fig2
+    python -m repro.experiments fig4a --quick
+"""
+
+from . import fig1, fig2, fig3, fig4a, fig4b, overhead, stacked3d, table1
+
+__all__ = [
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4a",
+    "fig4b",
+    "overhead",
+    "stacked3d",
+    "table1",
+]

@@ -1,0 +1,67 @@
+"""Command-line entry point: ``python -m repro.experiments <experiment>``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import fig1, fig2, fig3, fig4a, fig4b, overhead, stacked3d, table1
+
+_EXPERIMENTS = (
+    "table1",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4a",
+    "fig4b",
+    "overhead",
+    "stacked3d",
+    "all",
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("experiment", choices=_EXPERIMENTS)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced scale (fewer benchmarks / load points) for a fast run",
+    )
+    args = parser.parse_args(argv)
+
+    selected = _EXPERIMENTS[:-1] if args.experiment == "all" else (args.experiment,)
+    for name in selected:
+        print(f"\n{'=' * 72}\n{name}\n{'=' * 72}")
+        print(_run_one(name, args.quick).render())
+    return 0
+
+
+def _run_one(name: str, quick: bool):
+    if name == "table1":
+        return table1.run()
+    if name == "fig1":
+        return fig1.run()
+    if name == "fig2":
+        return fig2.run()
+    if name == "fig3":
+        return fig3.run()
+    if name == "fig4a":
+        benchmarks = ("blackscholes", "canneal") if quick else None
+        return fig4a.run(benchmarks=benchmarks)
+    if name == "fig4b":
+        rates = (10.0, 60.0, 400.0) if quick else fig4b.DEFAULT_ARRIVAL_RATES
+        n_tasks = 20 if quick else 40
+        return fig4b.run(arrival_rates_per_s=rates, n_tasks=n_tasks)
+    if name == "overhead":
+        return overhead.run(n_repetitions=50 if quick else 200)
+    if name == "stacked3d":
+        return stacked3d.run()
+    raise ValueError(f"unknown experiment {name!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,69 @@
+"""Fig. 1: the S-NUCA many-core abstraction with a synchronous rotation.
+
+The paper's Fig. 1 sketches a 16-core S-NUCA chip — every core with its
+private L1, its bank of the distributed shared LLC and an NoC router — and
+the synchronous rotation of threads over the four centre cores.  This
+module regenerates that sketch as text: the tile grid, and the rotation
+cycle over the innermost AMD ring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..arch.amd import AmdRings
+from ..arch.topology import Mesh
+from ..config import SystemConfig, motivational
+
+
+@dataclass
+class Fig1Report:
+    """The architecture sketch."""
+
+    grid_ascii: str
+    rotation_cycle: Tuple[int, ...]
+    n_cores: int
+
+    def render(self) -> str:
+        cycle = " -> ".join(f"C{c:02d}" for c in self.rotation_cycle)
+        return (
+            "Fig. 1: S-NUCA many-core abstraction "
+            f"({self.n_cores} cores; each tile: core, private L1, "
+            "shared-LLC bank, NoC router)\n\n"
+            f"{self.grid_ascii}\n\n"
+            f"synchronous thread rotation over the centre ring:\n"
+            f"  {cycle} -> C{self.rotation_cycle[0]:02d} (period = ring size)"
+        )
+
+
+def run(config: SystemConfig = None) -> Fig1Report:
+    """Regenerate the Fig. 1 sketch for ``config`` (default: 16 cores)."""
+    cfg = config if config is not None else motivational()
+    mesh = Mesh(cfg.mesh_width, cfg.mesh_height)
+    rings = AmdRings(mesh)
+
+    center = set(rings.ring(0))
+    lines = []
+    horizontal = ("+--------" * cfg.mesh_width) + "+"
+    for row in range(cfg.mesh_height):
+        lines.append(horizontal)
+        top_cells = []
+        bottom_cells = []
+        for col in range(cfg.mesh_width):
+            core = mesh.core_at(row, col)
+            marker = "*" if core in center else " "
+            top_cells.append(f"|{marker}C{core:02d} L1 ")
+            bottom_cells.append(f"| $B{core:02d} R ")
+        lines.append("".join(top_cells) + "|")
+        lines.append("".join(bottom_cells) + "|")
+    lines.append(horizontal)
+    lines.append(
+        "legend: Cxx core, L1 private cache, $Bxx shared-LLC bank, "
+        "R NoC router, * rotation ring"
+    )
+    return Fig1Report(
+        grid_ascii="\n".join(lines),
+        rotation_cycle=tuple(rings.ring(0)),
+        n_cores=cfg.n_cores,
+    )

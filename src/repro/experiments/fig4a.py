@@ -1,0 +1,136 @@
+"""Fig. 4(a): homogeneous-workload comparison, HotPotato vs PCMig.
+
+The 64-core chip is fully loaded with vari-sized multi-threaded instances of
+one benchmark (closed system, all arriving at t=0); the paper reports the
+makespan of PCMig normalized to HotPotato's.  Published result: HotPotato is
+on average 10.72 % faster, with the memory-bound, cold *canneal* showing the
+smallest gain (0.73 %).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..config import SystemConfig, table1
+from ..sched.hotpotato_runtime import HotPotatoScheduler
+from ..sched.pcmig import PCMigScheduler
+from ..sim.context import SimContext
+from ..sim.engine import IntervalSimulator
+from ..sim.metrics import SimulationResult
+from ..thermal.rc_model import RCThermalModel
+from ..workload.benchmarks import PARSEC
+from ..workload.generator import homogeneous_fill, materialize
+from .reporting import render_bar_chart, render_table
+
+#: Paper's headline numbers for comparison in reports.
+PAPER_MEAN_SPEEDUP_PCT = 10.72
+PAPER_CANNEAL_SPEEDUP_PCT = 0.73
+
+
+@dataclass
+class BenchmarkComparison:
+    """One benchmark's HotPotato-vs-PCMig outcome."""
+
+    benchmark: str
+    hotpotato: SimulationResult
+    pcmig: SimulationResult
+
+    @property
+    def speedup_pct(self) -> float:
+        """PCMig makespan over HotPotato makespan, minus one, in percent."""
+        return (self.pcmig.makespan_s / self.hotpotato.makespan_s - 1.0) * 100.0
+
+    @property
+    def normalized_makespan(self) -> float:
+        """HotPotato makespan normalized to PCMig (the paper's y-axis)."""
+        return self.hotpotato.makespan_s / self.pcmig.makespan_s
+
+
+@dataclass
+class Fig4aResult:
+    """All benchmark comparisons."""
+
+    comparisons: Dict[str, BenchmarkComparison]
+
+    @property
+    def mean_speedup_pct(self) -> float:
+        """Average speedup across benchmarks (paper: 10.72 %)."""
+        return float(
+            np.mean([c.speedup_pct for c in self.comparisons.values()])
+        )
+
+    def render(self) -> str:
+        rows = []
+        for name, comp in self.comparisons.items():
+            rows.append(
+                (
+                    name,
+                    f"{comp.pcmig.makespan_s * 1e3:.1f}",
+                    f"{comp.hotpotato.makespan_s * 1e3:.1f}",
+                    f"{comp.normalized_makespan:.3f}",
+                    f"{comp.speedup_pct:+.2f}",
+                )
+            )
+        table = render_table(
+            [
+                "benchmark",
+                "PCMig makespan [ms]",
+                "HotPotato makespan [ms]",
+                "normalized",
+                "speedup [%]",
+            ],
+            rows,
+            title="Fig. 4(a): homogeneous workloads on 64 cores "
+            f"(paper mean: +{PAPER_MEAN_SPEEDUP_PCT:.2f} %, "
+            f"canneal lowest at +{PAPER_CANNEAL_SPEEDUP_PCT:.2f} %)",
+        )
+        chart = render_bar_chart(
+            list(self.comparisons),
+            [c.speedup_pct for c in self.comparisons.values()],
+            unit="%",
+            title="\nHotPotato speedup over PCMig",
+        )
+        return f"{table}\n{chart}\nmean speedup: {self.mean_speedup_pct:+.2f} %"
+
+
+def run(
+    config: SystemConfig = None,
+    model: Optional[RCThermalModel] = None,
+    benchmarks: Optional[Sequence[str]] = None,
+    seed: int = 42,
+    work_scale: float = 2.5,
+    max_time_s: float = 5.0,
+) -> Fig4aResult:
+    """Regenerate Fig. 4(a).
+
+    ``benchmarks`` restricts the sweep (useful for fast CI runs); the
+    default runs all eight evaluated PARSEC benchmarks.
+    """
+    cfg = config if config is not None else table1()
+    names = list(benchmarks) if benchmarks is not None else list(PARSEC)
+    shared = SimContext(cfg, model)
+
+    comparisons = {}
+    for name in names:
+        outcomes = {}
+        for scheduler_cls in (PCMigScheduler, HotPotatoScheduler):
+            tasks = materialize(
+                homogeneous_fill(name, cfg.n_cores, seed=seed, work_scale=work_scale)
+            )
+            sim = IntervalSimulator(
+                cfg,
+                scheduler_cls(),
+                tasks,
+                ctx=SimContext(cfg, shared.thermal_model),
+                record_trace=False,
+            )
+            outcomes[scheduler_cls.name] = sim.run(max_time_s=max_time_s)
+        comparisons[name] = BenchmarkComparison(
+            benchmark=name,
+            hotpotato=outcomes["hotpotato"],
+            pcmig=outcomes["pcmig"],
+        )
+    return Fig4aResult(comparisons=comparisons)

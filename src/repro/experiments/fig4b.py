@@ -1,0 +1,153 @@
+"""Fig. 4(b): heterogeneous open-system comparison across load levels.
+
+A random 20-benchmark multi-program workload arrives following a Poisson
+process; sweeping the arrival rate moves the open system from under- to
+over-loaded.  The paper reports that HotPotato beats PCMig at every load,
+with gains that are small when the system is under- or over-loaded (little
+scope for thermal optimization / queue-dominated) and peak at ~12.27 %
+under medium load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..config import SystemConfig, table1
+from ..sched.hotpotato_runtime import HotPotatoScheduler
+from ..sched.pcmig import PCMigScheduler
+from ..sim.context import SimContext
+from ..sim.engine import IntervalSimulator
+from ..sim.metrics import SimulationResult
+from ..thermal.rc_model import RCThermalModel
+from ..workload.generator import (
+    materialize,
+    poisson_arrivals,
+    random_mixed_workload,
+)
+from .reporting import render_bar_chart, render_table
+
+#: Paper's headline number for the medium-load regime.
+PAPER_PEAK_SPEEDUP_PCT = 12.27
+
+#: Default arrival-rate sweep [tasks/s]: under-loaded to far over-loaded
+#: around the chip's service capacity (~90 tasks/s for the default mix).
+DEFAULT_ARRIVAL_RATES = (2.0, 10.0, 30.0, 60.0, 90.0, 150.0, 400.0)
+
+
+@dataclass
+class LoadPoint:
+    """One arrival rate's outcome."""
+
+    arrival_rate_per_s: float
+    hotpotato: SimulationResult
+    pcmig: SimulationResult
+
+    @property
+    def speedup_pct(self) -> float:
+        """Mean-response-time improvement of HotPotato over PCMig."""
+        return (
+            self.pcmig.mean_response_time_s / self.hotpotato.mean_response_time_s
+            - 1.0
+        ) * 100.0
+
+
+@dataclass
+class Fig4bResult:
+    """The full load sweep."""
+
+    points: Tuple[LoadPoint, ...]
+
+    @property
+    def peak_speedup_pct(self) -> float:
+        """Best observed speedup (paper: ~12.27 % at medium load)."""
+        return max(p.speedup_pct for p in self.points)
+
+    def speedup_by_rate(self) -> Dict[float, float]:
+        """Arrival rate -> speedup percentage."""
+        return {p.arrival_rate_per_s: p.speedup_pct for p in self.points}
+
+    def is_unimodal_shape(self, tolerance_pct: float = 1.0) -> bool:
+        """Speedups rise to an interior maximum then fall (within
+        ``tolerance_pct`` of noise) — the paper's qualitative shape."""
+        speedups = [p.speedup_pct for p in self.points]
+        best = int(np.argmax(speedups))
+        rising = all(
+            speedups[i + 1] >= speedups[i] - tolerance_pct for i in range(best)
+        )
+        falling = all(
+            speedups[i + 1] <= speedups[i] + tolerance_pct
+            for i in range(best, len(speedups) - 1)
+        )
+        return rising and falling
+
+    def render(self) -> str:
+        rows = [
+            (
+                f"{p.arrival_rate_per_s:.0f}",
+                f"{p.pcmig.mean_response_time_s * 1e3:.1f}",
+                f"{p.hotpotato.mean_response_time_s * 1e3:.1f}",
+                f"{p.speedup_pct:+.2f}",
+            )
+            for p in self.points
+        ]
+        table = render_table(
+            [
+                "arrival rate [tasks/s]",
+                "PCMig response [ms]",
+                "HotPotato response [ms]",
+                "speedup [%]",
+            ],
+            rows,
+            title="Fig. 4(b): heterogeneous open system on 64 cores "
+            f"(paper: up to +{PAPER_PEAK_SPEEDUP_PCT:.2f} % at medium load)",
+        )
+        chart = render_bar_chart(
+            [f"{p.arrival_rate_per_s:.0f}/s" for p in self.points],
+            [p.speedup_pct for p in self.points],
+            unit="%",
+            title="\nHotPotato speedup vs load",
+        )
+        return f"{table}\n{chart}\npeak speedup: +{self.peak_speedup_pct:.2f} %"
+
+
+def run(
+    config: SystemConfig = None,
+    model: Optional[RCThermalModel] = None,
+    arrival_rates_per_s: Sequence[float] = DEFAULT_ARRIVAL_RATES,
+    n_tasks: int = 40,
+    seed: int = 7,
+    work_scale: float = 2.0,
+    max_time_s: float = 60.0,
+) -> Fig4bResult:
+    """Regenerate Fig. 4(b) over the given arrival-rate sweep."""
+    cfg = config if config is not None else table1()
+    shared = SimContext(cfg, model)
+
+    points = []
+    for rate in arrival_rates_per_s:
+        outcomes = {}
+        for scheduler_cls in (PCMigScheduler, HotPotatoScheduler):
+            specs = poisson_arrivals(
+                random_mixed_workload(n_tasks, seed=seed, work_scale=work_scale),
+                rate,
+                seed=seed + 1,
+            )
+            sim = IntervalSimulator(
+                cfg,
+                scheduler_cls(),
+                materialize(specs),
+                ctx=SimContext(cfg, shared.thermal_model),
+                record_trace=False,
+            )
+            outcomes[scheduler_cls.name] = sim.run(max_time_s=max_time_s)
+        points.append(
+            LoadPoint(
+                arrival_rate_per_s=rate,
+                hotpotato=outcomes["hotpotato"],
+                pcmig=outcomes["pcmig"],
+            )
+        )
+    return Fig4bResult(points=tuple(points))

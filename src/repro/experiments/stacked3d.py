@@ -1,0 +1,154 @@
+"""Extension experiment: synchronous rotation on a 3D-stacked S-NUCA die.
+
+The paper's Section VII plans to "explore the idea of synchronous task
+rotation with 3D S-NUCA many-cores using the CoMeT interval thermal
+simulator".  This experiment runs the analytic machinery (unchanged — it
+only needs the Eq. 1 model structure) on a CoMeT-style stacked RC model
+and quantifies three things:
+
+1. the **layer gradient**: the same core power runs tens of degrees hotter
+   on the upper layer (far from the sink);
+2. **vertical rotation** through a stacked column averages that gradient
+   exactly like 2D rotation averages lateral hotspots — a thread that is
+   thermally unsustainable when pinned to the top layer becomes sustainable
+   when rotated through its column;
+3. the **2D ring premise breaks in 3D**: cores with equal 3D AMD
+   (performance-equivalent) span multiple layers (thermally inequivalent),
+   so a 3D HotPotato must add layer-awareness to its ring logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..core.peak_temperature import rotation_peak_temperature
+from ..stacked.mesh3d import Amd3dRings, Mesh3D
+from ..stacked.rc_model3d import build_rc_model_3d, default_stacked_stack
+from ..thermal.matex import ThermalDynamics
+from .reporting import render_table
+
+#: Power of the probe thread [W] — chosen such that it is unsustainable
+#: pinned on the top layer but sustainable when rotated vertically.
+PROBE_POWER_W = 2.6
+
+#: Idle power and thermal environment (paper Section VI).
+IDLE_POWER_W = 0.3
+AMBIENT_C = 45.0
+THRESHOLD_C = 70.0
+
+
+@dataclass
+class Stacked3dResult:
+    """Outcome of the 3D rotation study."""
+
+    #: steady peak of one hot core per layer [degC]
+    layer_peaks_c: Tuple[float, ...]
+    #: peak when the probe thread is pinned to the top layer
+    pinned_top_peak_c: float
+    #: peak when the probe thread rotates vertically through its column
+    vertical_rotation_peak_c: float
+    #: ring index -> layers spanned (the 2D-premise diagnostic)
+    ring_layers: Dict[int, Tuple[int, ...]]
+    n_layers: int
+
+    @property
+    def layer_gradient_c(self) -> float:
+        """Top-vs-bottom difference for the same hot core."""
+        return self.layer_peaks_c[-1] - self.layer_peaks_c[0]
+
+    @property
+    def rotation_rescues_top_layer(self) -> bool:
+        """Pinned-top violates the threshold, rotated does not."""
+        return (
+            self.pinned_top_peak_c > THRESHOLD_C
+            and self.vertical_rotation_peak_c < THRESHOLD_C
+        )
+
+    @property
+    def rings_span_layers(self) -> bool:
+        """True when any equal-AMD ring mixes layers (premise break)."""
+        return any(len(layers) > 1 for layers in self.ring_layers.values())
+
+    def render(self) -> str:
+        rows = [
+            (f"layer {i}", f"{peak:.2f}")
+            for i, peak in enumerate(self.layer_peaks_c)
+        ]
+        gradient = render_table(
+            ["single 8 W core on", "steady peak [C]"],
+            rows,
+            title="3D S-NUCA extension (Section VII future work): layer gradient",
+        )
+        rotation = render_table(
+            ["probe-thread placement", "peak [C]", f"violates {THRESHOLD_C:.0f}C"],
+            [
+                (
+                    "pinned to top layer",
+                    f"{self.pinned_top_peak_c:.2f}",
+                    "yes" if self.pinned_top_peak_c > THRESHOLD_C else "no",
+                ),
+                (
+                    "rotated through its column",
+                    f"{self.vertical_rotation_peak_c:.2f}",
+                    "yes" if self.vertical_rotation_peak_c > THRESHOLD_C else "no",
+                ),
+            ],
+            title=f"\nvertical rotation of one {PROBE_POWER_W} W thread",
+        )
+        premise = "\n".join(
+            f"ring {index}: 3D-AMD-equal cores span layers {layers}"
+            for index, layers in sorted(self.ring_layers.items())
+        )
+        return (
+            f"{gradient}\n{rotation}\n\n"
+            f"2D ring premise in 3D (equal AMD != equal thermals):\n{premise}"
+        )
+
+
+def run(
+    width: int = 4,
+    height: int = 4,
+    layers: int = 2,
+    tau_s: float = 0.5e-3,
+) -> Stacked3dResult:
+    """Run the 3D rotation study on a ``width x height x layers`` stack."""
+    mesh = Mesh3D(width, height, layers)
+    model = build_rc_model_3d(mesh, default_stacked_stack())
+    dynamics = ThermalDynamics(model)
+    n = mesh.n_cores
+
+    # 1. the layer gradient: one 8 W core per layer, same column
+    layer_peaks = []
+    for layer in range(layers):
+        power = np.full(n, IDLE_POWER_W)
+        power[mesh.core_at(layer, 1, 1)] = 8.0
+        temps = model.steady_state(power, AMBIENT_C)
+        layer_peaks.append(float(np.max(model.core_temperatures(temps))))
+
+    # 2. vertical rotation of the probe thread
+    column = mesh.stacked_column(mesh.core_at(0, 1, 1))
+    top_core = column[-1]
+    pinned = np.full(n, IDLE_POWER_W)
+    pinned[top_core] = PROBE_POWER_W
+    pinned_temps = model.steady_state(pinned, AMBIENT_C)
+    pinned_peak = float(np.max(model.core_temperatures(pinned_temps)))
+
+    seq = np.full((layers, n), IDLE_POWER_W)
+    for epoch, core in enumerate(column):
+        seq[epoch, core] = PROBE_POWER_W
+    rotated_peak = rotation_peak_temperature(dynamics, seq, tau_s, AMBIENT_C)
+
+    # 3. the ring premise diagnostic
+    rings = Amd3dRings(mesh)
+    ring_layers = rings.ring_layer_summary()
+
+    return Stacked3dResult(
+        layer_peaks_c=tuple(layer_peaks),
+        pinned_top_peak_c=pinned_peak,
+        vertical_rotation_peak_c=rotated_peak,
+        ring_layers=ring_layers,
+        n_layers=layers,
+    )

@@ -1,0 +1,61 @@
+"""Table I: simulated core parameters.
+
+Regenerates the paper's platform-configuration table from
+:mod:`repro.config` (the single source of truth every substrate reads).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..config import SystemConfig, table1
+from .reporting import render_table
+
+
+@dataclass(frozen=True)
+class Table1Report:
+    """The regenerated Table I."""
+
+    rows: Tuple[Tuple[str, str], ...]
+
+    def render(self) -> str:
+        """Plain-text table matching the paper's layout."""
+        return render_table(
+            ["Core Parameter", "Value"],
+            self.rows,
+            title="Table I: Core parameters for simulated S-NUCA processor",
+        )
+
+
+def run(config: SystemConfig = None) -> Table1Report:
+    """Build the Table I report for ``config`` (default: the paper's)."""
+    cfg = config if config is not None else table1()
+    cache = cfg.cache
+    rows: List[Tuple[str, str]] = [
+        ("Number of Cores", str(cfg.n_cores)),
+        (
+            "Core Model",
+            f"x86, {cfg.dvfs.f_max_hz / 1e9:.1f} GHz, 14 nm, out-of-order",
+        ),
+        (
+            "L1 I/D cache",
+            f"{cache.l1i_size_bytes // 1024}/{cache.l1d_size_bytes // 1024} KB, "
+            f"{cache.l1_associativity}/{cache.l1_associativity}-way, "
+            f"{cache.block_size_bytes}B-block",
+        ),
+        (
+            "LLC",
+            f"{cache.llc_bank_size_bytes // 1024} KB per core, "
+            f"{cache.llc_associativity}-way, {cache.block_size_bytes}B-block",
+        ),
+        ("NoC Latency", f"{cfg.noc.hop_latency_s * 1e9:.1f}ns per hop"),
+        ("NoC link width", f"{cfg.noc.link_width_bits} Bit"),
+        ("The area of core", f"{cfg.core_area_m2 * 1e6:.2f} mm^2"),
+        ("Ambient temperature", f"{cfg.thermal.ambient_c:.0f} C"),
+        ("DTM threshold", f"{cfg.thermal.dtm_threshold_c:.0f} C"),
+        ("Thermal headroom Delta", f"{cfg.thermal.headroom_delta_c:.0f} C"),
+        ("Idle core power", f"{cfg.thermal.idle_power_w:.1f} W"),
+        ("Initial rotation interval", f"{cfg.rotation_interval_s * 1e3:.1f} ms"),
+    ]
+    return Table1Report(rows=tuple(rows))

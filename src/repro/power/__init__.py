@@ -1,0 +1,7 @@
+"""Power substrate: core power model, DVFS operating points, TSP budgets."""
+
+from .dvfs import DvfsController
+from .model import PowerModel, PowerModelParams
+from .tsp import Tsp
+
+__all__ = ["DvfsController", "PowerModel", "PowerModelParams", "Tsp"]

@@ -1,0 +1,87 @@
+"""DVFS operating points and budget-driven frequency selection.
+
+The paper's baseline (PCMig/PCGov) performs fine-grained DVFS at 100 MHz
+steps between 1 and 4 GHz (Section VI).  This module provides the quantized
+operating-point table and the inverse query the baselines need: the highest
+frequency whose power fits a given per-core budget.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Sequence
+
+from ..config import DvfsConfig
+from .model import PowerModel
+
+
+class DvfsController:
+    """Quantized V/f operating points plus budget queries."""
+
+    def __init__(self, config: DvfsConfig = None, power_model: PowerModel = None):
+        self.config = config if config is not None else DvfsConfig()
+        self.power_model = (
+            power_model if power_model is not None else PowerModel(self.config)
+        )
+        self._levels = self.config.frequencies()
+
+    @property
+    def levels(self) -> Sequence[float]:
+        """All operating frequencies, ascending [Hz]."""
+        return self._levels
+
+    def quantize(self, f_hz: float) -> float:
+        """Highest operating point not above ``f_hz`` (clamped to range)."""
+        if f_hz <= self._levels[0]:
+            return self._levels[0]
+        if f_hz >= self._levels[-1]:
+            return self._levels[-1]
+        index = bisect.bisect_right(self._levels, f_hz + 1e-3) - 1
+        return self._levels[index]
+
+    def step_down(self, f_hz: float, steps: int = 1) -> float:
+        """``steps`` operating points below ``f_hz`` (clamped to f_min)."""
+        index = self._index_of(f_hz)
+        return self._levels[max(0, index - steps)]
+
+    def step_up(self, f_hz: float, steps: int = 1) -> float:
+        """``steps`` operating points above ``f_hz`` (clamped to f_max)."""
+        index = self._index_of(f_hz)
+        return self._levels[min(len(self._levels) - 1, index + steps)]
+
+    def _index_of(self, f_hz: float) -> int:
+        index = bisect.bisect_left(self._levels, f_hz - 1e-3)
+        if index >= len(self._levels) or abs(self._levels[index] - f_hz) > 1e-3:
+            raise ValueError(f"{f_hz/1e9:.3f} GHz is not an operating point")
+        return index
+
+    def frequency_for_budget(
+        self,
+        power_budget_w: float,
+        p_dyn_ref_w: float,
+        compute_fraction: float = 1.0,
+        stall_fraction: float = 0.0,
+    ) -> float:
+        """Highest frequency whose core power fits ``power_budget_w``.
+
+        Power is monotone in frequency, so a binary search over the
+        operating points suffices.  If even f_min exceeds the budget, f_min
+        is returned (the hardware cannot go lower; DTM must handle the
+        residual risk), matching HotSniper's governor behaviour.
+        """
+        lo, hi = 0, len(self._levels) - 1
+        best = 0
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            power = self.power_model.core_power_w(
+                p_dyn_ref_w,
+                self._levels[mid],
+                compute_fraction,
+                stall_fraction,
+            )
+            if power <= power_budget_w:
+                best = mid
+                lo = mid + 1
+            else:
+                hi = mid - 1
+        return self._levels[best]

@@ -1,0 +1,119 @@
+"""Thermal Safe Power (TSP) budgeting.
+
+TSP (Pagani et al., ESWEEK 2014 / TC 2016) replaces a single chip-level TDP
+with a per-core power budget that is *thermally safe*: if every active core
+stays within the budget, no core's steady-state temperature exceeds the DTM
+threshold.  The paper's baselines PCGov and PCMig budget with TSP and
+enforce the budget via DVFS.
+
+Two variants are provided, both exact linear computations on the steady
+state of the RC model:
+
+- :meth:`Tsp.budget_for_mapping` — the budget for one concrete set of
+  active cores (the tighter, mapping-aware variant PCGov uses once the
+  mapping is known);
+- :meth:`Tsp.worst_case_budget` — the budget that is safe for *any*
+  mapping of ``n_active`` threads, computed against the thermally worst
+  placement (greedy densest-cluster construction).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..thermal.rc_model import RCThermalModel
+from ..thermal.steady_state import heat_distribution_matrix
+
+
+class Tsp:
+    """Thermal Safe Power computation on a calibrated RC model."""
+
+    def __init__(
+        self,
+        model: RCThermalModel,
+        ambient_c: float,
+        threshold_c: float,
+        idle_power_w: float,
+    ):
+        if threshold_c <= ambient_c:
+            raise ValueError("threshold must exceed ambient")
+        self.model = model
+        self.ambient_c = ambient_c
+        self.threshold_c = threshold_c
+        self.idle_power_w = idle_power_w
+        self._h = heat_distribution_matrix(model)
+
+    # -- mapping-aware budget -----------------------------------------------
+
+    def budget_for_mapping(self, active_cores: Iterable[int]) -> float:
+        """Uniform per-active-core budget for one concrete mapping.
+
+        Solves ``max_i [H (b*mask + idle*(1-mask))]_i = threshold - ambient``
+        for ``b``; exact because the steady state is linear in power.
+        """
+        mask = np.zeros(self.model.n_cores)
+        active = list(active_cores)
+        if not active:
+            raise ValueError("mapping has no active cores")
+        mask[active] = 1.0
+        idle_rise = self._h @ (self.idle_power_w * (1.0 - mask))
+        active_rise_per_watt = self._h @ mask
+        headroom = (self.threshold_c - self.ambient_c) - idle_rise
+        with np.errstate(divide="ignore"):
+            ratios = np.where(
+                active_rise_per_watt > 1e-15, headroom / active_rise_per_watt, np.inf
+            )
+        budget = float(np.min(ratios))
+        if budget <= 0:
+            raise ValueError(
+                "idle power alone exceeds the thermal threshold; "
+                "the configuration is infeasible"
+            )
+        return budget
+
+    # -- worst-case budget ------------------------------------------------------
+
+    def worst_case_mapping(self, n_active: int) -> Sequence[int]:
+        """A thermally pessimal placement of ``n_active`` threads.
+
+        Greedy densest-cluster heuristic from the TSP paper: seed with the
+        core whose self-heating is largest, then repeatedly add the core
+        that maximizes the hottest cluster temperature.
+        """
+        if not (1 <= n_active <= self.model.n_cores):
+            raise ValueError("n_active out of range")
+        chosen: list = [int(np.argmax(np.diag(self._h)))]
+        while len(chosen) < n_active:
+            best_core, best_heat = None, -np.inf
+            current = self._h[:, chosen].sum(axis=1)
+            for core in range(self.model.n_cores):
+                if core in chosen:
+                    continue
+                heat = float(np.max(current + self._h[:, core]))
+                if heat > best_heat:
+                    best_core, best_heat = core, heat
+            chosen.append(best_core)
+        return tuple(chosen)
+
+    def worst_case_budget(self, n_active: int) -> float:
+        """Budget safe for any mapping of ``n_active`` threads."""
+        return self._worst_case_budget_cached(int(n_active))
+
+    @lru_cache(maxsize=None)
+    def _worst_case_budget_cached(self, n_active: int) -> float:
+        return self.budget_for_mapping(self.worst_case_mapping(n_active))
+
+    # -- verification ---------------------------------------------------------
+
+    def steady_peak_for_budget(
+        self, active_cores: Iterable[int], budget_w: float
+    ) -> float:
+        """Steady peak temperature if the active cores burn exactly the budget."""
+        power = np.full(self.model.n_cores, self.idle_power_w)
+        for core in active_cores:
+            power[core] = budget_w
+        rise = self._h @ power
+        return float(self.ambient_c + np.max(rise))

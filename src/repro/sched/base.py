@@ -1,0 +1,110 @@
+"""Scheduler interface.
+
+A scheduler reacts to task arrivals and completions and, once per simulator
+interval, produces a :class:`SchedulerDecision`: where every admitted thread
+runs and at what frequency each core is clocked.  The engine executes the
+decision, charging migration penalties for placement changes and letting
+hardware DTM override frequencies when a core crosses the threshold.
+
+**Admission queueing** (open systems, Fig. 4b): when a task arrives and the
+chip lacks free cores, the base class queues it FIFO; queued tasks make no
+progress (their threads are reported as ``waiting``) and are admitted as
+capacity frees up.  Response time then naturally includes queueing delay.
+Subclasses implement the three primitives ``_can_admit`` / ``_admit`` /
+``_release`` plus ``decide``.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Set
+
+import numpy as np
+
+from ..workload.task import Task
+
+if TYPE_CHECKING:  # import cycle: the engine imports this module
+    from ..sim.context import SimContext
+
+
+@dataclass
+class SchedulerDecision:
+    """One interval's placement and frequency plan."""
+
+    #: thread id -> core id; every admitted thread must appear exactly once.
+    placements: Dict[str, int]
+    #: per-core frequency [Hz], shape (n_cores,).
+    frequencies: np.ndarray
+    #: thread ids of queued (not yet admitted) tasks.
+    waiting: Set[str] = field(default_factory=set)
+    #: current rotation interval for telemetry (None if not rotating).
+    tau_s: Optional[float] = None
+    #: free-form scheduler telemetry merged into the metrics.
+    annotations: Dict[str, float] = field(default_factory=dict)
+
+
+class Scheduler(abc.ABC):
+    """Base class for thermal-aware schedulers (with admission queueing)."""
+
+    name: str = "scheduler"
+
+    def __init__(self) -> None:
+        self.ctx: Optional["SimContext"] = None
+        self._queue: List[Task] = []
+
+    def attach(self, ctx: "SimContext") -> None:
+        """Bind the scheduler to a platform; called once before the run."""
+        self.ctx = ctx
+
+    # -- arrival / completion with queueing ------------------------------------
+
+    def on_task_arrival(self, task: Task, now_s: float) -> None:
+        """Admit the task, or queue it if the chip is full."""
+        if not self._queue and self._can_admit(task):
+            self._admit(task, now_s)
+        else:
+            self._queue.append(task)
+
+    def on_task_complete(self, task: Task, now_s: float) -> None:
+        """Release the task's cores, then drain the queue FIFO."""
+        self._release(task, now_s)
+        while self._queue and self._can_admit(self._queue[0]):
+            self._admit(self._queue.pop(0), now_s)
+
+    def waiting_threads(self) -> Set[str]:
+        """Thread ids of all queued tasks."""
+        return {
+            thread.thread_id for task in self._queue for thread in task.threads
+        }
+
+    @property
+    def queue_length(self) -> int:
+        """Number of tasks waiting for admission."""
+        return len(self._queue)
+
+    # -- subclass primitives ---------------------------------------------------
+
+    @abc.abstractmethod
+    def _can_admit(self, task: Task) -> bool:
+        """True when the task's threads fit on free cores right now."""
+
+    @abc.abstractmethod
+    def _admit(self, task: Task, now_s: float) -> None:
+        """Place the task's threads."""
+
+    @abc.abstractmethod
+    def _release(self, task: Task, now_s: float) -> None:
+        """Free the task's cores."""
+
+    @abc.abstractmethod
+    def decide(self, now_s: float) -> SchedulerDecision:
+        """Produce the placement/frequency plan for the next interval."""
+
+    def preferred_interval_s(self) -> Optional[float]:
+        """Step size the scheduler wants the engine to use (None = default).
+
+        Rotating schedulers return their rotation interval so that epoch
+        boundaries align with simulation intervals.
+        """
+        return None

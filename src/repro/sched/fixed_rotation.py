@@ -1,0 +1,78 @@
+"""Fixed synchronous rotation (the paper's motivational mechanism).
+
+Fig. 2(c) of the paper rotates the two *blackscholes* threads over the four
+centre cores at a fixed 0.5 ms interval — no adaptivity, no DVFS.  This
+scheduler reproduces exactly that: threads of arriving tasks fill the slots
+of a fixed core set and rotate synchronously forever.  It is the pure
+mechanism (rotation) stripped of the policy (HotPotato), and doubles as the
+ablation baseline for rotation-interval sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..workload.task import Task
+from .base import Scheduler, SchedulerDecision
+
+
+class FixedRotationScheduler(Scheduler):
+    """Rotate all threads over a fixed core set at a fixed interval."""
+
+    name = "fixed-rotation"
+
+    def __init__(
+        self, cores: Optional[Sequence[int]] = None, tau_s: float = 0.5e-3
+    ) -> None:
+        super().__init__()
+        if tau_s <= 0:
+            raise ValueError("rotation interval must be positive")
+        self.tau_s = tau_s
+        self._cores_arg = cores
+        self._cores: List[int] = []
+        self._slots: List[Optional[str]] = []
+
+    def attach(self, ctx) -> None:
+        super().attach(ctx)
+        if self._cores_arg is not None:
+            self._cores = list(self._cores_arg)
+        else:
+            # default: the innermost AMD ring (the paper's centre cores)
+            self._cores = list(ctx.rings.ring(0))
+        if len(set(self._cores)) != len(self._cores):
+            raise ValueError("rotation core set contains duplicates")
+        self._slots = [None] * len(self._cores)
+
+    def _can_admit(self, task: Task) -> bool:
+        free = sum(1 for s in self._slots if s is None)
+        return free >= task.n_threads
+
+    def _admit(self, task: Task, now_s: float) -> None:
+        free = [i for i, s in enumerate(self._slots) if s is None]
+        for thread, slot in zip(task.threads, free):
+            self._slots[slot] = thread.thread_id
+
+    def _release(self, task: Task, now_s: float) -> None:
+        ids = {thread.thread_id for thread in task.threads}
+        self._slots = [None if s in ids else s for s in self._slots]
+
+    def preferred_interval_s(self) -> Optional[float]:
+        return self.tau_s
+
+    def decide(self, now_s: float) -> SchedulerDecision:
+        epoch = int(now_s / self.tau_s + 1e-9)
+        size = len(self._cores)
+        placements = {
+            thread: self._cores[(slot + epoch) % size]
+            for slot, thread in enumerate(self._slots)
+            if thread is not None
+        }
+        freqs = np.full(self.ctx.n_cores, self.ctx.config.dvfs.f_max_hz)
+        return SchedulerDecision(
+            placements=placements,
+            frequencies=freqs,
+            waiting=self.waiting_threads(),
+            tau_s=self.tau_s,
+        )

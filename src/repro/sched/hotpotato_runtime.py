@@ -1,0 +1,187 @@
+"""HotPotato glued into the interval simulator.
+
+The pure heuristic lives in :mod:`repro.core.hotpotato`; this adapter feeds
+it what the paper says it consumes at run time — per-thread power history
+(10 ms window) and effective CPI — and translates its
+:class:`~repro.core.rotation.RotationSchedule` into per-interval placements.
+
+Power estimates for *arriving* threads (no history yet) are the profile's
+peak power, i.e. deliberately conservative; once history accumulates, the
+estimates relax to the observed duty-cycled average and the paper's
+"sudden change" trigger (``Delta``) re-optimizes the assignment.
+
+HotPotato never touches DVFS: every core always runs at f_max (hardware DTM
+remains the backstop the analytics are designed to keep silent).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..core.hotpotato import HotPotato, ThreadInfo
+from ..workload.task import Task
+from .base import Scheduler, SchedulerDecision
+
+#: Power-estimate drift [W] that triggers a re-optimization.
+_POWER_DRIFT_TRIGGER_W = 1.0
+#: Minimum spacing between drift-triggered refreshes [epochs].
+_REFRESH_SPACING = 8
+
+
+class HotPotatoScheduler(Scheduler):
+    """The paper's scheduler: synchronous thread rotation, no DVFS."""
+
+    name = "hotpotato"
+
+    def __init__(
+        self,
+        headroom_delta_c: Optional[float] = None,
+        initial_tau_s: Optional[float] = None,
+    ) -> None:
+        super().__init__()
+        self._headroom_override = headroom_delta_c
+        self._tau_override = initial_tau_s
+        self.hotpotato: Optional[HotPotato] = None
+        self._profiles: Dict[str, object] = {}
+        self._epoch = 0
+        self._epoch_started_s = 0.0
+        self._intervals_since_refresh = 0
+        #: per-thread power estimate HotPotato last *re-optimized* with;
+        #: drift is measured against this snapshot, not the last interval.
+        self._power_at_refresh: Dict[str, float] = {}
+        #: True once a refresh changed nothing — skip further refreshes
+        #: until arrivals/exits or estimate drift dirty the state again.
+        self._settled = False
+
+    def attach(self, ctx) -> None:
+        super().attach(ctx)
+        thermal = ctx.config.thermal
+        self.hotpotato = HotPotato(
+            ctx.rings,
+            ctx.calculator,
+            t_dtm_c=thermal.dtm_threshold_c,
+            headroom_delta_c=(
+                self._headroom_override
+                if self._headroom_override is not None
+                else thermal.headroom_delta_c
+            ),
+            idle_power_w=thermal.idle_power_w,
+            initial_tau_s=(
+                self._tau_override
+                if self._tau_override is not None
+                else ctx.config.rotation_interval_s
+            ),
+        )
+
+    # -- arrival / completion ------------------------------------------------------
+
+    def _arrival_estimate(self, task: Task) -> ThreadInfo:
+        """Conservative ThreadInfo for a thread with no history yet."""
+        profile = task.profile
+        reference_core = self.ctx.rings.ring(0)[0]
+        power = self.ctx.power_model.max_core_power_w(profile.p_dyn_ref_w)
+        cpi = self.ctx.perf.effective_cpi(profile, reference_core)
+        return ThreadInfo("", power, cpi)
+
+    def _can_admit(self, task: Task) -> bool:
+        free = sum(
+            len(self.hotpotato.free_slots(ring))
+            for ring in range(self.ctx.rings.n_rings)
+        )
+        return free >= task.n_threads
+
+    def _admit(self, task: Task, now_s: float) -> None:
+        template = self._arrival_estimate(task)
+        for thread in task.threads:
+            info = ThreadInfo(thread.thread_id, template.power_w, template.cpi)
+            self.hotpotato.admit(info)
+            self._profiles[thread.thread_id] = task.profile
+            self._power_at_refresh[thread.thread_id] = template.power_w
+        self._settled = False
+
+    def _release(self, task: Task, now_s: float) -> None:
+        for thread in task.threads:
+            self.hotpotato.remove(thread.thread_id)
+            self._profiles.pop(thread.thread_id, None)
+            self._power_at_refresh.pop(thread.thread_id, None)
+        self._settled = False
+
+    # -- per-interval ----------------------------------------------------------------
+
+    def preferred_interval_s(self) -> Optional[float]:
+        tau = self.hotpotato.tau_s
+        return tau
+
+    def _advance_epoch(self, now_s: float) -> None:
+        tau = self.hotpotato.tau_s
+        if tau is None:
+            self._epoch_started_s = now_s
+            return
+        while now_s >= self._epoch_started_s + tau - 1e-12:
+            self._epoch += 1
+            self._epoch_started_s += tau
+
+    def _measured_power(self, thread_id: str) -> float:
+        """The power signal fed into HotPotato's analytics.
+
+        Subclasses that apply DVFS override this to refer the measurement
+        back to f_max, keeping the analytic peak frequency-independent.
+        """
+        return self.ctx.thread_power_w(thread_id)
+
+    def _refresh_estimates(self, now_s: float) -> None:
+        """Feed measured power back; re-optimize on drastic drift.
+
+        Drift is measured against the estimates in force at the last
+        re-optimization (the paper's sudden-change trigger ``Delta``), so a
+        slow ramp still accumulates into a refresh.
+        """
+        self._intervals_since_refresh += 1
+        max_drift = 0.0
+        measured_now: Dict[str, float] = {}
+        for thread_id, info in list(self.hotpotato._threads.items()):
+            try:
+                # the paper's signal: plain 10 ms window average.  Rotation
+                # budgets against time-averaged heat, so burst power must
+                # NOT be used here — averaging bursts across the ring is
+                # precisely the mechanism.  DTM backstops estimate lag.
+                measured = self._measured_power(thread_id)
+            except KeyError:
+                continue
+            measured_now[thread_id] = measured
+            baseline = self._power_at_refresh.get(thread_id, info.power_w)
+            max_drift = max(max_drift, abs(measured - baseline))
+            self.hotpotato.update_power(thread_id, measured)
+        if max_drift > 0.5:
+            self._settled = False
+        # a drastic power increase is acted upon immediately (the paper's
+        # Delta trigger); routine re-optimization is rate-limited
+        urgent = (
+            max_drift > _POWER_DRIFT_TRIGGER_W
+            and self._intervals_since_refresh >= 2
+        )
+        routine = (
+            not self._settled
+            and self._intervals_since_refresh >= _REFRESH_SPACING
+        )
+        if urgent or routine:
+            before = self.hotpotato.state_fingerprint()
+            self.hotpotato.refresh()
+            self._intervals_since_refresh = 0
+            self._power_at_refresh.update(measured_now)
+            self._settled = self.hotpotato.state_fingerprint() == before
+
+    def decide(self, now_s: float) -> SchedulerDecision:
+        self._refresh_estimates(now_s)
+        self._advance_epoch(now_s)
+        schedule = self.hotpotato.schedule()
+        placements = schedule.placement_at(self._epoch)
+        freqs = np.full(self.ctx.n_cores, self.ctx.config.dvfs.f_max_hz)
+        return SchedulerDecision(
+            placements=placements,
+            frequencies=freqs,
+            waiting=self.waiting_threads(),
+            tau_s=self.hotpotato.tau_s,
+        )

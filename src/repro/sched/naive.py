@@ -1,0 +1,108 @@
+"""Naive baseline schedulers.
+
+- :class:`PeakFrequencyScheduler` — performance-greedy static placement at
+  maximum frequency with **no** thermal management beyond hardware DTM.
+  This is the "thermally unsustainable" reference of Fig. 2(a).
+- :class:`StaticPlacer` — the shared placement policy: threads of arriving
+  tasks go to the free cores with the lowest AMD (best S-NUCA performance),
+  ties broken by core id.  PCGov/PCMig reuse it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..workload.task import Task
+from .base import Scheduler, SchedulerDecision
+
+
+class StaticPlacer:
+    """Lowest-AMD-first assignment of threads to free cores."""
+
+    def __init__(self, amd: np.ndarray):
+        self._amd = np.asarray(amd, dtype=float)
+        self._order = np.lexsort((np.arange(len(amd)), self._amd))
+        self._occupant: Dict[int, str] = {}
+
+    @property
+    def placements(self) -> Dict[str, int]:
+        """Current thread -> core mapping."""
+        return {thread: core for core, thread in self._occupant.items()}
+
+    def occupied_cores(self) -> List[int]:
+        """Cores currently holding a thread."""
+        return sorted(self._occupant)
+
+    def free_cores(self) -> List[int]:
+        """Free cores in placement-preference (ascending AMD) order."""
+        return [int(c) for c in self._order if int(c) not in self._occupant]
+
+    def place_task(self, task: Task) -> None:
+        """Assign every thread of ``task`` to the best free cores."""
+        free = self.free_cores()
+        if len(free) < task.n_threads:
+            raise ValueError(
+                f"not enough free cores for task {task.task_id} "
+                f"({task.n_threads} needed, {len(free)} free)"
+            )
+        for thread, core in zip(task.threads, free):
+            self._occupant[core] = thread.thread_id
+
+    def release_task(self, task: Task) -> None:
+        """Free the cores of a finished task."""
+        ids = {thread.thread_id for thread in task.threads}
+        self._occupant = {
+            core: thread
+            for core, thread in self._occupant.items()
+            if thread not in ids
+        }
+
+    def move(self, thread_id: str, dst_core: int) -> None:
+        """Relocate one thread to a free core."""
+        if dst_core in self._occupant:
+            raise ValueError(f"core {dst_core} is occupied")
+        src = next(
+            core for core, t in self._occupant.items() if t == thread_id
+        )
+        del self._occupant[src]
+        self._occupant[dst_core] = thread_id
+
+    def core_of(self, thread_id: str) -> int:
+        """Core currently hosting ``thread_id``."""
+        for core, thread in self._occupant.items():
+            if thread == thread_id:
+                return core
+        raise KeyError(thread_id)
+
+
+class PeakFrequencyScheduler(Scheduler):
+    """Everything at f_max, static lowest-AMD placement, DTM-only safety."""
+
+    name = "peak-frequency"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._placer: Optional[StaticPlacer] = None
+
+    def attach(self, ctx) -> None:
+        super().attach(ctx)
+        self._placer = StaticPlacer(ctx.rings.amd)
+
+    def _can_admit(self, task: Task) -> bool:
+        return len(self._placer.free_cores()) >= task.n_threads
+
+    def _admit(self, task: Task, now_s: float) -> None:
+        self._placer.place_task(task)
+
+    def _release(self, task: Task, now_s: float) -> None:
+        self._placer.release_task(task)
+
+    def decide(self, now_s: float) -> SchedulerDecision:
+        freqs = np.full(self.ctx.n_cores, self.ctx.config.dvfs.f_max_hz)
+        return SchedulerDecision(
+            placements=dict(self._placer.placements),
+            frequencies=freqs,
+            waiting=self.waiting_threads(),
+        )

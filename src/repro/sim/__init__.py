@@ -1,0 +1,32 @@
+"""Interval thermal simulation substrate (HotSniper analogue)."""
+
+from .context import SimContext
+from .dtm import DtmController
+from .engine import IntervalSimulator
+from .events import (
+    DtmEngaged,
+    DtmReleased,
+    Event,
+    EventLog,
+    TaskArrived,
+    TaskCompleted,
+    ThreadMigrated,
+)
+from .metrics import SimulationResult, TaskRecord
+from .migration import MigrationAccountant
+
+__all__ = [
+    "DtmController",
+    "DtmEngaged",
+    "DtmReleased",
+    "Event",
+    "EventLog",
+    "IntervalSimulator",
+    "MigrationAccountant",
+    "SimContext",
+    "SimulationResult",
+    "TaskArrived",
+    "TaskCompleted",
+    "TaskRecord",
+    "ThreadMigrated",
+]

@@ -1,0 +1,94 @@
+"""The model bundle a scheduler operates on.
+
+A :class:`SimContext` packages every substrate model built for one simulated
+platform — floorplan, RC thermal model and its dynamics, mesh/AMD rings,
+S-NUCA performance model, power model, DVFS table, TSP budgets, migration
+costs — plus run-time observation hooks that the engine wires up (thread
+power history, current temperatures).  Schedulers receive it via
+``attach()`` and must treat it as read-only.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..arch.amd import AmdRings
+from ..arch.cache import MigrationCostModel
+from ..arch.topology import Mesh
+from ..config import SystemConfig
+from ..core.peak_temperature import PeakTemperatureCalculator
+from ..power.dvfs import DvfsController
+from ..power.model import PowerModel
+from ..power.tsp import Tsp
+from ..thermal.calibrate import calibrated_model
+from ..thermal.matex import ThermalDynamics
+from ..thermal.rc_model import RCThermalModel
+from ..workload.perf import PerformanceModel
+
+
+class SimContext:
+    """All platform models for one simulation, built from a SystemConfig."""
+
+    def __init__(self, config: SystemConfig, model: Optional[RCThermalModel] = None):
+        self.config = config
+        self.mesh = Mesh(config.mesh_width, config.mesh_height)
+        self.rings = AmdRings(self.mesh)
+        self.thermal_model = model if model is not None else calibrated_model(config)
+        self.dynamics = ThermalDynamics(self.thermal_model)
+        self.calculator = PeakTemperatureCalculator(
+            self.dynamics, config.thermal.ambient_c
+        )
+        self.power_model = PowerModel(config.dvfs, config.thermal)
+        self.dvfs = DvfsController(config.dvfs, self.power_model)
+        self.perf = PerformanceModel(
+            self.mesh, config.cache, config.noc, config.dvfs
+        )
+        self.migration = MigrationCostModel(self.mesh, config.cache, config.noc)
+        self.tsp = Tsp(
+            self.thermal_model,
+            config.thermal.ambient_c,
+            config.thermal.dtm_threshold_c,
+            config.thermal.idle_power_w,
+        )
+        # run-time observation hooks, wired by the engine before use
+        self._power_history_fn: Optional[Callable[[str], float]] = None
+        self._core_temps_fn: Optional[Callable[[], np.ndarray]] = None
+        self._power_recent_fn: Optional[Callable[[str], float]] = None
+
+    @property
+    def n_cores(self) -> int:
+        """Number of cores of the simulated platform."""
+        return self.mesh.n_cores
+
+    # -- run-time observations ---------------------------------------------------
+
+    def wire_observations(
+        self,
+        power_history_fn: Callable[[str], float],
+        core_temps_fn: Callable[[], np.ndarray],
+        power_recent_fn: Optional[Callable[[str], float]] = None,
+    ) -> None:
+        """Engine hook: install the run-time observation callbacks."""
+        self._power_history_fn = power_history_fn
+        self._core_temps_fn = core_temps_fn
+        self._power_recent_fn = power_recent_fn
+
+    def thread_power_w(self, thread_id: str) -> float:
+        """Average power of a thread over the last 10 ms window."""
+        if self._power_history_fn is None:
+            raise RuntimeError("observations not wired; is the engine running?")
+        return self._power_history_fn(thread_id)
+
+    def thread_recent_power_w(self, thread_id: str) -> float:
+        """Most recent per-interval power sample of a thread."""
+        if self._power_recent_fn is None:
+            raise RuntimeError("observations not wired; is the engine running?")
+        return self._power_recent_fn(thread_id)
+
+    def core_temperatures_c(self) -> np.ndarray:
+        """Instantaneous core temperatures."""
+        if self._core_temps_fn is None:
+            raise RuntimeError("observations not wired; is the engine running?")
+        return self._core_temps_fn()

@@ -1,0 +1,364 @@
+"""The interval thermal simulator (HotSniper analogue).
+
+HotSniper couples the Sniper interval core simulator with HotSpot thermal
+integration: execution advances in fixed intervals, each interval produces a
+power map, and the thermal state advances under that (piecewise-constant)
+power.  This engine reproduces that loop on top of our substrates:
+
+1. deliver task arrivals to the scheduler;
+2. obtain the scheduler's placement + frequency decision;
+3. charge migration debt for every thread that moved (and the cold-start
+   refill of new arrivals);
+4. let per-core hardware DTM clamp frequencies where the threshold was
+   crossed;
+5. advance every placed thread by the instructions its core/frequency
+   allows (after paying migration debt), with barrier-phase semantics;
+6. build the per-core power map from each thread's compute/stall split and
+   advance the RC thermal state **exactly** (matrix-exponential step — no
+   integration error regardless of interval length);
+7. record traces/metrics, deliver completions, repeat.
+
+The engine steps at the scheduler's preferred interval (so synchronous
+rotation epochs align with simulation intervals) clipped to the configured
+base interval, and lands exactly on task arrival instants.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..config import SystemConfig
+from ..sched.base import Scheduler, SchedulerDecision
+from ..thermal.trace import ThermalTrace
+from ..workload.task import Task
+from .context import SimContext
+from .dtm import DtmController
+from .events import (
+    DtmEngaged,
+    DtmReleased,
+    EventLog,
+    TaskArrived,
+    TaskCompleted,
+    ThreadMigrated,
+)
+from .metrics import SimulationResult, TaskRecord, TimeBreakdown
+from .migration import MigrationAccountant
+
+#: Floating-point slack for time comparisons [s].
+_TIME_EPS = 1e-12
+
+
+class _PowerHistory:
+    """Sliding-window average power per thread (paper: last 10 ms)."""
+
+    def __init__(self, window_s: float):
+        self.window_s = window_s
+        self._samples: Dict[str, Deque[Tuple[float, float, float]]] = {}
+
+    def record(self, thread: str, now_s: float, power_w: float, dt_s: float) -> None:
+        queue = self._samples.setdefault(thread, deque())
+        queue.append((now_s, power_w, dt_s))
+        cutoff = now_s - self.window_s
+        while queue and queue[0][0] < cutoff:
+            queue.popleft()
+
+    def average(self, thread: str) -> float:
+        queue = self._samples.get(thread)
+        if not queue:
+            raise KeyError(f"no power history for thread {thread}")
+        total_energy = sum(p * dt for _, p, dt in queue)
+        total_time = sum(dt for _, _, dt in queue)
+        return total_energy / total_time
+
+    def recent(self, thread: str) -> float:
+        """Most recent power sample (burst detection)."""
+        queue = self._samples.get(thread)
+        if not queue:
+            raise KeyError(f"no power history for thread {thread}")
+        return queue[-1][1]
+
+    def forget(self, thread: str) -> None:
+        self._samples.pop(thread, None)
+
+
+class IntervalSimulator:
+    """Run one scheduler over one task set on one platform."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        scheduler: Scheduler,
+        tasks: List[Task],
+        ctx: Optional[SimContext] = None,
+        dtm_enabled: bool = True,
+        record_trace: bool = True,
+        record_events: bool = False,
+        warm_start_uniform_power_w: Optional[float] = None,
+    ):
+        self.config = config
+        self.ctx = ctx if ctx is not None else SimContext(config)
+        self.scheduler = scheduler
+        self.dtm_enabled = dtm_enabled
+        self.record_trace = record_trace
+        self._pending: Deque[Task] = deque(
+            sorted(tasks, key=lambda t: t.arrival_time_s)
+        )
+        self._running: List[Task] = []
+        self._history = _PowerHistory(config.power_history_window_s)
+        self._accountant = MigrationAccountant(self.ctx.migration)
+        self._dtm = DtmController(
+            self.ctx.n_cores,
+            config.thermal.dtm_threshold_c,
+            config.thermal.dtm_hysteresis_c,
+            config.dvfs.f_min_hz,
+        )
+        # warm start: by default the chip has been idling long enough to
+        # reach the all-idle steady state.  Passing
+        # ``warm_start_uniform_power_w`` instead pre-heats the package to
+        # the steady state of that uniform load — HotSniper's ROI warm-up
+        # (the paper's Fig. 2 traces start near 58 degC, not at ambient).
+        warm = (
+            config.thermal.idle_power_w
+            if warm_start_uniform_power_w is None
+            else warm_start_uniform_power_w
+        )
+        self._temps = self.ctx.thermal_model.steady_state(
+            np.full(self.ctx.n_cores, warm), config.thermal.ambient_c
+        )
+        self._prev_placements: Dict[str, int] = {}
+        self._sched_wall_s = 0.0
+        self._sched_calls = 0
+        #: structured event log (populated when ``record_events`` is set)
+        self.events: Optional[EventLog] = EventLog() if record_events else None
+        self._breakdown: Dict[str, TimeBreakdown] = {}
+        self.ctx.wire_observations(
+            self._history.average, self._core_temps, self._history.recent
+        )
+        self.scheduler.attach(self.ctx)
+
+    # -- observation hooks -------------------------------------------------------
+
+    def _core_temps(self) -> np.ndarray:
+        return self.ctx.thermal_model.core_temperatures(self._temps)
+
+    # -- helpers -------------------------------------------------------------------
+
+    def _timed_scheduler_call(self, fn, *args):
+        start = _time.perf_counter()
+        result = fn(*args)
+        self._sched_wall_s += _time.perf_counter() - start
+        self._sched_calls += 1
+        return result
+
+    def _thread_of(self, thread_id: str) -> Tuple[Task, int]:
+        task_id_str, index_str = thread_id.rsplit(".", 1)
+        task_id = int(task_id_str)
+        for task in self._running:
+            if task.task_id == task_id:
+                return task, int(index_str)
+        raise KeyError(f"thread {thread_id} belongs to no running task")
+
+    def _validate(self, decision: SchedulerDecision) -> None:
+        live = {
+            thread.thread_id for task in self._running for thread in task.threads
+        }
+        placed = set(decision.placements)
+        if placed & decision.waiting:
+            raise ValueError("a thread is both placed and waiting")
+        accounted = placed | decision.waiting
+        if accounted != live:
+            missing = live - accounted
+            extra = accounted - live
+            raise ValueError(
+                f"scheduler placement mismatch: missing={sorted(missing)[:4]} "
+                f"extra={sorted(extra)[:4]}"
+            )
+        cores = list(decision.placements.values())
+        if len(set(cores)) != len(cores):
+            raise ValueError("scheduler placed two threads on one core")
+        if decision.frequencies.shape != (self.ctx.n_cores,):
+            raise ValueError("frequency vector has wrong shape")
+
+    # -- main loop --------------------------------------------------------------------
+
+    def run(self, max_time_s: float = 10.0) -> SimulationResult:
+        """Simulate until all tasks finish (or ``max_time_s`` elapses)."""
+        cfg = self.config
+        trace = ThermalTrace(self.ctx.n_cores) if self.record_trace else None
+        records: List[TaskRecord] = []
+        energy_j = 0.0
+        now = 0.0
+        idle_power = self.ctx.power_model.idle_power_w()
+
+        if trace is not None:
+            trace.record(now, self._core_temps())
+
+        while (self._pending or self._running) and now < max_time_s - _TIME_EPS:
+            # 1. arrivals due now
+            while self._pending and self._pending[0].arrival_time_s <= now + _TIME_EPS:
+                task = self._pending.popleft()
+                self._running.append(task)
+                self._timed_scheduler_call(
+                    self.scheduler.on_task_arrival, task, now
+                )
+                if self.events is not None:
+                    self.events.record(
+                        TaskArrived(
+                            now, task.task_id, task.profile.name, task.n_threads
+                        )
+                    )
+
+            if not self._running:
+                # idle gap until the next arrival: fast-forward thermally
+                next_arrival = self._pending[0].arrival_time_s
+                gap = min(next_arrival, max_time_s) - now
+                idle_vec = np.full(self.ctx.n_cores, idle_power)
+                self._temps = self.ctx.dynamics.step(
+                    self._temps, idle_vec, cfg.thermal.ambient_c, gap
+                )
+                energy_j += idle_power * self.ctx.n_cores * gap
+                now += gap
+                if trace is not None:
+                    trace.record(now, self._core_temps())
+                continue
+
+            # 2. interval length: scheduler preference, base interval, next arrival
+            dt = cfg.sim_interval_s
+            preferred = self.scheduler.preferred_interval_s()
+            if preferred is not None:
+                dt = min(dt, preferred)
+            if self._pending:
+                until_arrival = self._pending[0].arrival_time_s - now
+                if _TIME_EPS < until_arrival < dt:
+                    dt = until_arrival
+
+            # 3. scheduler decision
+            decision = self._timed_scheduler_call(self.scheduler.decide, now)
+            self._validate(decision)
+            moves = self._accountant.charge_moves(
+                self._prev_placements, decision.placements
+            )
+            if self.events is not None:
+                for thread, src, dst in moves:
+                    self.events.record(
+                        ThreadMigrated(
+                            now,
+                            thread,
+                            src,
+                            dst,
+                            self.ctx.migration.migration_penalty_s(src, dst),
+                        )
+                    )
+            self._prev_placements = dict(decision.placements)
+
+            # 4. DTM
+            if self.dtm_enabled:
+                before = self._dtm.throttled.copy()
+                temps_now = self._core_temps()
+                after = self._dtm.update(temps_now)
+                if self.events is not None:
+                    for core in np.nonzero(after & ~before)[0]:
+                        self.events.record(
+                            DtmEngaged(now, int(core), float(temps_now[core]))
+                        )
+                    for core in np.nonzero(before & ~after)[0]:
+                        self.events.record(
+                            DtmReleased(now, int(core), float(temps_now[core]))
+                        )
+                freqs = self._dtm.apply(decision.frequencies, dt)
+            else:
+                freqs = np.asarray(decision.frequencies, dtype=float)
+
+            # 5. execution + 6. power map
+            power = np.full(self.ctx.n_cores, idle_power)
+            for thread_id, core in decision.placements.items():
+                task, index = self._thread_of(thread_id)
+                profile = task.profile
+                f_hz = float(freqs[core])
+                exec_time = self._accountant.consume_debt(thread_id, dt)
+                migration_time = dt - exec_time
+                tpi = self.ctx.perf.time_per_instruction_s(profile, core, f_hz)
+                wanted = exec_time / tpi
+                retired = task.advance(index, wanted)
+                busy_time = retired * tpi
+                compute_b, stall_b = self.ctx.perf.activity_fractions(
+                    profile, core, f_hz
+                )
+                # migration debt keeps the memory system busy (refills)
+                compute_frac = compute_b * busy_time / dt
+                stall_frac = stall_b * busy_time / dt + migration_time / dt
+                power[core] = self.ctx.power_model.core_power_w(
+                    profile.p_dyn_ref_w, f_hz, compute_frac, stall_frac
+                )
+                self._history.record(thread_id, now, power[core], dt)
+                stack = self._breakdown.setdefault(thread_id, TimeBreakdown())
+                stack.compute_s += compute_b * busy_time
+                stack.stall_s += stall_b * busy_time
+                stack.migration_s += migration_time
+                stack.wait_s += exec_time - busy_time
+            for thread_id in decision.waiting:
+                stack = self._breakdown.setdefault(thread_id, TimeBreakdown())
+                stack.queued_s += dt
+
+            # 7. exact thermal step
+            self._temps = self.ctx.dynamics.step(
+                self._temps, power, cfg.thermal.ambient_c, dt
+            )
+            energy_j += float(np.sum(power)) * dt
+            now += dt
+            if trace is not None:
+                trace.record(now, self._core_temps())
+
+            # 8. barriers and completions
+            finished: List[Task] = []
+            for task in self._running:
+                task.try_advance_phase()
+                if task.complete:
+                    finished.append(task)
+            for task in finished:
+                task.mark_complete(now)
+                self._running.remove(task)
+                for thread in task.threads:
+                    self._prev_placements.pop(thread.thread_id, None)
+                    self._accountant.forget(thread.thread_id)
+                    self._history.forget(thread.thread_id)
+                self._timed_scheduler_call(
+                    self.scheduler.on_task_complete, task, now
+                )
+                records.append(
+                    TaskRecord(
+                        task_id=task.task_id,
+                        benchmark=task.profile.name,
+                        n_threads=task.n_threads,
+                        arrival_s=task.arrival_time_s,
+                        completion_s=now,
+                    )
+                )
+                if self.events is not None:
+                    self.events.record(
+                        TaskCompleted(
+                            now,
+                            task.task_id,
+                            task.profile.name,
+                            now - task.arrival_time_s,
+                        )
+                    )
+
+        return SimulationResult(
+            scheduler_name=self.scheduler.name,
+            sim_time_s=now,
+            tasks=sorted(records, key=lambda r: r.task_id),
+            trace=trace,
+            dtm_triggers=self._dtm.trigger_count,
+            dtm_core_time_s=self._dtm.throttled_core_time_s,
+            migration_count=self._accountant.migration_count,
+            migration_penalty_s=self._accountant.total_penalty_s,
+            energy_j=energy_j,
+            scheduler_wall_time_s=self._sched_wall_s,
+            scheduler_invocations=self._sched_calls,
+            time_breakdown=dict(self._breakdown),
+        )

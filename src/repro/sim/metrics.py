@@ -1,0 +1,183 @@
+"""Simulation metrics: the quantities the paper's evaluation reports.
+
+- **response time** per task (completion - arrival; Fig. 2 quotes these for
+  the motivational example, Fig. 4b for the open system);
+- **makespan** of a closed-system batch (Fig. 4a reports it normalized);
+- thermal statistics (peak, threshold violations, DTM activity);
+- scheduling overheads (migrations, penalty time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..thermal.trace import ThermalTrace
+
+
+@dataclass
+class TaskRecord:
+    """Outcome of one task."""
+
+    task_id: int
+    benchmark: str
+    n_threads: int
+    arrival_s: float
+    completion_s: float
+
+    @property
+    def response_time_s(self) -> float:
+        """Completion minus arrival."""
+        return self.completion_s - self.arrival_s
+
+
+@dataclass
+class TimeBreakdown:
+    """Where one thread's wall time went (Sniper-style time stack).
+
+    ``compute + stall + migration + wait`` accounts for every placed
+    interval; ``queued`` counts time before admission.
+    """
+
+    compute_s: float = 0.0
+    #: S-NUCA memory-stall share of busy time
+    stall_s: float = 0.0
+    #: migration debt (private-cache refill)
+    migration_s: float = 0.0
+    #: barrier wait (placed but no phase work)
+    wait_s: float = 0.0
+    #: waiting in the admission queue
+    queued_s: float = 0.0
+
+    @property
+    def total_s(self) -> float:
+        """Total accounted wall time."""
+        return (
+            self.compute_s
+            + self.stall_s
+            + self.migration_s
+            + self.wait_s
+            + self.queued_s
+        )
+
+    def fraction(self, component: str) -> float:
+        """Share of one component (``compute``/``stall``/``migration``/
+        ``wait``/``queued``) in the accounted time."""
+        total = self.total_s
+        if total <= 0:
+            return 0.0
+        value = getattr(self, f"{component}_s")
+        return value / total
+
+    def render(self) -> str:
+        total = self.total_s
+        if total <= 0:
+            return "(no time accounted)"
+        parts = []
+        for name in ("compute", "stall", "migration", "wait", "queued"):
+            value = getattr(self, f"{name}_s")
+            parts.append(f"{name} {value * 1e3:.1f} ms ({value / total:.0%})")
+        return "  ".join(parts)
+
+
+@dataclass
+class SimulationResult:
+    """Everything a finished simulation reports."""
+
+    scheduler_name: str
+    sim_time_s: float
+    tasks: List[TaskRecord] = field(default_factory=list)
+    trace: Optional[ThermalTrace] = None
+    #: count of DTM trigger events (cool -> throttled transitions)
+    dtm_triggers: int = 0
+    #: core-seconds spent DTM-throttled
+    dtm_core_time_s: float = 0.0
+    migration_count: int = 0
+    migration_penalty_s: float = 0.0
+    #: total chip energy [J]
+    energy_j: float = 0.0
+    #: wall-clock spent inside scheduler decisions [s] (overhead study)
+    scheduler_wall_time_s: float = 0.0
+    scheduler_invocations: int = 0
+    annotations: Dict[str, float] = field(default_factory=dict)
+    #: per-thread wall-time breakdown (thread id -> TimeBreakdown)
+    time_breakdown: Dict[str, "TimeBreakdown"] = field(default_factory=dict)
+
+    # -- derived metrics -----------------------------------------------------
+
+    @property
+    def makespan_s(self) -> float:
+        """Completion time of the last task (closed-system metric)."""
+        if not self.tasks:
+            raise ValueError("no completed tasks")
+        return max(t.completion_s for t in self.tasks)
+
+    @property
+    def mean_response_time_s(self) -> float:
+        """Average task response time (open-system metric)."""
+        if not self.tasks:
+            raise ValueError("no completed tasks")
+        return float(np.mean([t.response_time_s for t in self.tasks]))
+
+    @property
+    def peak_temperature_c(self) -> float:
+        """Hottest observed core temperature."""
+        if self.trace is None or len(self.trace) == 0:
+            raise ValueError("no thermal trace recorded")
+        return self.trace.peak()
+
+    def time_above_c(self, threshold_c: float) -> float:
+        """Time any core spent above ``threshold_c``."""
+        if self.trace is None:
+            return 0.0
+        return self.trace.time_above(threshold_c)
+
+    def response_time_of(self, task_id: int) -> float:
+        """Response time of one task."""
+        for record in self.tasks:
+            if record.task_id == task_id:
+                return record.response_time_s
+        raise KeyError(f"task {task_id} not completed")
+
+    def mean_scheduler_overhead_s(self) -> float:
+        """Mean wall-clock time of one scheduler invocation."""
+        if self.scheduler_invocations == 0:
+            return 0.0
+        return self.scheduler_wall_time_s / self.scheduler_invocations
+
+    def aggregate_breakdown(self) -> "TimeBreakdown":
+        """Chip-wide time stack: the per-thread breakdowns summed."""
+        total = TimeBreakdown()
+        for breakdown in self.time_breakdown.values():
+            total.compute_s += breakdown.compute_s
+            total.stall_s += breakdown.stall_s
+            total.migration_s += breakdown.migration_s
+            total.wait_s += breakdown.wait_s
+            total.queued_s += breakdown.queued_s
+        return total
+
+    def summary(self) -> str:
+        """One-paragraph human-readable digest."""
+        lines = [
+            f"scheduler={self.scheduler_name}  sim_time={self.sim_time_s * 1e3:.1f} ms",
+            f"tasks completed: {len(self.tasks)}",
+        ]
+        if self.tasks:
+            lines.append(
+                f"makespan={self.makespan_s * 1e3:.1f} ms  "
+                f"mean response={self.mean_response_time_s * 1e3:.1f} ms"
+            )
+        if self.trace is not None and len(self.trace):
+            lines.append(f"peak temperature={self.peak_temperature_c:.2f} C")
+        lines.append(
+            f"DTM triggers={self.dtm_triggers}  "
+            f"throttled core-time={self.dtm_core_time_s * 1e3:.1f} ms"
+        )
+        lines.append(
+            f"migrations={self.migration_count}  "
+            f"penalty={self.migration_penalty_s * 1e3:.2f} ms  "
+            f"energy={self.energy_j:.1f} J"
+        )
+        return "\n".join(lines)

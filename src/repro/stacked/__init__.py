@@ -1,0 +1,27 @@
+"""3D-stacked S-NUCA extension (paper Section VII future work).
+
+The analytic rotation machinery of Section IV only requires the Eq. (1)
+model structure, which the stacked RC network preserves — so synchronous
+rotation transfers to 3D unchanged, including *vertical* rotation through
+a stacked column, which averages the layer gradient the same way 2D
+rotation averages lateral hotspots.  See
+:mod:`repro.experiments.stacked3d`.
+"""
+
+from .mesh3d import Amd3dRings, Mesh3D, amd3d_vector
+from .rc_model3d import (
+    StackedMaterialStack,
+    StackedRCModel,
+    build_rc_model_3d,
+    default_stacked_stack,
+)
+
+__all__ = [
+    "Amd3dRings",
+    "Mesh3D",
+    "StackedMaterialStack",
+    "StackedRCModel",
+    "amd3d_vector",
+    "build_rc_model_3d",
+    "default_stacked_stack",
+]

@@ -1,0 +1,175 @@
+"""3D-stacked mesh topology (paper Section VII future work, CoMeT-style).
+
+A 3D S-NUCA many-core stacks ``layers`` identical ``width x height`` core
+meshes; vertical hops traverse TSVs.  Core ids are layer-major:
+``core = layer * width * height + row * width + col``.
+
+The 3D Manhattan distance weights vertical hops by ``tsv_hop_weight``
+(TSVs are short — typically cheaper than a lateral hop), and the 3D AMD
+generalizes the 2D definition: the mean weighted distance to every LLC
+bank in the stack.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+
+class Mesh3D:
+    """A ``width x height x layers`` stacked mesh with TSV links."""
+
+    def __init__(
+        self,
+        width: int,
+        height: int,
+        layers: int,
+        tsv_hop_weight: float = 0.5,
+    ):
+        if width < 1 or height < 1 or layers < 1:
+            raise ValueError("mesh dimensions must be at least 1")
+        if tsv_hop_weight <= 0:
+            raise ValueError("TSV hop weight must be positive")
+        self.width = width
+        self.height = height
+        self.layers = layers
+        self.tsv_hop_weight = tsv_hop_weight
+
+    @property
+    def cores_per_layer(self) -> int:
+        """Cores in one layer."""
+        return self.width * self.height
+
+    @property
+    def n_cores(self) -> int:
+        """Total cores in the stack."""
+        return self.cores_per_layer * self.layers
+
+    # -- indexing -------------------------------------------------------------
+
+    def position(self, core_id: int) -> Tuple[int, int, int]:
+        """``(layer, row, col)`` of a core."""
+        if not (0 <= core_id < self.n_cores):
+            raise IndexError(f"core {core_id} outside 0..{self.n_cores - 1}")
+        layer, rest = divmod(core_id, self.cores_per_layer)
+        row, col = divmod(rest, self.width)
+        return layer, row, col
+
+    def core_at(self, layer: int, row: int, col: int) -> int:
+        """Core id at ``(layer, row, col)``."""
+        if not (
+            0 <= layer < self.layers
+            and 0 <= row < self.height
+            and 0 <= col < self.width
+        ):
+            raise IndexError(f"({layer}, {row}, {col}) outside the stack")
+        return layer * self.cores_per_layer + row * self.width + col
+
+    def layer_of(self, core_id: int) -> int:
+        """Layer index (0 = closest to the heat sink)."""
+        return self.position(core_id)[0]
+
+    def stacked_column(self, core_id: int) -> List[int]:
+        """The cores vertically aligned with ``core_id``, all layers."""
+        _, row, col = self.position(core_id)
+        return [self.core_at(layer, row, col) for layer in range(self.layers)]
+
+    # -- distances ------------------------------------------------------------
+
+    def distance(self, a: int, b: int) -> float:
+        """Weighted 3D Manhattan distance (TSV hops weighted)."""
+        la, ra, ca = self.position(a)
+        lb, rb, cb = self.position(b)
+        lateral = abs(ra - rb) + abs(ca - cb)
+        vertical = abs(la - lb) * self.tsv_hop_weight
+        return lateral + vertical
+
+    def neighbors(self, core_id: int) -> List[int]:
+        """Cores one (lateral or vertical) hop away."""
+        layer, row, col = self.position(core_id)
+        result = []
+        for dl, dr, dc in (
+            (0, -1, 0),
+            (0, 1, 0),
+            (0, 0, -1),
+            (0, 0, 1),
+            (-1, 0, 0),
+            (1, 0, 0),
+        ):
+            nl, nr, nc = layer + dl, row + dr, col + dc
+            if 0 <= nl < self.layers and 0 <= nr < self.height and 0 <= nc < self.width:
+                result.append(self.core_at(nl, nr, nc))
+        return result
+
+    def __repr__(self) -> str:
+        return f"Mesh3D({self.width}x{self.height}x{self.layers})"
+
+
+def amd3d_vector(mesh: Mesh3D) -> np.ndarray:
+    """3D AMD of every core: mean weighted distance to every bank."""
+    n = mesh.n_cores
+    amd = np.empty(n)
+    for core in range(n):
+        amd[core] = (
+            sum(mesh.distance(core, other) for other in range(n)) / n
+        )
+    return amd
+
+
+class Amd3dRings:
+    """Concentric 3D-AMD rings (the 2D decomposition generalized).
+
+    In a stack, cores with equal 3D AMD can sit in *different layers* —
+    performance-equivalent but **not** thermally equivalent (upper layers
+    are farther from the sink).  :meth:`thermally_homogeneous` exposes
+    whether each ring stays within one layer; HotPotato's 2D premise (one
+    ring = one thermal class) holds only when it does.
+    """
+
+    _TOLERANCE = 1e-9
+
+    def __init__(self, mesh: Mesh3D):
+        self.mesh = mesh
+        self.amd = amd3d_vector(mesh)
+        order = np.argsort(self.amd, kind="stable")
+        rings: List[List[int]] = []
+        values: List[float] = []
+        for core in order:
+            value = float(self.amd[core])
+            if values and abs(value - values[-1]) < self._TOLERANCE:
+                rings[-1].append(int(core))
+            else:
+                rings.append([int(core)])
+                values.append(value)
+        self._rings = [tuple(sorted(r)) for r in rings]
+        self._values = values
+
+    @property
+    def n_rings(self) -> int:
+        """Number of distinct 3D-AMD values."""
+        return len(self._rings)
+
+    def ring(self, index: int) -> Sequence[int]:
+        """Cores of ring ``index``."""
+        return self._rings[index]
+
+    def ring_value(self, index: int) -> float:
+        """The 3D AMD shared by ring ``index``."""
+        return self._values[index]
+
+    def capacity(self, index: int) -> int:
+        """Number of cores in ring ``index``."""
+        return len(self._rings[index])
+
+    def layers_of_ring(self, index: int) -> Tuple[int, ...]:
+        """Distinct layers the ring's cores occupy."""
+        return tuple(sorted({self.mesh.layer_of(c) for c in self._rings[index]}))
+
+    def thermally_homogeneous(self, index: int) -> bool:
+        """True when the ring stays within a single layer."""
+        return len(self.layers_of_ring(index)) == 1
+
+    def ring_layer_summary(self) -> Dict[int, Tuple[int, ...]]:
+        """Ring index -> layers it spans (the 2D-premise diagnostic)."""
+        return {i: self.layers_of_ring(i) for i in range(self.n_rings)}

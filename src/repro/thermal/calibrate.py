@@ -1,0 +1,112 @@
+"""Calibration of the RC model against the paper's operating points.
+
+The paper does not publish its HotSpot configuration, only the operating
+points its plots exhibit.  We therefore anchor the material stack's two free
+knobs (the silicon->spreader conductance scale and the lateral conductance
+scale) to two published observations:
+
+1. **Motivational hotspot (Fig. 2a).**  A single active *blackscholes*
+   thread at peak frequency on a centre core of the 16-core chip drives that
+   core to ~80 degC (10 degC above the 70 degC threshold) while the other
+   cores idle at 0.3 W.
+
+2. **Full-load sustainability (Table I platform).**  The 64-core chip can
+   sustain a uniform per-core power of ``UNIFORM_SUSTAINABLE_POWER_W`` right
+   at the 70 degC threshold.  This pins the Thermal Safe Power scale of the
+   evaluation platform so that TSP-driven DVFS lands mid-frequency-range,
+   as in the paper's baseline.
+
+Both anchors are steady-state solves, so calibration costs a handful of
+linear solves and is performed once per process (cached).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+import scipy.optimize
+
+from ..config import SystemConfig, motivational, table1
+from .floorplan import Floorplan
+from .rc_model import MaterialStack, RCThermalModel, build_rc_model
+
+#: Power of one fully active compute-bound (blackscholes-class) thread at
+#: 4 GHz.  Shared with the workload profiles.
+HOT_THREAD_POWER_W = 8.0
+
+#: Anchor 1: steady peak of the single-hot-core scenario on the 16-core chip.
+MOTIVATIONAL_PEAK_C = 80.0
+
+#: Anchor 2: uniform per-core power the 64-core chip sustains at exactly the
+#: DTM threshold.  Sits between the duty-cycled average of a hot PARSEC
+#: thread (~4.4 W) and its burst power (8 W): rotation-averaged hot threads
+#: are (just) sustainable at f_max, while statically placed bursts are not —
+#: the regime the paper's evaluation exercises.
+UNIFORM_SUSTAINABLE_POWER_W = 4.5
+
+
+def _scenario_peaks(
+    stack: MaterialStack, idle_power_w: float, ambient_c: float
+) -> np.ndarray:
+    """Steady-state peak core temperature of the two anchor scenarios."""
+    moti = motivational()
+    fp16 = Floorplan(moti.mesh_width, moti.mesh_height, moti.core_area_m2)
+    model16 = build_rc_model(fp16, stack)
+    power16 = np.full(fp16.n_cores, idle_power_w)
+    power16[5] = HOT_THREAD_POWER_W
+    peak16 = np.max(
+        model16.core_temperatures(model16.steady_state(power16, ambient_c))
+    )
+
+    eva = table1()
+    fp64 = Floorplan(eva.mesh_width, eva.mesh_height, eva.core_area_m2)
+    model64 = build_rc_model(fp64, stack)
+    power64 = np.full(fp64.n_cores, UNIFORM_SUSTAINABLE_POWER_W)
+    peak64 = np.max(
+        model64.core_temperatures(model64.steady_state(power64, ambient_c))
+    )
+    return np.array([peak16, peak64])
+
+
+@lru_cache(maxsize=8)
+def _solve_knobs(idle_power_w: float, ambient_c: float, dtm_c: float) -> tuple:
+    base = MaterialStack()
+    targets = np.array([MOTIVATIONAL_PEAK_C, dtm_c])
+
+    def residual(log_knobs: np.ndarray) -> np.ndarray:
+        vertical_scale, lateral_scale = np.exp(log_knobs)
+        stack = base.with_knobs(vertical_scale, lateral_scale)
+        return _scenario_peaks(stack, idle_power_w, ambient_c) - targets
+
+    start = np.log([base.vertical_scale, base.lateral_scale])
+    solution, info, status, message = scipy.optimize.fsolve(
+        residual, start, full_output=True
+    )
+    if status != 1:
+        raise RuntimeError(f"thermal calibration failed to converge: {message}")
+    vertical_scale, lateral_scale = np.exp(solution)
+    return float(vertical_scale), float(lateral_scale)
+
+
+def calibrated_stack(config: SystemConfig = None) -> MaterialStack:
+    """The material stack with knobs solved to hit both anchors.
+
+    The result is cached per (idle power, ambient, threshold) triple; the
+    default configuration resolves in a few milliseconds.
+    """
+    if config is None:
+        config = table1()
+    thermal = config.thermal
+    vertical_scale, sink_r = _solve_knobs(
+        thermal.idle_power_w, thermal.ambient_c, thermal.dtm_threshold_c
+    )
+    return MaterialStack().with_knobs(vertical_scale, sink_r)
+
+
+def calibrated_model(config: SystemConfig = None) -> RCThermalModel:
+    """Build the RC model for ``config`` using the calibrated stack."""
+    if config is None:
+        config = table1()
+    floorplan = Floorplan(config.mesh_width, config.mesh_height, config.core_area_m2)
+    return build_rc_model(floorplan, calibrated_stack(config))

@@ -1,0 +1,140 @@
+"""Grid floorplan of a many-core die.
+
+The paper's platform is a mesh of micro-architecturally homogeneous cores,
+each occupying 0.81 mm^2 (Table I).  The floorplan assigns each core a square
+block in a ``width x height`` grid and exposes the geometric queries the RC
+thermal model needs: block positions, areas and adjacency (which blocks share
+an edge and therefore exchange heat laterally).
+
+Core numbering is row-major, matching Fig. 1 of the paper: core 0 is the
+top-left corner, core ``width-1`` the top-right, and core
+``width*height - 1`` the bottom-right.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+
+@dataclass(frozen=True)
+class CoreBlock:
+    """One square core block in the floorplan."""
+
+    core_id: int
+    row: int
+    col: int
+    #: centre coordinates in metres
+    x_m: float
+    y_m: float
+    edge_m: float
+
+    @property
+    def area_m2(self) -> float:
+        """Silicon area of the block."""
+        return self.edge_m * self.edge_m
+
+
+class Floorplan:
+    """A ``width x height`` grid of square core blocks.
+
+    Parameters
+    ----------
+    width, height:
+        Mesh dimensions in cores.
+    core_area_m2:
+        Area of one core block; Table I uses ``0.81 mm^2``.
+    """
+
+    def __init__(self, width: int, height: int, core_area_m2: float = 0.81e-6):
+        if width < 1 or height < 1:
+            raise ValueError("floorplan dimensions must be at least 1x1")
+        if core_area_m2 <= 0:
+            raise ValueError("core area must be positive")
+        self.width = width
+        self.height = height
+        self.core_area_m2 = core_area_m2
+        self.core_edge_m = math.sqrt(core_area_m2)
+        self._blocks: List[CoreBlock] = []
+        for row in range(height):
+            for col in range(width):
+                core_id = row * width + col
+                self._blocks.append(
+                    CoreBlock(
+                        core_id=core_id,
+                        row=row,
+                        col=col,
+                        x_m=(col + 0.5) * self.core_edge_m,
+                        y_m=(row + 0.5) * self.core_edge_m,
+                        edge_m=self.core_edge_m,
+                    )
+                )
+
+    # -- basic queries --------------------------------------------------
+
+    @property
+    def n_cores(self) -> int:
+        """Number of core blocks."""
+        return self.width * self.height
+
+    @property
+    def die_area_m2(self) -> float:
+        """Total die area covered by core blocks."""
+        return self.n_cores * self.core_area_m2
+
+    def block(self, core_id: int) -> CoreBlock:
+        """The block of core ``core_id``."""
+        return self._blocks[core_id]
+
+    def blocks(self) -> Iterator[CoreBlock]:
+        """Iterate over all blocks in core-id order."""
+        return iter(self._blocks)
+
+    def core_at(self, row: int, col: int) -> int:
+        """Core id at grid position ``(row, col)``."""
+        if not (0 <= row < self.height and 0 <= col < self.width):
+            raise IndexError(f"({row}, {col}) outside {self.height}x{self.width} grid")
+        return row * self.width + col
+
+    def position(self, core_id: int) -> Tuple[int, int]:
+        """Grid position ``(row, col)`` of core ``core_id``."""
+        if not (0 <= core_id < self.n_cores):
+            raise IndexError(f"core {core_id} outside 0..{self.n_cores - 1}")
+        return divmod(core_id, self.width)
+
+    # -- adjacency --------------------------------------------------------
+
+    def neighbors(self, core_id: int) -> List[int]:
+        """Cores sharing an edge with ``core_id`` (N, S, W, E order)."""
+        row, col = self.position(core_id)
+        result = []
+        if row > 0:
+            result.append(self.core_at(row - 1, col))
+        if row < self.height - 1:
+            result.append(self.core_at(row + 1, col))
+        if col > 0:
+            result.append(self.core_at(row, col - 1))
+        if col < self.width - 1:
+            result.append(self.core_at(row, col + 1))
+        return result
+
+    def lateral_pairs(self) -> List[Tuple[int, int]]:
+        """All unordered adjacent core pairs ``(low_id, high_id)``."""
+        pairs = []
+        for core_id in range(self.n_cores):
+            for other in self.neighbors(core_id):
+                if other > core_id:
+                    pairs.append((core_id, other))
+        return pairs
+
+    def is_boundary(self, core_id: int) -> bool:
+        """True when the core sits on the die boundary."""
+        row, col = self.position(core_id)
+        return row in (0, self.height - 1) or col in (0, self.width - 1)
+
+    def __repr__(self) -> str:
+        return (
+            f"Floorplan({self.width}x{self.height}, "
+            f"core_area={self.core_area_m2 * 1e6:.2f} mm^2)"
+        )

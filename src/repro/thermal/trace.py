@@ -1,0 +1,164 @@
+"""Thermal trace recording and statistics.
+
+A :class:`ThermalTrace` collects time-stamped per-core temperature samples
+during a simulation (or an analytical sweep) and answers the questions the
+paper's figures ask: peak temperature, threshold violations, and per-core
+series (Fig. 2 plots exactly such traces).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class ThermalTrace:
+    """An append-only series of per-core temperature samples."""
+
+    def __init__(self, n_cores: int):
+        if n_cores < 1:
+            raise ValueError("need at least one core")
+        self.n_cores = n_cores
+        self._times: List[float] = []
+        self._temps: List[np.ndarray] = []
+
+    def record(self, time_s: float, core_temps_c: Sequence[float]) -> None:
+        """Append one sample; times must be non-decreasing."""
+        temps = np.asarray(core_temps_c, dtype=float)
+        if temps.shape != (self.n_cores,):
+            raise ValueError(
+                f"expected {self.n_cores} temperatures, got shape {temps.shape}"
+            )
+        if self._times and time_s < self._times[-1]:
+            raise ValueError("trace times must be non-decreasing")
+        self._times.append(float(time_s))
+        self._temps.append(temps.copy())
+
+    # -- views ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    @property
+    def times(self) -> np.ndarray:
+        """Sample times [s], shape ``(samples,)``."""
+        return np.array(self._times)
+
+    @property
+    def temperatures(self) -> np.ndarray:
+        """Samples, shape ``(samples, n_cores)``."""
+        if not self._temps:
+            return np.empty((0, self.n_cores))
+        return np.vstack(self._temps)
+
+    def core_series(self, core_id: int) -> np.ndarray:
+        """Temperature series of one core."""
+        if not (0 <= core_id < self.n_cores):
+            raise IndexError(f"core {core_id} out of range")
+        return self.temperatures[:, core_id]
+
+    # -- statistics ------------------------------------------------------------
+
+    def peak(self) -> float:
+        """Hottest temperature of any core at any sample."""
+        if not self._temps:
+            raise ValueError("trace is empty")
+        return float(np.max(self.temperatures))
+
+    def peak_per_core(self) -> np.ndarray:
+        """Per-core maximum over time."""
+        if not self._temps:
+            raise ValueError("trace is empty")
+        return np.max(self.temperatures, axis=0)
+
+    def hottest_core(self) -> int:
+        """Core that reaches the trace's peak temperature."""
+        return int(np.argmax(self.peak_per_core()))
+
+    def exceeds(self, threshold_c: float) -> bool:
+        """True when any sample exceeds ``threshold_c``."""
+        return len(self) > 0 and self.peak() > threshold_c
+
+    def time_above(self, threshold_c: float) -> float:
+        """Total time any core spends above ``threshold_c``.
+
+        Integrated with a right-continuous (sample-and-hold) rule over the
+        sample intervals, matching how interval simulators hold temperatures
+        between samples.
+        """
+        if len(self) < 2:
+            return 0.0
+        times = self.times
+        hot = np.max(self.temperatures, axis=1) > threshold_c
+        return float(np.sum(np.diff(times)[hot[:-1]]))
+
+    def violations(self, threshold_c: float) -> List[Tuple[float, int, float]]:
+        """All samples above threshold as ``(time, core, temperature)``."""
+        result = []
+        temps = self.temperatures
+        for idx, time_s in enumerate(self._times):
+            over = np.nonzero(temps[idx] > threshold_c)[0]
+            for core in over:
+                result.append((time_s, int(core), float(temps[idx, core])))
+        return result
+
+    def window(self, t_start_s: float, t_end_s: float) -> "ThermalTrace":
+        """Sub-trace restricted to ``[t_start_s, t_end_s]``."""
+        sub = ThermalTrace(self.n_cores)
+        for time_s, temps in zip(self._times, self._temps):
+            if t_start_s <= time_s <= t_end_s:
+                sub.record(time_s, temps)
+        return sub
+
+    def render_ascii(
+        self,
+        core_ids: Optional[Sequence[int]] = None,
+        width: int = 72,
+        height: int = 16,
+        threshold_c: Optional[float] = None,
+    ) -> str:
+        """Plain-text plot of selected core series (for terminal reports)."""
+        if not self._temps:
+            return "(empty trace)"
+        if core_ids is None:
+            core_ids = [self.hottest_core()]
+        temps = self.temperatures
+        t_lo = float(np.min(temps[:, core_ids]))
+        t_hi = float(np.max(temps[:, core_ids]))
+        if threshold_c is not None:
+            t_lo = min(t_lo, threshold_c)
+            t_hi = max(t_hi, threshold_c)
+        if t_hi - t_lo < 1e-9:
+            t_hi = t_lo + 1.0
+        grid = [[" "] * width for _ in range(height)]
+        times = self.times
+        t_span = max(times[-1] - times[0], 1e-12)
+        marks = "0123456789"
+        for series_idx, core in enumerate(core_ids):
+            mark = marks[series_idx % len(marks)]
+            for time_s, temp in zip(times, temps[:, core]):
+                x = int((time_s - times[0]) / t_span * (width - 1))
+                y = int((temp - t_lo) / (t_hi - t_lo) * (height - 1))
+                grid[height - 1 - y][x] = mark
+        if threshold_c is not None:
+            y = int((threshold_c - t_lo) / (t_hi - t_lo) * (height - 1))
+            row = grid[height - 1 - y]
+            for x in range(width):
+                if row[x] == " ":
+                    row[x] = "-"
+        lines = [
+            f"{t_hi:7.2f} C |" + "".join(grid[0]),
+        ]
+        lines += ["          |" + "".join(row) for row in grid[1:-1]]
+        lines.append(f"{t_lo:7.2f} C |" + "".join(grid[-1]))
+        lines.append(
+            "          +"
+            + "-" * width
+            + f"  t in [{times[0]*1e3:.1f}, {times[-1]*1e3:.1f}] ms"
+        )
+        legend = ", ".join(
+            f"{marks[i % len(marks)]}=core {core}" for i, core in enumerate(core_ids)
+        )
+        lines.append(f"           {legend}")
+        return "\n".join(lines)

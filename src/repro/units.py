@@ -1,0 +1,88 @@
+"""Physical unit helpers and constants.
+
+All internal computation uses SI base units:
+
+- time in seconds,
+- temperature in Kelvin (conversion helpers to/from Celsius below),
+- power in Watts,
+- energy in Joules,
+- length in meters,
+- frequency in Hertz.
+
+The paper quotes temperatures in degrees Celsius (ambient 45 degC, DTM
+threshold 70 degC).  Because the RC thermal model is linear, temperature
+*differences* are identical in both scales; only absolute values need the
+273.15 offset.  We keep everything in Celsius-compatible "degrees above an
+absolute reference" by working directly in Celsius: the model equations only
+ever involve differences from ambient, so this is exact.
+"""
+
+from __future__ import annotations
+
+# -- temperature ------------------------------------------------------------
+
+KELVIN_OFFSET = 273.15
+
+
+def celsius_to_kelvin(temp_c: float) -> float:
+    """Convert a temperature from degrees Celsius to Kelvin."""
+    return temp_c + KELVIN_OFFSET
+
+
+def kelvin_to_celsius(temp_k: float) -> float:
+    """Convert a temperature from Kelvin to degrees Celsius."""
+    return temp_k - KELVIN_OFFSET
+
+
+# -- time -------------------------------------------------------------------
+
+MILLISECONDS = 1e-3
+MICROSECONDS = 1e-6
+NANOSECONDS = 1e-9
+
+
+def ms(value: float) -> float:
+    """Milliseconds expressed in seconds."""
+    return value * MILLISECONDS
+
+
+def us(value: float) -> float:
+    """Microseconds expressed in seconds."""
+    return value * MICROSECONDS
+
+
+def ns(value: float) -> float:
+    """Nanoseconds expressed in seconds."""
+    return value * NANOSECONDS
+
+
+# -- frequency --------------------------------------------------------------
+
+GHZ = 1e9
+MHZ = 1e6
+
+
+def ghz(value: float) -> float:
+    """Gigahertz expressed in Hertz."""
+    return value * GHZ
+
+
+def mhz(value: float) -> float:
+    """Megahertz expressed in Hertz."""
+    return value * MHZ
+
+
+# -- length / area ----------------------------------------------------------
+
+MILLIMETERS = 1e-3
+MM2 = 1e-6  # square millimetres in square metres
+
+
+def mm(value: float) -> float:
+    """Millimetres expressed in metres."""
+    return value * MILLIMETERS
+
+
+def mm2(value: float) -> float:
+    """Square millimetres expressed in square metres."""
+    return value * MM2

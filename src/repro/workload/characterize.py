@@ -1,0 +1,120 @@
+"""Analytic workload characterization.
+
+Derives, from a benchmark profile alone, the aggregate quantities the
+thermal analysis turns on — duty cycle (share of wall time a thread
+computes, given the barrier-phase structure) and time-averaged core power.
+These are the numbers that decide which regime a benchmark lands in:
+
+- ``avg power <= uniform-sustainable`` → rotation keeps it at f_max
+  (HotPotato's winning case);
+- ``burst power > TSP budget`` → PCMig's DVFS throttles it
+  (the gap HotPotato exploits);
+- both below → thermally trivial (canneal: nothing to win).
+
+Used for maintaining the profile calibration and by the docs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..config import SystemConfig, table1
+from ..power.model import PowerModel
+from .benchmarks import PARSEC, BenchmarkProfile
+
+
+def duty_cycle(profile: BenchmarkProfile, n_threads: int, seed: int = 0) -> float:
+    """Fraction of wall time the average thread spends computing.
+
+    With barrier semantics each phase's wall time is proportional to its
+    largest per-thread share (all threads run at equal speed on equal
+    cores); a thread computes for its own share and waits the rest.
+    """
+    phases = profile.build_phases(n_threads, seed)
+    total_wall = 0.0
+    total_busy = 0.0
+    for phase in phases:
+        phase = np.asarray(phase, dtype=float)
+        bottleneck = float(np.max(phase))
+        if bottleneck <= 0:
+            continue
+        total_wall += bottleneck * n_threads
+        total_busy += float(np.sum(phase))
+    if total_wall == 0:
+        return 0.0
+    return total_busy / total_wall
+
+
+@dataclass(frozen=True)
+class BenchmarkCharacter:
+    """Aggregate thermal character of one benchmark."""
+
+    name: str
+    burst_power_w: float
+    duty: float
+    average_power_w: float
+    stall_fraction: float
+
+    def regime(self, sustainable_w: float, budget_w: float) -> str:
+        """Which evaluation regime the benchmark lands in."""
+        if self.burst_power_w <= budget_w:
+            return "thermally-trivial"
+        if self.average_power_w <= sustainable_w:
+            return "rotation-wins"
+        return "overloaded"
+
+
+def characterize(
+    profile: BenchmarkProfile,
+    n_threads: int = 8,
+    config: Optional[SystemConfig] = None,
+    seed: int = 0,
+) -> BenchmarkCharacter:
+    """Compute the benchmark's aggregate thermal character.
+
+    Power figures use the mesh-average stall fraction at f_max (stall time
+    burns only a fraction of active power).
+    """
+    cfg = config if config is not None else table1()
+    pm = PowerModel(cfg.dvfs, cfg.thermal)
+    duty = duty_cycle(profile, n_threads, seed)
+
+    # a mid-mesh LLC latency: AMD of an average core ~ half the diameter
+    mid_amd = (cfg.mesh_width + cfg.mesh_height) / 4.0
+    llc_latency = (
+        cfg.noc.round_trip_factor * mid_amd * cfg.noc.hop_latency_s
+        + cfg.noc.bank_access_latency_s
+        + cfg.noc.hop_latency_s  # payload flit
+    )
+    compute = profile.base_cpi / cfg.dvfs.f_max_hz
+    memory = profile.llc_misses_per_instr * llc_latency
+    stall_fraction = memory / (compute + memory)
+
+    burst = pm.core_power_w(
+        profile.p_dyn_ref_w,
+        cfg.dvfs.f_max_hz,
+        1.0 - stall_fraction,
+        stall_fraction,
+    )
+    idle = pm.idle_power_w(cfg.dvfs.f_max_hz)
+    average = duty * burst + (1.0 - duty) * idle
+    return BenchmarkCharacter(
+        name=profile.name,
+        burst_power_w=burst,
+        duty=duty,
+        average_power_w=average,
+        stall_fraction=stall_fraction,
+    )
+
+
+def characterization_table(
+    n_threads: int = 8, config: Optional[SystemConfig] = None
+) -> Dict[str, BenchmarkCharacter]:
+    """Characterize every evaluated PARSEC benchmark."""
+    return {
+        name: characterize(profile, n_threads, config)
+        for name, profile in PARSEC.items()
+    }

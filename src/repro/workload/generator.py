@@ -1,0 +1,134 @@
+"""Workload generators for the paper's two evaluation campaigns.
+
+- **Homogeneous closed system** (Fig. 4a): the 64-core chip is fully loaded
+  with vari-sized multi-threaded instances of one benchmark, all arriving at
+  time zero.
+- **Heterogeneous open system** (Fig. 4b): a random 20-benchmark
+  multi-program workload whose tasks arrive following a Poisson process; the
+  arrival rate sweeps the system from under- to over-loaded.
+
+Generators emit :class:`TaskSpec` lists (pure descriptions); experiments
+materialize them into :class:`~repro.workload.task.Task` objects.  All
+randomness is seeded for reproducibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .benchmarks import PARSEC, BenchmarkProfile, parsec_profile
+from .task import Task
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """Description of one task instance to be created."""
+
+    profile: BenchmarkProfile
+    n_threads: int
+    arrival_time_s: float = 0.0
+    seed: int = 0
+    #: multiplier on all phase instruction counts (longer inputs)
+    work_scale: float = 1.0
+
+    def materialize(self, task_id: int) -> Task:
+        """Create the runnable :class:`Task`."""
+        return Task(
+            task_id,
+            self.profile,
+            self.n_threads,
+            arrival_time_s=self.arrival_time_s,
+            seed=self.seed,
+            work_scale=self.work_scale,
+        )
+
+
+def materialize(specs: Sequence[TaskSpec]) -> List[Task]:
+    """Create tasks from specs with sequential ids (arrival order)."""
+    ordered = sorted(specs, key=lambda s: s.arrival_time_s)
+    return [spec.materialize(task_id) for task_id, spec in enumerate(ordered)]
+
+
+def homogeneous_fill(
+    benchmark: str, n_cores: int, seed: int = 0, work_scale: float = 1.0
+) -> List[TaskSpec]:
+    """Vari-sized instances of one benchmark exactly filling ``n_cores``.
+
+    Thread counts are drawn from the profile's options; the remainder is
+    topped up with the largest option that still fits (and a final instance
+    sized to the exact residue, which may fall outside the options).
+    """
+    profile = parsec_profile(benchmark)
+    rng = np.random.default_rng(seed)
+    specs: List[TaskSpec] = []
+    remaining = n_cores
+    while remaining > 0:
+        fitting = [n for n in profile.thread_options if n <= remaining]
+        size = int(rng.choice(fitting)) if fitting else remaining
+        specs.append(
+            TaskSpec(
+                profile,
+                size,
+                0.0,
+                seed=int(rng.integers(1 << 31)),
+                work_scale=work_scale,
+            )
+        )
+        remaining -= size
+    assert sum(s.n_threads for s in specs) == n_cores
+    return specs
+
+
+def random_mixed_workload(
+    n_tasks: int = 20,
+    seed: int = 0,
+    benchmarks: Optional[Sequence[str]] = None,
+    work_scale: float = 1.0,
+) -> List[TaskSpec]:
+    """The paper's random multi-program multi-threaded mix (Fig. 4b).
+
+    Benchmarks and thread counts are drawn uniformly from the evaluated
+    PARSEC set and each profile's thread options.
+    """
+    if n_tasks < 1:
+        raise ValueError("need at least one task")
+    names = list(benchmarks) if benchmarks is not None else list(PARSEC)
+    rng = np.random.default_rng(seed)
+    specs = []
+    for _ in range(n_tasks):
+        profile = parsec_profile(str(rng.choice(names)))
+        size = int(rng.choice(profile.thread_options))
+        specs.append(
+            TaskSpec(
+                profile,
+                size,
+                0.0,
+                seed=int(rng.integers(1 << 31)),
+                work_scale=work_scale,
+            )
+        )
+    return specs
+
+
+def poisson_arrivals(
+    specs: Sequence[TaskSpec], arrival_rate_per_s: float, seed: int = 0
+) -> List[TaskSpec]:
+    """Assign Poisson arrival times (exponential gaps) to a task list.
+
+    ``arrival_rate_per_s`` is the mean number of task arrivals per second;
+    sweeping it moves the open system between under- and over-load.
+    """
+    if arrival_rate_per_s <= 0:
+        raise ValueError("arrival rate must be positive")
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(1.0 / arrival_rate_per_s, size=len(specs))
+    arrivals = np.cumsum(gaps)
+    return [
+        TaskSpec(
+            spec.profile, spec.n_threads, float(at), spec.seed, spec.work_scale
+        )
+        for spec, at in zip(specs, arrivals)
+    ]

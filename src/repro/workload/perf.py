@@ -1,0 +1,102 @@
+"""S-NUCA performance model: thread speed as a function of core and frequency.
+
+The wall-clock time one instruction takes on core ``c`` at frequency ``f``
+decomposes into a frequency-scaled compute part and a frequency-independent
+memory part:
+
+    t_instr(c, f) = base_cpi / f  +  mpi * L_LLC(AMD(c))
+
+where ``mpi`` is the thread's LLC accesses per instruction and ``L_LLC`` the
+core's average S-NUCA access latency (affine in its AMD).  This single
+equation produces both published effects the paper builds on:
+
+- **DVFS hurts compute-bound threads** almost linearly (their time is
+  dominated by ``base_cpi / f``) while barely helping memory-bound ones;
+- **low-AMD rings help memory-bound threads** most — which is why
+  HotPotato migrates the highest-CPI thread inward first (Algorithm 2).
+
+The model also splits wall time into compute/stall fractions for the power
+model.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..config import CacheConfig, DvfsConfig, NocConfig
+from ..arch.snuca import SnucaCache
+from ..arch.topology import Mesh
+from .benchmarks import BenchmarkProfile
+
+
+class PerformanceModel:
+    """Per-(thread profile, core, frequency) timing queries."""
+
+    def __init__(
+        self,
+        mesh: Mesh,
+        cache_config: CacheConfig = None,
+        noc_config: NocConfig = None,
+        dvfs_config: DvfsConfig = None,
+    ):
+        self.mesh = mesh
+        self.dvfs = dvfs_config if dvfs_config is not None else DvfsConfig()
+        self.snuca = SnucaCache(mesh, cache_config, noc_config)
+        self._llc_latency = self.snuca.latency_vector_s()
+
+    def llc_latency_s(self, core: int) -> float:
+        """Average LLC access latency of ``core`` [s]."""
+        return float(self._llc_latency[core])
+
+    # -- timing ----------------------------------------------------------------
+
+    def time_per_instruction_s(
+        self, profile: BenchmarkProfile, core: int, f_hz: float
+    ) -> float:
+        """Mean wall-clock time per retired instruction."""
+        if f_hz <= 0:
+            raise ValueError("frequency must be positive")
+        compute = profile.base_cpi / f_hz
+        memory = profile.llc_misses_per_instr * self._llc_latency[core]
+        return compute + memory
+
+    def instructions_in(
+        self, duration_s: float, profile: BenchmarkProfile, core: int, f_hz: float
+    ) -> float:
+        """Instructions retired in ``duration_s`` of uninterrupted execution."""
+        if duration_s < 0:
+            raise ValueError("duration must be non-negative")
+        return duration_s / self.time_per_instruction_s(profile, core, f_hz)
+
+    def effective_cpi(
+        self, profile: BenchmarkProfile, core: int, f_hz: float = None
+    ) -> float:
+        """Observed cycles per instruction, including S-NUCA stalls.
+
+        This is the CPI HotPotato sorts threads by: high CPI = memory-bound
+        = benefits most from a lower-AMD ring (and heats least).
+        """
+        if f_hz is None:
+            f_hz = self.dvfs.f_max_hz
+        return self.time_per_instruction_s(profile, core, f_hz) * f_hz
+
+    # -- activity split (for the power model) ------------------------------------
+
+    def activity_fractions(
+        self, profile: BenchmarkProfile, core: int, f_hz: float
+    ) -> Tuple[float, float]:
+        """``(compute_fraction, stall_fraction)`` of busy wall time."""
+        compute = profile.base_cpi / f_hz
+        memory = profile.llc_misses_per_instr * self._llc_latency[core]
+        total = compute + memory
+        return compute / total, memory / total
+
+    # -- ring-level helpers -------------------------------------------------------
+
+    def ring_speed_ratio(
+        self, profile: BenchmarkProfile, core_inner: int, core_outer: int, f_hz: float
+    ) -> float:
+        """Speedup of running on ``core_inner`` instead of ``core_outer``."""
+        inner = self.time_per_instruction_s(profile, core_inner, f_hz)
+        outer = self.time_per_instruction_s(profile, core_outer, f_hz)
+        return outer / inner

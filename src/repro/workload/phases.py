@@ -1,0 +1,147 @@
+"""Phase-structure builders for multi-threaded tasks.
+
+A task's execution is a sequence of **phases**; each phase assigns every
+thread an instruction count (possibly zero) and completes only when all of
+its threads have retired their share — threads that finish early (or have no
+work) wait at the phase barrier, burning idle power.  This reproduces the
+behaviour the paper's motivational example hinges on: in *blackscholes*,
+"only the master thread works ... and the slave thread is idle" (Fig. 2,
+phases 1-3), so heat alternates between cores and synchronous rotation can
+average it out.
+
+All builders are deterministic: imbalance comes from a seeded RNG so the
+same task profile always produces the same phase list.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+#: A phase is an array of per-thread instruction counts, shape (n_threads,).
+Phase = np.ndarray
+
+
+def _check(n_threads: int, total_instructions: float) -> None:
+    if n_threads < 1:
+        raise ValueError("need at least one thread")
+    if total_instructions <= 0:
+        raise ValueError("total instruction count must be positive")
+
+
+def master_slave(
+    n_threads: int,
+    total_instructions: float,
+    serial_fraction: float = 0.4,
+    n_rounds: int = 2,
+    seed: int = 0,
+) -> List[Phase]:
+    """Alternating serial (master-only) and parallel (slaves-only) phases.
+
+    ``n_rounds`` rounds of (serial, parallel) followed by a final serial
+    wrap-up — the structure of *blackscholes*' data-prepare / compute /
+    wrap-up cycle.  ``serial_fraction`` of all instructions retire in the
+    serial phases.
+    """
+    _check(n_threads, total_instructions)
+    if not (0.0 < serial_fraction < 1.0):
+        raise ValueError("serial fraction must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    serial_total = total_instructions * serial_fraction
+    parallel_total = total_instructions - serial_total
+    n_serial_phases = n_rounds + 1
+    phases: List[Phase] = []
+    for round_idx in range(n_rounds):
+        serial = np.zeros(n_threads)
+        serial[0] = serial_total / n_serial_phases
+        phases.append(serial)
+        parallel = np.zeros(n_threads)
+        if n_threads > 1:
+            shares = rng.uniform(0.9, 1.1, size=n_threads - 1)
+            shares = shares / shares.sum() * (parallel_total / n_rounds)
+            parallel[1:] = shares
+        else:
+            parallel[0] = parallel_total / n_rounds
+        phases.append(parallel)
+    final = np.zeros(n_threads)
+    final[0] = serial_total / n_serial_phases
+    phases.append(final)
+    return phases
+
+
+def data_parallel(
+    n_threads: int,
+    total_instructions: float,
+    n_barriers: int = 8,
+    imbalance: float = 0.15,
+    seed: int = 0,
+) -> List[Phase]:
+    """Barrier-synchronized equal-work phases with bounded imbalance.
+
+    Each phase hands every thread ``1 +- imbalance`` of the mean chunk.
+    Imbalance is what creates barrier-wait idleness (and hence rotation's
+    thermal averaging opportunity) in data-parallel codes.
+    """
+    _check(n_threads, total_instructions)
+    if n_barriers < 1:
+        raise ValueError("need at least one barrier interval")
+    if not (0.0 <= imbalance < 1.0):
+        raise ValueError("imbalance must be in [0, 1)")
+    rng = np.random.default_rng(seed)
+    per_phase = total_instructions / n_barriers
+    phases = []
+    for _ in range(n_barriers):
+        weights = rng.uniform(1.0 - imbalance, 1.0 + imbalance, size=n_threads)
+        weights = weights / weights.sum() * per_phase
+        phases.append(weights)
+    return phases
+
+
+def pipeline(
+    n_threads: int,
+    total_instructions: float,
+    n_chunks: int = 8,
+    stage_skew: float = 0.3,
+    bottleneck_boost: float = 0.5,
+    seed: int = 0,
+) -> List[Phase]:
+    """Software-pipeline shape (*dedup*, *x264*): a migrating bottleneck.
+
+    Per chunk-phase every stage gets ``1 +- stage_skew`` of the mean work
+    and one randomly chosen stage an extra ``1 + bottleneck_boost`` —
+    pipelines are throughput-limited by their slowest stage, which moves
+    with the data.  Non-bottleneck stages wait, creating the idleness that
+    makes pipeline codes relatively cool on average.
+    """
+    _check(n_threads, total_instructions)
+    if not (0.0 <= stage_skew < 1.0):
+        raise ValueError("stage skew must be in [0, 1)")
+    if bottleneck_boost < 0:
+        raise ValueError("bottleneck boost must be non-negative")
+    rng = np.random.default_rng(seed)
+    per_phase = total_instructions / n_chunks
+    phases = []
+    for _ in range(n_chunks):
+        weights = rng.uniform(1.0 - stage_skew, 1.0 + stage_skew, size=n_threads)
+        bottleneck = int(rng.integers(0, n_threads))
+        weights[bottleneck] *= 1.0 + bottleneck_boost
+        weights = weights / weights.sum() * per_phase
+        phases.append(weights)
+    return phases
+
+
+def streaming(
+    n_threads: int,
+    total_instructions: float,
+    n_barriers: int = 4,
+) -> List[Phase]:
+    """Perfectly balanced streaming phases (*streamcluster*, *canneal*).
+
+    No imbalance: every thread computes continuously, so there is little
+    idleness for rotation to average — these are the benchmarks the paper
+    reports the smallest gains on.
+    """
+    _check(n_threads, total_instructions)
+    per_phase = total_instructions / n_barriers / n_threads
+    return [np.full(n_threads, per_phase) for _ in range(n_barriers)]

@@ -1,0 +1,89 @@
+"""AMD values and concentric ring decomposition (paper Fig. 3)."""
+
+import numpy as np
+import pytest
+
+from repro.arch.amd import AmdRings, amd_vector, average_manhattan_distance
+from repro.arch.topology import Mesh
+
+
+class TestAmdValues:
+    def test_vectorized_matches_direct(self):
+        mesh = Mesh(5, 4)
+        vec = amd_vector(mesh)
+        for core in range(mesh.n_cores):
+            assert vec[core] == pytest.approx(
+                average_manhattan_distance(mesh, core)
+            )
+
+    def test_4x4_values(self):
+        """Hand-computed AMDs of the motivational platform."""
+        # core 5 (row 1, col 1): row distances sum 4 per column (x4 cols),
+        # col distances sum 4 per row (x4 rows) -> 32 / 16 = 2.0
+        vec = amd_vector(Mesh(4, 4))
+        assert vec[5] == pytest.approx(2.0)  # centre
+        assert vec[0] == pytest.approx(3.0)  # corner
+        assert vec[1] == pytest.approx(2.5)  # edge
+
+    def test_center_is_minimum(self):
+        for w, h in ((4, 4), (8, 8), (5, 3)):
+            mesh = Mesh(w, h)
+            vec = amd_vector(mesh)
+            centers = mesh.center_cores()
+            assert np.argmin(vec) in centers
+
+    def test_corner_is_maximum(self):
+        mesh = Mesh(8, 8)
+        vec = amd_vector(mesh)
+        corners = {0, 7, 56, 63}
+        assert int(np.argmax(vec)) in corners
+
+    def test_four_fold_symmetry(self):
+        mesh = Mesh(8, 8)
+        vec = amd_vector(mesh)
+        for row in range(8):
+            for col in range(8):
+                a = vec[mesh.core_at(row, col)]
+                assert a == pytest.approx(vec[mesh.core_at(7 - row, col)])
+                assert a == pytest.approx(vec[mesh.core_at(row, 7 - col)])
+                assert a == pytest.approx(vec[mesh.core_at(col, row)])
+
+
+class TestRings:
+    def test_8x8_ring_structure(self, rings64):
+        """The paper's evaluation platform has 9 concentric rings."""
+        assert rings64.n_rings == 9
+        sizes = [rings64.capacity(i) for i in range(9)]
+        assert sum(sizes) == 64
+        assert sizes[0] == 4  # the 4 centre cores
+
+    def test_4x4_ring_structure(self, rings16):
+        assert rings16.n_rings == 3
+        assert list(rings16.ring(0)) == [5, 6, 9, 10]  # Fig. 1 centre cores
+        assert rings16.capacity(1) == 8
+        assert list(rings16.ring(2)) == [0, 3, 12, 15]  # corners
+
+    def test_ring_values_strictly_increasing(self, rings64):
+        values = [rings64.ring_value(i) for i in range(rings64.n_rings)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_rings_partition_cores(self, rings64):
+        seen = sorted(c for i in range(rings64.n_rings) for c in rings64.ring(i))
+        assert seen == list(range(64))
+
+    def test_ring_of_consistent(self, rings64):
+        for index in range(rings64.n_rings):
+            for core in rings64.ring(index):
+                assert rings64.ring_of(core) == index
+
+    def test_cores_in_ring_share_amd(self, rings64):
+        for index in range(rings64.n_rings):
+            values = rings64.amd[list(rings64.ring(index))]
+            assert np.allclose(values, values[0])
+
+    def test_render_ascii_shape(self, rings16):
+        art = rings16.render_ascii()
+        lines = art.splitlines()
+        assert len(lines) == 4
+        # centre cells are ring 0
+        assert " 0" in lines[1]

@@ -1,0 +1,72 @@
+"""Migration cost model."""
+
+import pytest
+
+from repro.arch.cache import MigrationCostModel
+from repro.arch.topology import Mesh
+from repro.config import CacheConfig
+
+
+@pytest.fixture(scope="module")
+def cost16():
+    return MigrationCostModel(Mesh(4, 4))
+
+
+class TestLineCounts:
+    def test_private_lines(self, cost16):
+        # 32 KB of L1 at 64 B lines
+        assert cost16.cache.private_lines == 512
+
+    def test_live_and_dirty_lines(self, cost16):
+        assert 0 < cost16.live_lines() <= cost16.cache.private_lines
+        assert 0 <= cost16.dirty_lines() <= cost16.live_lines()
+
+
+class TestPenalty:
+    def test_self_migration_free(self, cost16):
+        assert cost16.migration_penalty_s(5, 5) == 0.0
+
+    def test_penalty_positive(self, cost16):
+        assert cost16.migration_penalty_s(5, 6) > 0.0
+
+    def test_penalty_includes_restart(self, cost16):
+        assert cost16.migration_penalty_s(5, 6) >= cost16.restart_overhead_s
+
+    def test_penalty_worse_toward_high_amd(self, cost16):
+        """Refill at a high-AMD core costs more (farther banks)."""
+        to_center = cost16.migration_penalty_s(0, 5)
+        to_corner = cost16.migration_penalty_s(5, 0)
+        assert to_corner > to_center
+
+    def test_motivational_rotation_overhead_band(self, cost16):
+        """Paper Fig. 2c: 0.5 ms rotation costs blackscholes ~8 %.
+
+        The per-migration penalty on the 16-core centre ring must therefore
+        be in the tens of microseconds."""
+        penalty = cost16.migration_penalty_s(5, 6)
+        overhead = penalty / 0.5e-3
+        assert 0.04 < overhead < 0.15
+
+    def test_flush_cheaper_than_refill(self, cost16):
+        assert cost16.flush_time_s(5) < cost16.refill_time_s(5)
+
+    def test_dvfs_transition_much_cheaper(self, cost16):
+        assert cost16.dvfs_transition_penalty_s() < cost16.migration_penalty_s(5, 6)
+
+
+class TestConfigSensitivity:
+    def test_bigger_private_cache_costs_more(self):
+        small = MigrationCostModel(
+            Mesh(4, 4), CacheConfig(l1d_size_bytes=8 * 1024)
+        )
+        big = MigrationCostModel(
+            Mesh(4, 4), CacheConfig(l1d_size_bytes=64 * 1024)
+        )
+        assert big.migration_penalty_s(5, 6) > small.migration_penalty_s(5, 6)
+
+    def test_consume_negative_raises(self, cost16):
+        from repro.sim.migration import MigrationAccountant
+
+        accountant = MigrationAccountant(cost16)
+        with pytest.raises(ValueError):
+            accountant.consume_debt("x", -1.0)

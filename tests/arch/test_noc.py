@@ -1,0 +1,45 @@
+"""NoC latency model (Table I: 1.5 ns/hop, 256-bit links)."""
+
+import pytest
+
+from repro.arch.noc import Noc
+from repro.arch.topology import Mesh
+from repro.config import NocConfig
+
+
+@pytest.fixture(scope="module")
+def noc():
+    return Noc(Mesh(4, 4))
+
+
+class TestTraversal:
+    def test_header_only_latency(self, noc):
+        # 0 -> 15 is 6 hops at 1.5 ns
+        assert noc.traversal_latency_s(0, 15) == pytest.approx(9.0e-9)
+
+    def test_zero_distance(self, noc):
+        assert noc.traversal_latency_s(5, 5) == 0.0
+
+    def test_payload_adds_serialization(self, noc):
+        # a 64 B line = 512 bits = 2 flits of 256 bits -> 1 extra flit
+        lat_plain = noc.traversal_latency_s(0, 1)
+        lat_line = noc.traversal_latency_s(0, 1, payload_bits=512)
+        assert lat_line == pytest.approx(lat_plain + 1.5e-9)
+
+    def test_payload_within_one_flit_free(self, noc):
+        assert noc.traversal_latency_s(0, 1, payload_bits=256) == pytest.approx(
+            noc.traversal_latency_s(0, 1)
+        )
+
+    def test_round_trip(self, noc):
+        rt = noc.cache_line_round_trip_s(0, 3, line_bits=512)
+        one_way = noc.traversal_latency_s(0, 3)
+        back = noc.traversal_latency_s(3, 0, payload_bits=512)
+        assert rt == pytest.approx(one_way + back)
+
+    def test_average_hop_latency(self, noc):
+        assert noc.average_hop_latency_s(4.0) == pytest.approx(6.0e-9)
+
+    def test_custom_config(self):
+        noc = Noc(Mesh(2, 2), NocConfig(hop_latency_s=2.0e-9))
+        assert noc.traversal_latency_s(0, 3) == pytest.approx(4.0e-9)

@@ -1,0 +1,69 @@
+"""S-NUCA LLC: static mapping and AMD-proportional latency."""
+
+import numpy as np
+import pytest
+
+from repro.arch.amd import AmdRings, amd_vector
+from repro.arch.snuca import SnucaCache
+from repro.arch.topology import Mesh
+
+
+@pytest.fixture(scope="module")
+def snuca():
+    return SnucaCache(Mesh(8, 8))
+
+
+class TestStaticMapping:
+    def test_line_interleaving(self, snuca):
+        block = snuca.cache.block_size_bytes
+        assert snuca.bank_of_address(0) == 0
+        assert snuca.bank_of_address(block) == 1
+        assert snuca.bank_of_address(64 * block) == 0
+
+    def test_same_line_same_bank(self, snuca):
+        block = snuca.cache.block_size_bytes
+        assert snuca.bank_of_address(5 * block) == snuca.bank_of_address(
+            5 * block + block - 1
+        )
+
+    def test_negative_address_rejected(self, snuca):
+        with pytest.raises(ValueError):
+            snuca.bank_of_address(-1)
+
+    def test_mapping_covers_all_banks(self, snuca):
+        block = snuca.cache.block_size_bytes
+        banks = {snuca.bank_of_address(i * block) for i in range(64)}
+        assert banks == set(range(64))
+
+
+class TestLatency:
+    def test_latency_affine_in_amd(self, snuca):
+        """Mean LLC latency must be an affine function of the core's AMD."""
+        mesh = snuca.mesh
+        amd = amd_vector(mesh)
+        lat = snuca.latency_vector_s()
+        # fit latency = a * amd + b and verify it is exact
+        coeffs = np.polyfit(amd, lat, 1)
+        predicted = np.polyval(coeffs, amd)
+        assert np.allclose(lat, predicted, atol=1e-15)
+
+    def test_center_fastest(self, snuca):
+        lat = snuca.latency_vector_s()
+        assert np.argmin(lat) in (27, 28, 35, 36)
+
+    def test_ring_latency_uniform(self, snuca):
+        rings = AmdRings(snuca.mesh)
+        for index in range(rings.n_rings):
+            cores = rings.ring(index)
+            lats = [snuca.average_access_latency_s(c) for c in cores]
+            assert np.allclose(lats, lats[0])
+            assert snuca.ring_latency_s(rings, index) == pytest.approx(lats[0])
+
+    def test_latency_includes_bank_access(self, snuca):
+        lat = snuca.latency_vector_s()
+        assert np.all(lat >= snuca.noc.config.bank_access_latency_s)
+
+    def test_access_latency_specific_bank(self, snuca):
+        near = snuca.access_latency_s(27, 28)
+        far = snuca.access_latency_s(27, 63)
+        assert far > near

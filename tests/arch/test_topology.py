@@ -1,0 +1,111 @@
+"""Mesh topology and XY routing."""
+
+import networkx as nx
+import pytest
+
+from repro.arch.topology import Mesh
+
+
+class TestGeometry:
+    def test_dimensions(self):
+        mesh = Mesh(8, 8)
+        assert mesh.n_cores == 64
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            Mesh(0, 3)
+
+    def test_position_core_at_inverse(self):
+        mesh = Mesh(5, 3)
+        for core in range(mesh.n_cores):
+            assert mesh.core_at(*mesh.position(core)) == core
+
+    def test_out_of_range(self):
+        mesh = Mesh(2, 2)
+        with pytest.raises(IndexError):
+            mesh.position(4)
+        with pytest.raises(IndexError):
+            mesh.core_at(0, 2)
+
+
+class TestDistances:
+    def test_manhattan_examples(self):
+        mesh = Mesh(4, 4)
+        assert mesh.manhattan_distance(0, 0) == 0
+        assert mesh.manhattan_distance(0, 3) == 3
+        assert mesh.manhattan_distance(0, 15) == 6
+        assert mesh.manhattan_distance(5, 10) == 2
+
+    def test_symmetry(self):
+        mesh = Mesh(4, 3)
+        for a in range(mesh.n_cores):
+            for b in range(mesh.n_cores):
+                assert mesh.manhattan_distance(a, b) == mesh.manhattan_distance(b, a)
+
+    def test_triangle_inequality(self):
+        mesh = Mesh(3, 3)
+        for a in range(9):
+            for b in range(9):
+                for c in range(9):
+                    assert mesh.manhattan_distance(a, c) <= (
+                        mesh.manhattan_distance(a, b) + mesh.manhattan_distance(b, c)
+                    )
+
+
+class TestXYRouting:
+    def test_route_endpoints(self):
+        mesh = Mesh(4, 4)
+        route = mesh.xy_route(0, 15)
+        assert route[0] == 0
+        assert route[-1] == 15
+
+    def test_route_length_is_minimal(self):
+        mesh = Mesh(4, 4)
+        for src in range(16):
+            for dst in range(16):
+                route = mesh.xy_route(src, dst)
+                assert len(route) == mesh.manhattan_distance(src, dst) + 1
+
+    def test_route_is_x_first(self):
+        mesh = Mesh(4, 4)
+        # 0 -> 10: X to column 2 (cores 1, 2), then Y down (6, 10)
+        assert mesh.xy_route(0, 10) == [0, 1, 2, 6, 10]
+
+    def test_route_steps_are_adjacent(self):
+        mesh = Mesh(5, 4)
+        route = mesh.xy_route(0, 19)
+        for a, b in zip(route, route[1:]):
+            assert mesh.manhattan_distance(a, b) == 1
+
+    def test_self_route(self):
+        mesh = Mesh(3, 3)
+        assert mesh.xy_route(4, 4) == [4]
+
+
+class TestNeighborsAndCenter:
+    def test_neighbors_match_distance_one(self):
+        mesh = Mesh(4, 4)
+        for core in range(16):
+            expected = [
+                o
+                for o in range(16)
+                if mesh.manhattan_distance(core, o) == 1
+            ]
+            assert sorted(mesh.neighbors(core)) == sorted(expected)
+
+    def test_center_even_mesh(self):
+        assert sorted(Mesh(4, 4).center_cores()) == [5, 6, 9, 10]
+        assert sorted(Mesh(8, 8).center_cores()) == [27, 28, 35, 36]
+
+    def test_center_odd_mesh(self):
+        assert Mesh(3, 3).center_cores() == [4]
+
+    def test_to_networkx(self):
+        mesh = Mesh(4, 4)
+        graph = mesh.to_networkx()
+        assert graph.number_of_nodes() == 16
+        assert graph.number_of_edges() == 24
+        # NoC shortest paths equal Manhattan distance
+        assert (
+            nx.shortest_path_length(graph, 0, 15) == mesh.manhattan_distance(0, 15)
+        )

@@ -1,0 +1,86 @@
+"""Shared fixtures.
+
+Expensive artifacts (calibrated thermal models, eigendecompositions) are
+session-scoped; tests must treat them as read-only.
+"""
+
+import numpy as np
+import pytest
+
+from repro import config
+from repro.arch import AmdRings, Mesh
+from repro.core import PeakTemperatureCalculator
+from repro.thermal import ThermalDynamics, calibrated_model
+
+
+@pytest.fixture(scope="session")
+def cfg4():
+    """2x2 platform (fast unit tests)."""
+    return config.small_test()
+
+
+@pytest.fixture(scope="session")
+def cfg16():
+    """4x4 motivational platform (Figs. 1-2)."""
+    return config.motivational()
+
+
+@pytest.fixture(scope="session")
+def cfg64():
+    """8x8 evaluation platform (Table I)."""
+    return config.table1()
+
+
+@pytest.fixture(scope="session")
+def model16(cfg16):
+    return calibrated_model(cfg16)
+
+
+@pytest.fixture(scope="session")
+def model64(cfg64):
+    return calibrated_model(cfg64)
+
+
+@pytest.fixture(scope="session")
+def dynamics16(model16):
+    return ThermalDynamics(model16)
+
+
+@pytest.fixture(scope="session")
+def dynamics64(model64):
+    return ThermalDynamics(model64)
+
+
+@pytest.fixture(scope="session")
+def calculator16(dynamics16, cfg16):
+    return PeakTemperatureCalculator(dynamics16, cfg16.thermal.ambient_c)
+
+
+@pytest.fixture(scope="session")
+def calculator64(dynamics64, cfg64):
+    return PeakTemperatureCalculator(dynamics64, cfg64.thermal.ambient_c)
+
+
+@pytest.fixture(scope="session")
+def mesh16():
+    return Mesh(4, 4)
+
+
+@pytest.fixture(scope="session")
+def mesh64():
+    return Mesh(8, 8)
+
+
+@pytest.fixture(scope="session")
+def rings16(mesh16):
+    return AmdRings(mesh16)
+
+
+@pytest.fixture(scope="session")
+def rings64(mesh64):
+    return AmdRings(mesh64)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)

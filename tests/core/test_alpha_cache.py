@@ -1,0 +1,49 @@
+"""Algorithm 1 design-time caches must not interfere across (tau, delta)."""
+
+import numpy as np
+import pytest
+
+from repro.core.peak_temperature import (
+    PeakTemperatureCalculator,
+    rotation_fixed_point,
+)
+from repro.thermal.floorplan import Floorplan
+from repro.thermal.matex import ThermalDynamics
+from repro.thermal.rc_model import MaterialStack, build_rc_model
+
+
+@pytest.fixture(scope="module")
+def setup():
+    model = build_rc_model(Floorplan(3, 3), MaterialStack())
+    dyn = ThermalDynamics(model)
+    return dyn, PeakTemperatureCalculator(dyn, 45.0)
+
+
+def test_interleaved_tau_delta_queries_stay_correct(setup, rng):
+    """Query the calculator with alternating (tau, delta) combinations and
+    cross-check every answer against the cache-free closed form."""
+    dyn, calc = setup
+    combos = [(0.5e-3, 2), (1e-3, 4), (0.5e-3, 3), (2e-3, 2), (1e-3, 4)]
+    for tau, delta in combos * 2:
+        seq = rng.uniform(0.3, 6.0, size=(delta, 9))
+        cached = calc.boundary_temperatures(seq, tau)
+        reference = rotation_fixed_point(dyn, seq, tau, 45.0)[:, :9]
+        assert np.allclose(cached, reference, atol=1e-7), (tau, delta)
+
+
+def test_cache_entries_accumulate(setup):
+    dyn, calc = setup
+    before = len(calc._alpha_cache)
+    calc.peak(np.full((5, 9), 1.0), 0.7e-3)
+    calc.peak(np.full((6, 9), 1.0), 0.7e-3)
+    calc.peak(np.full((5, 9), 1.0), 0.9e-3)
+    after = len(calc._alpha_cache)
+    assert after >= before + 3
+
+
+def test_same_query_uses_cache(setup):
+    dyn, calc = setup
+    seq = np.full((4, 9), 2.0)
+    first = calc.peak(seq, 0.5e-3)
+    second = calc.peak(seq, 0.5e-3)
+    assert first == second

@@ -1,0 +1,153 @@
+"""Analytic rotation peak temperature (paper Section IV / Algorithm 1).
+
+The central validation: three independent implementations — the dense
+closed form, the Algorithm-1 eigen-space formulation, and brute-force
+transient simulation — must agree on the converged periodic cycle.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.peak_temperature import (
+    PeakTemperatureCalculator,
+    brute_force_peak,
+    rotation_fixed_point,
+    rotation_peak_temperature,
+)
+
+
+def motivational_sequence(n_cores=16, hot_w=8.0, idle_w=0.3):
+    """One hot thread rotating over the 4 centre cores of the 4x4 chip."""
+    cores = [5, 6, 9, 10]
+    seq = np.full((4, n_cores), idle_w)
+    for epoch, core in enumerate(cores):
+        seq[epoch, core] = hot_w
+    return seq
+
+
+class TestCrossValidation:
+    def test_closed_form_matches_brute_force(self, dynamics16):
+        seq = motivational_sequence()
+        tau = 0.5e-3
+        boundaries = rotation_fixed_point(dynamics16, seq, tau, 45.0)
+        _, bf_bounds = brute_force_peak(
+            dynamics16, seq, tau, 45.0, n_periods=3000
+        )
+        assert np.allclose(boundaries, bf_bounds, atol=1e-6)
+
+    def test_algorithm1_matches_closed_form(self, dynamics16, calculator16):
+        seq = motivational_sequence()
+        for tau in (0.25e-3, 0.5e-3, 2e-3):
+            closed = rotation_fixed_point(dynamics16, seq, tau, 45.0)
+            alg1 = calculator16.boundary_temperatures(seq, tau)
+            assert np.allclose(alg1, closed[:, :16], atol=1e-8)
+
+    def test_peaks_agree(self, dynamics16, calculator16):
+        seq = motivational_sequence()
+        tau = 0.5e-3
+        closed = rotation_peak_temperature(dynamics16, seq, tau, 45.0)
+        alg1 = calculator16.peak(seq, tau, within_epoch_samples=4)
+        bf, _ = brute_force_peak(dynamics16, seq, tau, 45.0, n_periods=3000)
+        assert closed == pytest.approx(alg1, abs=1e-6)
+        assert closed == pytest.approx(bf, abs=1e-4)
+
+    def test_random_sequences_agree(self, dynamics16, calculator16, rng):
+        for delta in (1, 2, 3, 5):
+            seq = rng.uniform(0.3, 6.0, size=(delta, 16))
+            tau = float(rng.uniform(0.2e-3, 2e-3))
+            closed = rotation_fixed_point(dynamics16, seq, tau, 45.0)
+            alg1 = calculator16.boundary_temperatures(seq, tau)
+            assert np.allclose(alg1, closed[:, :16], atol=1e-7)
+
+
+class TestPhysicalProperties:
+    def test_rotation_cooler_than_static(self, dynamics16, calculator16):
+        """Rotating the hot thread must beat pinning it (Fig. 2a vs 2c)."""
+        seq = motivational_sequence()
+        rotating = calculator16.peak(seq, 0.5e-3, within_epoch_samples=4)
+        static = np.full(16, 0.3)
+        static[5] = 8.0
+        pinned = calculator16.steady_peak(static)
+        assert rotating < pinned - 5.0
+
+    def test_faster_rotation_cooler(self, dynamics16):
+        """Peak decreases monotonically as tau shrinks (less ripple)."""
+        seq = motivational_sequence()
+        peaks = [
+            rotation_peak_temperature(dynamics16, seq, tau, 45.0)
+            for tau in (4e-3, 2e-3, 1e-3, 0.5e-3, 0.25e-3)
+        ]
+        assert all(b <= a + 1e-9 for a, b in zip(peaks, peaks[1:]))
+
+    def test_tau_to_zero_approaches_average_power(self, dynamics16):
+        """As tau -> 0 the rotation behaves like the time-averaged power
+        map (perfect averaging)."""
+        seq = motivational_sequence()
+        fast = rotation_peak_temperature(dynamics16, seq, 1e-6, 45.0)
+        avg_power = np.mean(seq, axis=0)
+        steady = dynamics16.model.steady_state(avg_power, 45.0)
+        avg_peak = float(np.max(dynamics16.model.core_temperatures(steady)))
+        assert fast == pytest.approx(avg_peak, abs=0.05)
+
+    def test_uniform_rotation_equals_steady(self, dynamics16, calculator16):
+        """Rotating identical power is indistinguishable from steady state."""
+        seq = np.full((4, 16), 2.0)
+        rotating = calculator16.peak(seq, 0.5e-3)
+        steady = calculator16.steady_peak(np.full(16, 2.0))
+        assert rotating == pytest.approx(steady, abs=1e-6)
+
+    def test_cyclic_shift_invariance(self, calculator16, rng):
+        """Starting the cycle at a different epoch cannot change the peak."""
+        seq = rng.uniform(0.3, 6.0, size=(4, 16))
+        base = calculator16.peak(seq, 0.5e-3)
+        shifted = calculator16.peak(np.roll(seq, 2, axis=0), 0.5e-3)
+        assert base == pytest.approx(shifted, abs=1e-8)
+
+    def test_more_power_hotter(self, calculator16, rng):
+        seq = rng.uniform(0.3, 4.0, size=(4, 16))
+        low = calculator16.peak(seq, 0.5e-3)
+        high = calculator16.peak(seq + 1.0, 0.5e-3)
+        assert high > low
+
+    def test_peak_above_ambient(self, calculator16):
+        seq = np.zeros((2, 16))
+        assert calculator16.peak(seq, 1e-3) == pytest.approx(45.0, abs=1e-6)
+
+
+class TestValidation:
+    def test_rejects_wrong_width(self, dynamics16):
+        with pytest.raises(ValueError):
+            rotation_fixed_point(dynamics16, np.ones((2, 8)), 1e-3, 45.0)
+
+    def test_rejects_empty_sequence(self, dynamics16):
+        with pytest.raises(ValueError):
+            rotation_fixed_point(dynamics16, np.ones((0, 16)), 1e-3, 45.0)
+
+    def test_rejects_negative_power(self, dynamics16):
+        seq = np.ones((2, 16))
+        seq[0, 0] = -1.0
+        with pytest.raises(ValueError):
+            rotation_fixed_point(dynamics16, seq, 1e-3, 45.0)
+
+    def test_rejects_nonpositive_tau(self, dynamics16, calculator16):
+        seq = np.ones((2, 16))
+        with pytest.raises(ValueError):
+            rotation_fixed_point(dynamics16, seq, 0.0, 45.0)
+        with pytest.raises(ValueError):
+            calculator16.boundary_temperatures(seq, -1e-3)
+
+
+class TestBruteForce:
+    def test_brute_force_from_hot_start_converges_same(self, dynamics16):
+        """The periodic fixed point is unique: brute force converges to it
+        from any initial condition."""
+        seq = motivational_sequence()
+        tau = 0.5e-3
+        hot_start = np.full(dynamics16.model.n_nodes, 90.0)
+        _, from_hot = brute_force_peak(
+            dynamics16, seq, tau, 45.0, n_periods=4000, initial_temps_c=hot_start
+        )
+        _, from_ambient = brute_force_peak(
+            dynamics16, seq, tau, 45.0, n_periods=4000
+        )
+        assert np.allclose(from_hot, from_ambient, atol=1e-5)

@@ -1,0 +1,112 @@
+"""Rotation schedule semantics."""
+
+import numpy as np
+import pytest
+
+from repro.core.rotation import RotationGroup, RotationSchedule
+
+
+@pytest.fixture()
+def group():
+    return RotationGroup(cores=[5, 6, 9, 10], slots=["a", "b", None, None])
+
+
+class TestRotationGroup:
+    def test_size_and_threads(self, group):
+        assert group.size == 4
+        assert group.threads == ("a", "b")
+
+    def test_rotation_advances(self, group):
+        assert group.core_of_slot(0, epoch=0) == 5
+        assert group.core_of_slot(0, epoch=1) == 6
+        assert group.core_of_slot(0, epoch=4) == 5  # full period
+
+    def test_occupancy(self, group):
+        occ0 = group.occupancy_at(0)
+        assert occ0 == {5: "a", 6: "b"}
+        occ1 = group.occupancy_at(1)
+        assert occ1 == {6: "a", 9: "b"}
+
+    def test_every_thread_visits_every_core(self, group):
+        visited = {group.core_of_slot(0, e) for e in range(group.size)}
+        assert visited == {5, 6, 9, 10}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RotationGroup([], [])
+        with pytest.raises(ValueError):
+            RotationGroup([1, 2], ["a"])
+        with pytest.raises(ValueError):
+            RotationGroup([1, 1], ["a", None])
+        with pytest.raises(ValueError):
+            RotationGroup([1, 2], ["a", "a"])
+
+
+class TestRotationSchedule:
+    def make_schedule(self, tau=0.5e-3):
+        g0 = RotationGroup([5, 6, 9, 10], ["a", "b", None, None])
+        g1 = RotationGroup([1, 2, 4, 7, 8, 11, 13, 14], ["c"] + [None] * 7)
+        return RotationSchedule([g0, g1], tau)
+
+    def test_period_is_lcm(self):
+        sched = self.make_schedule()
+        assert sched.period_epochs == 8  # lcm(4, 8)
+
+    def test_static_schedule(self):
+        sched = self.make_schedule(tau=None)
+        assert not sched.rotating
+        assert sched.period_epochs == 1
+        assert sched.placement_at(0) == sched.placement_at(5)
+
+    def test_placements_disjoint(self):
+        sched = self.make_schedule()
+        for epoch in range(8):
+            cores = list(sched.placement_at(epoch).values())
+            assert len(set(cores)) == len(cores)
+
+    def test_threads_listed(self):
+        assert set(self.make_schedule().threads()) == {"a", "b", "c"}
+
+    def test_power_sequence(self):
+        sched = self.make_schedule()
+        seq = sched.power_sequence(
+            16, {"a": 8.0, "b": 4.0, "c": 2.0}, idle_power_w=0.3
+        )
+        assert seq.shape == (8, 16)
+        # total power constant across epochs
+        totals = seq.sum(axis=1)
+        assert np.allclose(totals, totals[0])
+        # each epoch has exactly one core at 8 W
+        assert np.all(np.sum(seq == 8.0, axis=1) == 1)
+        # core 0 is outside every group: always idle
+        assert np.all(seq[:, 0] == 0.3)
+
+    def test_migrations_between_epochs(self):
+        sched = self.make_schedule()
+        moves = sched.migrations_between(0, 1)
+        moved = {m[0] for m in moves}
+        assert moved == {"a", "b", "c"}
+        for thread, src, dst in moves:
+            assert src != dst
+
+    def test_no_migration_when_static(self):
+        sched = self.make_schedule(tau=None)
+        assert sched.migrations_between(0, 1) == []
+
+    def test_overlap_validation(self):
+        g0 = RotationGroup([1, 2], ["a", None])
+        g_core_clash = RotationGroup([2, 3], ["b", None])
+        with pytest.raises(ValueError):
+            RotationSchedule([g0, g_core_clash], 1e-3)
+        g_thread_clash = RotationGroup([3, 4], ["a", None])
+        with pytest.raises(ValueError):
+            RotationSchedule([g0, g_thread_clash], 1e-3)
+
+    def test_bad_tau(self):
+        with pytest.raises(ValueError):
+            RotationSchedule([], 0.0)
+
+    def test_single_core_group_never_rotates(self):
+        sched = RotationSchedule([RotationGroup([3], ["a"])], 1e-3)
+        assert not sched.rotating
+        assert sched.placement_at(7) == {"a": 3}

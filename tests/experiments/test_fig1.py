@@ -1,0 +1,38 @@
+"""Fig. 1 architecture sketch."""
+
+import pytest
+
+from repro import config
+from repro.experiments import fig1
+
+
+class TestFig1:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return fig1.run()
+
+    def test_default_is_16_cores(self, report):
+        assert report.n_cores == 16
+
+    def test_rotation_cycle_is_center_ring(self, report):
+        assert report.rotation_cycle == (5, 6, 9, 10)
+
+    def test_grid_marks_rotation_cores(self, report):
+        assert "*C05" in report.grid_ascii
+        assert "*C10" in report.grid_ascii
+        assert "*C00" not in report.grid_ascii
+
+    def test_every_tile_present(self, report):
+        for core in range(16):
+            assert f"C{core:02d}" in report.grid_ascii
+            assert f"$B{core:02d}" in report.grid_ascii
+
+    def test_render_cycle(self, report):
+        text = report.render()
+        assert "C05 -> C06 -> C09 -> C10 -> C05" in text
+        assert "legend" in text
+
+    def test_other_platform(self):
+        report = fig1.run(config.table1())
+        assert report.n_cores == 64
+        assert len(report.rotation_cycle) == 4

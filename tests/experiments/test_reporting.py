@@ -1,0 +1,52 @@
+"""Report rendering helpers."""
+
+import pytest
+
+from repro.experiments.reporting import render_bar_chart, render_table
+
+
+class TestTable:
+    def test_alignment(self):
+        text = render_table(
+            ["name", "value"], [("a", 1.0), ("longer", 22.5)], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "-" in lines[2]
+        assert "22.50" in text
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [("only-one",)])
+
+    def test_float_formatting(self):
+        text = render_table(["x"], [(3.14159,)])
+        assert "3.14" in text
+        assert "3.14159" not in text
+
+    def test_no_title(self):
+        text = render_table(["x"], [(1,)])
+        assert text.splitlines()[0].startswith("x")
+
+
+class TestBarChart:
+    def test_bars_scale(self):
+        text = render_bar_chart(["a", "b"], [10.0, 5.0], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            render_bar_chart(["a"], [1.0, 2.0])
+
+    def test_empty(self):
+        assert "no data" in render_bar_chart([], [])
+
+    def test_unit_suffix(self):
+        assert "3.00%" in render_bar_chart(["x"], [3.0], unit="%")
+
+    def test_zero_values(self):
+        text = render_bar_chart(["x", "y"], [0.0, 0.0])
+        assert "0.00" in text

@@ -1,0 +1,63 @@
+"""DVFS controller: quantization and budget inversion."""
+
+import pytest
+
+from repro.power.dvfs import DvfsController
+
+
+@pytest.fixture(scope="module")
+def dvfs():
+    return DvfsController()
+
+
+class TestQuantization:
+    def test_exact_level(self, dvfs):
+        assert dvfs.quantize(2.5e9) == pytest.approx(2.5e9)
+
+    def test_rounds_down(self, dvfs):
+        assert dvfs.quantize(2.55e9) == pytest.approx(2.5e9)
+
+    def test_clamps(self, dvfs):
+        assert dvfs.quantize(0.2e9) == pytest.approx(1.0e9)
+        assert dvfs.quantize(9.0e9) == pytest.approx(4.0e9)
+
+    def test_step_down_up(self, dvfs):
+        assert dvfs.step_down(2.0e9) == pytest.approx(1.9e9)
+        assert dvfs.step_up(2.0e9) == pytest.approx(2.1e9)
+        assert dvfs.step_down(1.0e9) == pytest.approx(1.0e9)  # clamped
+        assert dvfs.step_up(4.0e9) == pytest.approx(4.0e9)
+
+    def test_multi_step(self, dvfs):
+        assert dvfs.step_down(3.0e9, steps=5) == pytest.approx(2.5e9)
+
+    def test_step_rejects_off_grid(self, dvfs):
+        with pytest.raises(ValueError):
+            dvfs.step_down(2.05e9)
+
+
+class TestBudgetInversion:
+    def test_generous_budget_gives_fmax(self, dvfs):
+        assert dvfs.frequency_for_budget(100.0, 7.7) == pytest.approx(4.0e9)
+
+    def test_tiny_budget_gives_fmin(self, dvfs):
+        assert dvfs.frequency_for_budget(0.01, 7.7) == pytest.approx(1.0e9)
+
+    def test_result_respects_budget(self, dvfs):
+        budget = 3.0
+        f = dvfs.frequency_for_budget(budget, 7.7)
+        power = dvfs.power_model.core_power_w(7.7, f, 1.0)
+        assert power <= budget
+        # and one step up would violate it
+        f_up = dvfs.step_up(f)
+        if f_up > f:
+            assert dvfs.power_model.core_power_w(7.7, f_up, 1.0) > budget
+
+    def test_monotone_in_budget(self, dvfs):
+        budgets = [1.0, 2.0, 3.0, 5.0, 8.0]
+        freqs = [dvfs.frequency_for_budget(b, 7.7) for b in budgets]
+        assert freqs == sorted(freqs)
+
+    def test_cooler_thread_gets_higher_frequency(self, dvfs):
+        hot = dvfs.frequency_for_budget(3.0, 7.7)
+        cold = dvfs.frequency_for_budget(3.0, 1.9)
+        assert cold >= hot

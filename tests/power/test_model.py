@@ -1,0 +1,81 @@
+"""Core power model."""
+
+import pytest
+
+from repro.config import DvfsConfig, ThermalConfig
+from repro.power.model import PowerModel, PowerModelParams
+
+
+@pytest.fixture(scope="module")
+def pm():
+    return PowerModel()
+
+
+class TestDynamicPower:
+    def test_reference_point(self, pm):
+        """At f_max / full activity the dynamic power equals the profile's
+        reference value."""
+        assert pm.dynamic_power_w(7.7, 4.0e9, 1.0) == pytest.approx(7.7)
+
+    def test_scales_superlinearly(self, pm):
+        """P(f) ~ f V(f)^2: halving frequency cuts power by more than half."""
+        full = pm.dynamic_power_w(7.7, 4.0e9)
+        half = pm.dynamic_power_w(7.7, 2.0e9)
+        assert half < full / 2
+
+    def test_monotone_in_frequency(self, pm):
+        freqs = DvfsConfig().frequencies()
+        powers = [pm.dynamic_power_w(5.0, f) for f in freqs]
+        assert powers == sorted(powers)
+
+    def test_activity_scaling(self, pm):
+        assert pm.dynamic_power_w(6.0, 4.0e9, 0.5) == pytest.approx(3.0)
+
+    def test_rejects_bad_activity(self, pm):
+        with pytest.raises(ValueError):
+            pm.dynamic_power_w(6.0, 4.0e9, 1.5)
+
+
+class TestIdlePower:
+    def test_idle_power_at_nominal(self, pm):
+        """The paper's idle power: 0.3 W."""
+        assert pm.idle_power_w() == pytest.approx(0.3)
+        assert pm.idle_power_w(4.0e9) == pytest.approx(0.3)
+
+    def test_idle_power_drops_with_voltage(self, pm):
+        assert pm.idle_power_w(1.0e9) < pm.idle_power_w(4.0e9)
+
+    def test_leakage_temperature_off_by_default(self, pm):
+        assert pm.idle_power_w(4.0e9, 45.0) == pytest.approx(
+            pm.idle_power_w(4.0e9, 95.0)
+        )
+
+    def test_leakage_temperature_coefficient(self):
+        pm = PowerModel(params=PowerModelParams(leakage_temp_coefficient=0.01))
+        assert pm.idle_power_w(4.0e9, 95.0) > pm.idle_power_w(4.0e9, 45.0)
+
+
+class TestCorePower:
+    def test_hot_thread_total(self, pm):
+        """A blackscholes-class thread totals ~8 W at f_max (calibration)."""
+        assert pm.core_power_w(7.7, 4.0e9, 1.0) == pytest.approx(8.0)
+
+    def test_stall_burns_less_than_compute(self, pm):
+        computing = pm.core_power_w(6.0, 4.0e9, 1.0, 0.0)
+        stalled = pm.core_power_w(6.0, 4.0e9, 0.0, 1.0)
+        assert stalled < computing
+        assert stalled > pm.idle_power_w(4.0e9)
+
+    def test_fraction_validation(self, pm):
+        with pytest.raises(ValueError):
+            pm.core_power_w(6.0, 4.0e9, 0.8, 0.3)
+        with pytest.raises(ValueError):
+            pm.core_power_w(6.0, 4.0e9, -0.1)
+
+    def test_waiting_thread_is_idle(self, pm):
+        assert pm.core_power_w(6.0, 4.0e9, 0.0, 0.0) == pytest.approx(
+            pm.idle_power_w(4.0e9)
+        )
+
+    def test_max_core_power(self, pm):
+        assert pm.max_core_power_w(7.7) == pytest.approx(8.0)

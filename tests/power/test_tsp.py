@@ -1,0 +1,83 @@
+"""Thermal Safe Power budgeting."""
+
+import numpy as np
+import pytest
+
+from repro.power.tsp import Tsp
+
+
+@pytest.fixture(scope="module")
+def tsp64(model64):
+    return Tsp(model64, ambient_c=45.0, threshold_c=70.0, idle_power_w=0.3)
+
+
+class TestMappingBudget:
+    def test_budget_saturates_threshold(self, tsp64):
+        """Running every active core at exactly the budget lands exactly on
+        the threshold."""
+        active = list(range(0, 64, 2))
+        budget = tsp64.budget_for_mapping(active)
+        peak = tsp64.steady_peak_for_budget(active, budget)
+        assert peak == pytest.approx(70.0, abs=1e-6)
+
+    def test_full_load_budget_equals_uniform_sustainable(self, tsp64):
+        from repro.thermal.calibrate import UNIFORM_SUSTAINABLE_POWER_W
+
+        budget = tsp64.budget_for_mapping(range(64))
+        # idle power == part of the uniform anchor? full occupancy has no
+        # idle cores, so this is exactly the calibration anchor
+        assert budget == pytest.approx(UNIFORM_SUSTAINABLE_POWER_W, abs=0.01)
+
+    def test_fewer_active_cores_higher_budget(self, tsp64):
+        few = tsp64.budget_for_mapping([27, 28])
+        many = tsp64.budget_for_mapping(range(64))
+        assert few > many
+
+    def test_edge_mapping_gets_higher_budget(self, tsp64):
+        """Corner placements are thermally cheaper than centre placements."""
+        center = tsp64.budget_for_mapping([27, 28, 35, 36])
+        corners = tsp64.budget_for_mapping([0, 7, 56, 63])
+        assert corners > center
+
+    def test_empty_mapping_rejected(self, tsp64):
+        with pytest.raises(ValueError):
+            tsp64.budget_for_mapping([])
+
+    def test_threshold_below_ambient_rejected(self, model64):
+        with pytest.raises(ValueError):
+            Tsp(model64, 45.0, 40.0, 0.3)
+
+
+class TestWorstCase:
+    def test_worst_case_not_above_any_mapping(self, tsp64):
+        """The worst-case budget must be <= the budget of the greedy worst
+        mapping by construction, and <= typical mappings."""
+        n_active = 8
+        wc = tsp64.worst_case_budget(n_active)
+        mapping = tsp64.worst_case_mapping(n_active)
+        assert wc == pytest.approx(tsp64.budget_for_mapping(mapping))
+        # a spread-out mapping can only allow more power
+        spread = [0, 7, 56, 63, 3, 31, 32, 60]
+        assert tsp64.budget_for_mapping(spread) >= wc
+
+    def test_worst_case_mapping_is_clustered(self, tsp64):
+        """The greedy worst mapping clusters around the hottest core."""
+        mapping = tsp64.worst_case_mapping(4)
+        assert len(set(mapping)) == 4
+        rows = [c // 8 for c in mapping]
+        cols = [c % 8 for c in mapping]
+        assert max(rows) - min(rows) <= 2
+        assert max(cols) - min(cols) <= 2
+
+    def test_worst_case_monotone_decreasing(self, tsp64):
+        budgets = [tsp64.worst_case_budget(n) for n in (1, 4, 16, 64)]
+        assert all(b >= a - 1e-12 for a, b in zip(budgets[1:], budgets))
+
+    def test_worst_case_bounds(self, tsp64):
+        with pytest.raises(ValueError):
+            tsp64.worst_case_budget(0)
+        with pytest.raises(ValueError):
+            tsp64.worst_case_budget(65)
+
+    def test_worst_case_cached(self, tsp64):
+        assert tsp64.worst_case_budget(8) == tsp64.worst_case_budget(8)

@@ -1,0 +1,62 @@
+"""Fixed synchronous rotation scheduler."""
+
+import pytest
+
+from repro.sched.fixed_rotation import FixedRotationScheduler
+from repro.sim.context import SimContext
+from repro.workload.benchmarks import PARSEC
+from repro.workload.task import Task
+
+
+def make(cfg, model, **kwargs):
+    sched = FixedRotationScheduler(**kwargs)
+    sched.attach(SimContext(cfg, model))
+    return sched
+
+
+class TestRotation:
+    def test_defaults_to_center_ring(self, cfg16, model16):
+        sched = make(cfg16, model16)
+        assert sched._cores == [5, 6, 9, 10]
+
+    def test_rotates_every_tau(self, cfg16, model16):
+        sched = make(cfg16, model16, tau_s=0.5e-3)
+        sched.on_task_arrival(Task(0, PARSEC["blackscholes"], 2, seed=1), 0.0)
+        p0 = sched.decide(0.0).placements
+        p1 = sched.decide(0.5e-3).placements
+        p4 = sched.decide(2.0e-3).placements
+        assert p0 != p1
+        assert p0 == p4  # full period of the 4-core set
+
+    def test_threads_visit_every_core(self, cfg16, model16):
+        sched = make(cfg16, model16, tau_s=1e-3)
+        sched.on_task_arrival(Task(0, PARSEC["blackscholes"], 2, seed=1), 0.0)
+        visited = set()
+        for epoch in range(4):
+            visited.update(sched.decide(epoch * 1e-3).placements.values())
+        assert visited == {5, 6, 9, 10}
+
+    def test_release_frees_slots(self, cfg16, model16):
+        sched = make(cfg16, model16)
+        task = Task(0, PARSEC["blackscholes"], 2, seed=1)
+        sched.on_task_arrival(task, 0.0)
+        sched.on_task_complete(task, 0.05)
+        assert sched.decide(0.05).placements == {}
+
+    def test_queues_overflow(self, cfg16, model16):
+        sched = make(cfg16, model16)
+        sched.on_task_arrival(Task(0, PARSEC["blackscholes"], 4, seed=1), 0.0)
+        sched.on_task_arrival(Task(1, PARSEC["blackscholes"], 2, seed=2), 0.0)
+        assert sched.queue_length == 1
+
+    def test_custom_core_set(self, cfg16, model16):
+        sched = make(cfg16, model16, cores=(0, 3, 12, 15), tau_s=1e-3)
+        sched.on_task_arrival(Task(0, PARSEC["canneal"], 2, seed=1), 0.0)
+        assert set(sched.decide(0.0).placements.values()) <= {0, 3, 12, 15}
+
+    def test_invalid_args(self, cfg16, model16):
+        with pytest.raises(ValueError):
+            FixedRotationScheduler(tau_s=0.0)
+        sched = FixedRotationScheduler(cores=(1, 1))
+        with pytest.raises(ValueError):
+            sched.attach(SimContext(cfg16, model16))

@@ -1,0 +1,93 @@
+"""HotPotato scheduler glued into the simulator."""
+
+import numpy as np
+import pytest
+
+from repro.sched.hotpotato_runtime import HotPotatoScheduler
+from repro.sim.context import SimContext
+from repro.sim.engine import IntervalSimulator
+from repro.workload.benchmarks import PARSEC
+from repro.workload.task import Task
+
+
+def simulate(cfg, model, tasks, **kwargs):
+    sched = HotPotatoScheduler()
+    sim = IntervalSimulator(
+        cfg, sched, tasks, ctx=SimContext(cfg, model), **kwargs
+    )
+    return sched, sim
+
+
+class TestBasics:
+    def test_never_uses_dvfs(self, cfg16, model16):
+        sched, sim = simulate(
+            cfg16, model16, [Task(0, PARSEC["x264"], 4, seed=1)]
+        )
+        sim.run(max_time_s=0.02)
+        decision = sched.decide(0.02)
+        assert np.all(decision.frequencies == cfg16.dvfs.f_max_hz)
+
+    def test_completes_workload(self, cfg16, model16):
+        _, sim = simulate(cfg16, model16, [Task(0, PARSEC["dedup"], 4, seed=1)])
+        result = sim.run(max_time_s=2.0)
+        assert len(result.tasks) == 1
+
+    def test_rotation_produces_migrations_under_heat(self, cfg16, model16):
+        _, sim = simulate(
+            cfg16, model16, [Task(0, PARSEC["blackscholes"], 2, seed=1)]
+        )
+        result = sim.run(max_time_s=1.0)
+        assert result.migration_count > 0
+
+    def test_cold_workload_stops_rotating(self, cfg16, model16):
+        """Canneal is thermally trivial: after the estimates settle, the
+        rotation must stop (Algorithm 2 lines 23-27) and stay stopped."""
+        sched, sim = simulate(
+            cfg16, model16, [Task(0, PARSEC["canneal"], 2, seed=1, work_scale=2.0)]
+        )
+        sim.run(max_time_s=2.0)
+        assert sched.hotpotato.tau_s is None
+
+    def test_thermal_safety_motivational(self, cfg16, model16):
+        _, sim = simulate(
+            cfg16, model16, [Task(0, PARSEC["blackscholes"], 2, seed=1)]
+        )
+        result = sim.run(max_time_s=1.0)
+        # small transient overshoot is backstopped by DTM; no runaway
+        assert result.peak_temperature_c < cfg16.thermal.dtm_threshold_c + 1.5
+
+    def test_queueing_in_open_system(self, cfg16, model16):
+        tasks = [
+            Task(0, PARSEC["canneal"], 8, seed=1),
+            Task(1, PARSEC["canneal"], 8, seed=2),
+            Task(2, PARSEC["canneal"], 8, seed=3),  # must queue
+        ]
+        _, sim = simulate(cfg16, model16, tasks)
+        result = sim.run(max_time_s=3.0)
+        assert len(result.tasks) == 3
+        # the queued task finished last
+        assert result.tasks[2].completion_s >= result.tasks[0].completion_s
+
+
+class TestAdaptivity:
+    def test_conservative_estimates_relax(self, cfg16, model16):
+        """Arrival estimates are the profile's peak power; after the 10 ms
+        history builds, HotPotato's estimates drop to duty-cycled reality."""
+        sched, sim = simulate(
+            cfg16, model16, [Task(0, PARSEC["blackscholes"], 2, seed=1)]
+        )
+        sim.run(max_time_s=0.04)
+        est = [info.power_w for info in sched.hotpotato._threads.values()]
+        peak_est = sched.ctx.power_model.max_core_power_w(
+            PARSEC["blackscholes"].p_dyn_ref_w
+        )
+        # at any instant, one thread works and one waits: at least one
+        # estimate is far below the peak-power prior
+        assert min(est) < 0.7 * peak_est
+
+    def test_preferred_interval_follows_tau(self, cfg16, model16):
+        sched, sim = simulate(
+            cfg16, model16, [Task(0, PARSEC["blackscholes"], 2, seed=1)]
+        )
+        sim.run(max_time_s=0.01)
+        assert sched.preferred_interval_s() == sched.hotpotato.tau_s

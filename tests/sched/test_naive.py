@@ -1,0 +1,106 @@
+"""StaticPlacer and the peak-frequency baseline."""
+
+import numpy as np
+import pytest
+
+from repro.arch.amd import amd_vector
+from repro.arch.topology import Mesh
+from repro.sched.naive import PeakFrequencyScheduler, StaticPlacer
+from repro.workload.benchmarks import PARSEC
+from repro.workload.task import Task
+
+
+@pytest.fixture()
+def placer():
+    return StaticPlacer(amd_vector(Mesh(4, 4)))
+
+
+class TestStaticPlacer:
+    def test_prefers_low_amd(self, placer):
+        task = Task(0, PARSEC["canneal"], 4, seed=1)
+        placer.place_task(task)
+        # the four centre cores (AMD ring 0) are taken first
+        assert sorted(placer.occupied_cores()) == [5, 6, 9, 10]
+
+    def test_placements_map_threads(self, placer):
+        task = Task(0, PARSEC["canneal"], 2, seed=1)
+        placer.place_task(task)
+        placements = placer.placements
+        assert set(placements) == {"0.0", "0.1"}
+        assert len(set(placements.values())) == 2
+
+    def test_release_frees_cores(self, placer):
+        task = Task(0, PARSEC["canneal"], 4, seed=1)
+        placer.place_task(task)
+        placer.release_task(task)
+        assert placer.occupied_cores() == []
+
+    def test_rejects_overfull(self, placer):
+        placer.place_task(Task(0, PARSEC["canneal"], 8, seed=1))
+        placer.place_task(Task(1, PARSEC["canneal"], 8, seed=2))
+        with pytest.raises(ValueError):
+            placer.place_task(Task(2, PARSEC["canneal"], 2, seed=3))
+
+    def test_move(self, placer):
+        placer.place_task(Task(0, PARSEC["canneal"], 2, seed=1))
+        placer.move("0.0", 0)
+        assert placer.core_of("0.0") == 0
+
+    def test_move_to_occupied_rejected(self, placer):
+        placer.place_task(Task(0, PARSEC["canneal"], 2, seed=1))
+        with pytest.raises(ValueError):
+            placer.move("0.0", placer.core_of("0.1"))
+
+    def test_core_of_unknown(self, placer):
+        with pytest.raises(KeyError):
+            placer.core_of("ghost")
+
+    def test_free_cores_sorted_by_amd(self, placer):
+        amd = amd_vector(Mesh(4, 4))
+        free = placer.free_cores()
+        values = [amd[c] for c in free]
+        assert values == sorted(values)
+
+
+class TestPeakFrequencyScheduler:
+    def make(self, cfg16, model16):
+        from repro.sim.context import SimContext
+
+        sched = PeakFrequencyScheduler()
+        sched.attach(SimContext(cfg16, model16))
+        return sched
+
+    def test_always_fmax(self, cfg16, model16):
+        sched = self.make(cfg16, model16)
+        sched.on_task_arrival(Task(0, PARSEC["canneal"], 2, seed=1), 0.0)
+        decision = sched.decide(0.0)
+        assert np.all(decision.frequencies == cfg16.dvfs.f_max_hz)
+
+    def test_static_placement(self, cfg16, model16):
+        sched = self.make(cfg16, model16)
+        sched.on_task_arrival(Task(0, PARSEC["canneal"], 2, seed=1), 0.0)
+        first = sched.decide(0.0).placements
+        later = sched.decide(0.05).placements
+        assert first == later
+
+    def test_queues_when_full(self, cfg16, model16):
+        sched = self.make(cfg16, model16)
+        sched.on_task_arrival(Task(0, PARSEC["canneal"], 8, seed=1), 0.0)
+        sched.on_task_arrival(Task(1, PARSEC["canneal"], 8, seed=2), 0.0)
+        overflow = Task(2, PARSEC["canneal"], 4, seed=3)
+        sched.on_task_arrival(overflow, 0.0)
+        assert sched.queue_length == 1
+        decision = sched.decide(0.0)
+        assert {"2.0", "2.1", "2.2", "2.3"} <= decision.waiting
+
+    def test_queue_drains_fifo(self, cfg16, model16):
+        sched = self.make(cfg16, model16)
+        first = Task(0, PARSEC["canneal"], 8, seed=1)
+        second = Task(1, PARSEC["canneal"], 8, seed=2)
+        sched.on_task_arrival(first, 0.0)
+        sched.on_task_arrival(second, 0.0)
+        queued = Task(2, PARSEC["canneal"], 4, seed=3)
+        sched.on_task_arrival(queued, 0.0)
+        sched.on_task_complete(first, 0.1)
+        assert sched.queue_length == 0
+        assert "2.0" in sched.decide(0.1).placements

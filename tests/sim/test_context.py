@@ -1,0 +1,48 @@
+"""SimContext wiring and construction."""
+
+import numpy as np
+import pytest
+
+from repro import config
+from repro.sim.context import SimContext
+
+
+class TestConstruction:
+    def test_builds_all_models(self, cfg16, model16):
+        ctx = SimContext(cfg16, model16)
+        assert ctx.n_cores == 16
+        assert ctx.mesh.n_cores == 16
+        assert ctx.rings.n_rings == 3
+        assert ctx.thermal_model is model16
+        assert ctx.calculator.dynamics.model is model16
+
+    def test_default_model_is_calibrated(self):
+        ctx = SimContext(config.small_test())
+        # the calibrated stack's knobs, not the raw defaults
+        assert ctx.thermal_model.stack.lateral_scale != 1.0
+
+    def test_tsp_uses_config_thresholds(self, cfg16, model16):
+        ctx = SimContext(cfg16, model16)
+        assert ctx.tsp.threshold_c == cfg16.thermal.dtm_threshold_c
+        assert ctx.tsp.ambient_c == cfg16.thermal.ambient_c
+
+
+class TestObservationWiring:
+    def test_unwired_observations_raise(self, cfg16, model16):
+        ctx = SimContext(cfg16, model16)
+        with pytest.raises(RuntimeError):
+            ctx.thread_power_w("x")
+        with pytest.raises(RuntimeError):
+            ctx.core_temperatures_c()
+        with pytest.raises(RuntimeError):
+            ctx.thread_recent_power_w("x")
+
+    def test_wired_observations_delegate(self, cfg16, model16):
+        ctx = SimContext(cfg16, model16)
+        temps = np.full(16, 50.0)
+        ctx.wire_observations(
+            lambda tid: 3.5, lambda: temps, lambda tid: 4.2
+        )
+        assert ctx.thread_power_w("a") == 3.5
+        assert ctx.thread_recent_power_w("a") == 4.2
+        assert np.array_equal(ctx.core_temperatures_c(), temps)

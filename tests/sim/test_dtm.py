@@ -1,0 +1,73 @@
+"""Hardware DTM controller."""
+
+import numpy as np
+import pytest
+
+from repro.sim.dtm import DtmController
+
+
+@pytest.fixture()
+def dtm():
+    return DtmController(4, threshold_c=70.0, hysteresis_c=2.0, f_min_hz=1.0e9)
+
+
+class TestTriggering:
+    def test_cool_cores_untouched(self, dtm):
+        mask = dtm.update(np.array([60.0, 65.0, 69.9, 50.0]))
+        assert not mask.any()
+        assert dtm.trigger_count == 0
+
+    def test_hot_core_throttles(self, dtm):
+        mask = dtm.update(np.array([71.0, 60.0, 60.0, 60.0]))
+        assert mask.tolist() == [True, False, False, False]
+        assert dtm.trigger_count == 1
+
+    def test_hysteresis_keeps_throttling(self, dtm):
+        dtm.update(np.array([71.0, 60.0, 60.0, 60.0]))
+        # cooled below threshold but not below threshold - hysteresis
+        mask = dtm.update(np.array([69.0, 60.0, 60.0, 60.0]))
+        assert mask[0]
+        # cooled enough: released
+        mask = dtm.update(np.array([67.9, 60.0, 60.0, 60.0]))
+        assert not mask[0]
+
+    def test_retrigger_counts_again(self, dtm):
+        dtm.update(np.array([71.0, 60.0, 60.0, 60.0]))
+        dtm.update(np.array([60.0, 60.0, 60.0, 60.0]))
+        dtm.update(np.array([71.0, 60.0, 60.0, 60.0]))
+        assert dtm.trigger_count == 2
+
+    def test_sustained_heat_counts_once(self, dtm):
+        for _ in range(5):
+            dtm.update(np.array([75.0, 60.0, 60.0, 60.0]))
+        assert dtm.trigger_count == 1
+
+    def test_wrong_shape_rejected(self, dtm):
+        with pytest.raises(ValueError):
+            dtm.update(np.zeros(3))
+
+    def test_negative_hysteresis_rejected(self):
+        with pytest.raises(ValueError):
+            DtmController(4, 70.0, -1.0, 1e9)
+
+
+class TestApply:
+    def test_clamps_to_fmin(self, dtm):
+        dtm.update(np.array([75.0, 60.0, 60.0, 60.0]))
+        freqs = dtm.apply(np.full(4, 4.0e9), interval_s=1e-3)
+        assert freqs[0] == pytest.approx(1.0e9)
+        assert np.all(freqs[1:] == 4.0e9)
+
+    def test_does_not_raise_low_frequencies(self, dtm):
+        dtm.update(np.array([75.0, 60.0, 60.0, 60.0]))
+        freqs = dtm.apply(np.full(4, 0.5e9), interval_s=1e-3)
+        assert freqs[0] == pytest.approx(0.5e9)
+
+    def test_accounts_throttled_time(self, dtm):
+        dtm.update(np.array([75.0, 75.0, 60.0, 60.0]))
+        dtm.apply(np.full(4, 4.0e9), interval_s=1e-3)
+        assert dtm.throttled_core_time_s == pytest.approx(2e-3)
+
+    def test_readonly_mask(self, dtm):
+        with pytest.raises(ValueError):
+            dtm.throttled[0] = True

@@ -1,0 +1,111 @@
+"""Structured event log, standalone and engine-integrated."""
+
+import pytest
+
+from repro.sim.events import (
+    DtmEngaged,
+    DtmReleased,
+    EventLog,
+    TaskArrived,
+    TaskCompleted,
+    ThreadMigrated,
+)
+
+
+class TestEventLog:
+    def test_record_and_query(self):
+        log = EventLog()
+        log.record(TaskArrived(0.0, 1, "canneal", 4))
+        log.record(ThreadMigrated(1e-3, "1.0", 5, 6, 30e-6))
+        log.record(TaskCompleted(2e-3, 1, "canneal", 2e-3))
+        assert len(log) == 3
+        assert log.count(ThreadMigrated) == 1
+        assert log.of_type(TaskArrived)[0].benchmark == "canneal"
+        assert log.last(TaskCompleted).response_time_s == pytest.approx(2e-3)
+
+    def test_between(self):
+        log = EventLog()
+        for t in (0.0, 1e-3, 2e-3, 3e-3):
+            log.record(TaskArrived(t, int(t * 1e3), "x264", 2))
+        assert len(log.between(0.5e-3, 2.5e-3)) == 2
+
+    def test_rejects_time_regression(self):
+        log = EventLog()
+        log.record(TaskArrived(1e-3, 0, "x264", 2))
+        with pytest.raises(ValueError):
+            log.record(TaskArrived(0.5e-3, 1, "x264", 2))
+
+    def test_last_missing(self):
+        assert EventLog().last(DtmEngaged) is None
+
+    def test_render(self):
+        log = EventLog()
+        log.record(TaskArrived(0.0, 1, "dedup", 2))
+        text = log.render()
+        assert "TaskArrived" in text
+        assert "dedup" in text
+        assert EventLog().render() == "(no events)"
+
+    def test_render_limit(self):
+        log = EventLog()
+        for i in range(10):
+            log.record(TaskArrived(i * 1e-3, i, "x264", 2))
+        text = log.render(limit=3)
+        assert "7 more" in text
+
+
+class TestEngineIntegration:
+    def test_engine_records_lifecycle(self, cfg16, model16):
+        from repro.sched import FixedRotationScheduler
+        from repro.sim import IntervalSimulator, SimContext
+        from repro.workload import PARSEC, Task
+
+        sim = IntervalSimulator(
+            cfg16,
+            FixedRotationScheduler(tau_s=0.5e-3),
+            [Task(0, PARSEC["blackscholes"], 2, seed=1)],
+            ctx=SimContext(cfg16, model16),
+            record_events=True,
+        )
+        result = sim.run(max_time_s=1.0)
+        log = sim.events
+        assert log.count(TaskArrived) == 1
+        assert log.count(TaskCompleted) == 1
+        assert log.count(ThreadMigrated) == result.migration_count
+        completed = log.last(TaskCompleted)
+        assert completed.response_time_s == pytest.approx(
+            result.tasks[0].response_time_s
+        )
+
+    def test_dtm_events_paired(self, cfg16, model16):
+        from repro.sched import PeakFrequencyScheduler
+        from repro.sim import IntervalSimulator, SimContext
+        from repro.workload import PARSEC, Task
+
+        sim = IntervalSimulator(
+            cfg16,
+            PeakFrequencyScheduler(),
+            [Task(0, PARSEC["blackscholes"], 2, seed=1)],
+            ctx=SimContext(cfg16, model16),
+            record_events=True,
+            warm_start_uniform_power_w=2.8,
+        )
+        result = sim.run(max_time_s=1.0)
+        engaged = sim.events.count(DtmEngaged)
+        released = sim.events.count(DtmReleased)
+        assert engaged == result.dtm_triggers
+        assert engaged >= released >= engaged - 16
+
+    def test_events_off_by_default(self, cfg16, model16):
+        from repro.sched import PeakFrequencyScheduler
+        from repro.sim import IntervalSimulator, SimContext
+        from repro.workload import PARSEC, Task
+
+        sim = IntervalSimulator(
+            cfg16,
+            PeakFrequencyScheduler(),
+            [Task(0, PARSEC["canneal"], 2, seed=1)],
+            ctx=SimContext(cfg16, model16),
+        )
+        sim.run(max_time_s=0.2)
+        assert sim.events is None

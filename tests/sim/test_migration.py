@@ -1,0 +1,69 @@
+"""Migration debt accounting."""
+
+import pytest
+
+from repro.arch.cache import MigrationCostModel
+from repro.arch.topology import Mesh
+from repro.sim.migration import MigrationAccountant
+
+
+@pytest.fixture()
+def accountant():
+    return MigrationAccountant(MigrationCostModel(Mesh(4, 4)))
+
+
+class TestCharging:
+    def test_new_thread_pays_cold_start(self, accountant):
+        moves = accountant.charge_moves({}, {"a": 5})
+        assert moves == []  # cold start is not a migration
+        assert accountant.outstanding_debt_s("a") > 0
+        assert accountant.migration_count == 0
+
+    def test_move_charged(self, accountant):
+        accountant.charge_moves({}, {"a": 5})
+        debt_before = accountant.outstanding_debt_s("a")
+        moves = accountant.charge_moves({"a": 5}, {"a": 6})
+        assert moves == [("a", 5, 6)]
+        assert accountant.migration_count == 1
+        assert accountant.outstanding_debt_s("a") > debt_before
+
+    def test_stationary_thread_not_charged(self, accountant):
+        accountant.charge_moves({}, {"a": 5})
+        accountant.consume_debt("a", 1.0)
+        accountant.charge_moves({"a": 5}, {"a": 5})
+        assert accountant.outstanding_debt_s("a") == 0.0
+
+    def test_total_penalty_accumulates(self, accountant):
+        accountant.charge_moves({}, {"a": 5, "b": 6})
+        base = accountant.total_penalty_s
+        accountant.charge_moves({"a": 5, "b": 6}, {"a": 6, "b": 5})
+        assert accountant.total_penalty_s > base
+        assert accountant.migration_count == 2
+
+
+class TestDebtConsumption:
+    def test_debt_pays_down(self, accountant):
+        accountant.charge_moves({}, {"a": 5})
+        debt = accountant.outstanding_debt_s("a")
+        left = accountant.consume_debt("a", debt / 2)
+        assert left == 0.0
+        assert accountant.outstanding_debt_s("a") == pytest.approx(debt / 2)
+
+    def test_surplus_time_returned(self, accountant):
+        accountant.charge_moves({}, {"a": 5})
+        debt = accountant.outstanding_debt_s("a")
+        left = accountant.consume_debt("a", debt + 1e-3)
+        assert left == pytest.approx(1e-3)
+        assert accountant.outstanding_debt_s("a") == 0.0
+
+    def test_no_debt_full_time(self, accountant):
+        assert accountant.consume_debt("z", 5e-4) == pytest.approx(5e-4)
+
+    def test_negative_time_rejected(self, accountant):
+        with pytest.raises(ValueError):
+            accountant.consume_debt("a", -1.0)
+
+    def test_forget(self, accountant):
+        accountant.charge_moves({}, {"a": 5})
+        accountant.forget("a")
+        assert accountant.outstanding_debt_s("a") == 0.0

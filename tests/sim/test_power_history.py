@@ -1,0 +1,52 @@
+"""The sliding-window power history (the paper's 10 ms signal)."""
+
+import pytest
+
+from repro.sim.engine import _PowerHistory
+
+
+@pytest.fixture()
+def history():
+    return _PowerHistory(window_s=10e-3)
+
+
+class TestWindowAverage:
+    def test_single_sample(self, history):
+        history.record("t", 0.0, 5.0, 1e-3)
+        assert history.average("t") == pytest.approx(5.0)
+
+    def test_time_weighted(self, history):
+        history.record("t", 0.0, 8.0, 1e-3)
+        history.record("t", 1e-3, 2.0, 3e-3)
+        # (8*1 + 2*3) / 4
+        assert history.average("t") == pytest.approx(3.5)
+
+    def test_window_eviction(self, history):
+        history.record("t", 0.0, 100.0, 1e-3)
+        for k in range(1, 25):
+            history.record("t", k * 1e-3, 2.0, 1e-3)
+        # the 100 W sample is > 10 ms old: evicted
+        assert history.average("t") == pytest.approx(2.0)
+
+    def test_recent_returns_last_sample(self, history):
+        history.record("t", 0.0, 8.0, 1e-3)
+        history.record("t", 1e-3, 2.0, 1e-3)
+        assert history.recent("t") == pytest.approx(2.0)
+
+    def test_unknown_thread_raises(self, history):
+        with pytest.raises(KeyError):
+            history.average("ghost")
+        with pytest.raises(KeyError):
+            history.recent("ghost")
+
+    def test_forget(self, history):
+        history.record("t", 0.0, 5.0, 1e-3)
+        history.forget("t")
+        with pytest.raises(KeyError):
+            history.average("t")
+
+    def test_threads_isolated(self, history):
+        history.record("a", 0.0, 8.0, 1e-3)
+        history.record("b", 0.0, 2.0, 1e-3)
+        assert history.average("a") == pytest.approx(8.0)
+        assert history.average("b") == pytest.approx(2.0)

@@ -1,0 +1,102 @@
+"""Per-thread time stacks (compute / stall / migration / wait / queued)."""
+
+import pytest
+
+from repro.sched import FixedRotationScheduler, PeakFrequencyScheduler
+from repro.sim import IntervalSimulator, SimContext
+from repro.sim.metrics import TimeBreakdown
+from repro.workload import PARSEC, Task
+
+
+class TestTimeBreakdownDataclass:
+    def test_total_and_fraction(self):
+        stack = TimeBreakdown(compute_s=0.6, stall_s=0.2, migration_s=0.1,
+                              wait_s=0.1, queued_s=0.0)
+        assert stack.total_s == pytest.approx(1.0)
+        assert stack.fraction("compute") == pytest.approx(0.6)
+        assert stack.fraction("queued") == 0.0
+
+    def test_empty_fraction(self):
+        assert TimeBreakdown().fraction("compute") == 0.0
+        assert TimeBreakdown().render() == "(no time accounted)"
+
+    def test_render(self):
+        text = TimeBreakdown(compute_s=1e-3).render()
+        assert "compute 1.0 ms (100%)" in text
+
+
+class TestEngineAccounting:
+    @pytest.fixture(scope="class")
+    def static_result(self, cfg16, model16):
+        sim = IntervalSimulator(
+            cfg16,
+            PeakFrequencyScheduler(),
+            [Task(0, PARSEC["blackscholes"], 2, seed=1)],
+            ctx=SimContext(cfg16, model16),
+            dtm_enabled=False,
+        )
+        return sim.run(max_time_s=2.0)
+
+    @pytest.fixture(scope="class")
+    def rotating_result(self, cfg16, model16):
+        sim = IntervalSimulator(
+            cfg16,
+            FixedRotationScheduler(tau_s=0.5e-3),
+            [Task(0, PARSEC["blackscholes"], 2, seed=1)],
+            ctx=SimContext(cfg16, model16),
+            dtm_enabled=False,
+        )
+        return sim.run(max_time_s=2.0)
+
+    def test_every_thread_accounted(self, static_result):
+        assert set(static_result.time_breakdown) == {"0.0", "0.1"}
+
+    def test_totals_match_runtime(self, static_result):
+        """Placed time must equal the thread's residency (here: the whole
+        run, no queueing)."""
+        for stack in static_result.time_breakdown.values():
+            assert stack.total_s == pytest.approx(
+                static_result.makespan_s, rel=0.02
+            )
+
+    def test_master_slave_split(self, static_result):
+        """In 2-thread blackscholes the two threads alternate: each spends
+        a large share of its life waiting at barriers."""
+        for stack in static_result.time_breakdown.values():
+            assert stack.wait_s > 0.2 * stack.total_s
+            assert stack.compute_s > 0.1 * stack.total_s
+
+    def test_static_run_pays_only_cold_start(self, static_result):
+        """No migrations ever happen, so the only 'migration' time is the
+        one-off cold-start refill of each thread's private cache."""
+        for stack in static_result.time_breakdown.values():
+            assert stack.migration_s < 100e-6  # one refill, tens of us
+            assert stack.queued_s == 0.0
+
+    def test_rotation_pays_migration_time(self, rotating_result):
+        aggregate = rotating_result.aggregate_breakdown()
+        assert aggregate.migration_s > 0.0
+        # the paper's ~8 % penalty shows up as the migration share of the
+        # busy (non-wait) time
+        busy = aggregate.compute_s + aggregate.stall_s + aggregate.migration_s
+        assert 0.02 < aggregate.migration_s / busy < 0.25
+
+    def test_compute_dominates_stall_for_blackscholes(self, static_result):
+        aggregate = static_result.aggregate_breakdown()
+        assert aggregate.compute_s > 10 * aggregate.stall_s
+
+    def test_queued_time_recorded(self, cfg16, model16):
+        tasks = [
+            Task(0, PARSEC["canneal"], 8, seed=1),
+            Task(1, PARSEC["canneal"], 8, seed=2),
+            Task(2, PARSEC["canneal"], 2, seed=3),  # must queue
+        ]
+        sim = IntervalSimulator(
+            cfg16,
+            PeakFrequencyScheduler(),
+            tasks,
+            ctx=SimContext(cfg16, model16),
+        )
+        result = sim.run(max_time_s=4.0)
+        queued = result.time_breakdown["2.0"]
+        assert queued.queued_s > 0.0

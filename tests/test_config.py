@@ -1,0 +1,96 @@
+"""Table I conformance and configuration behaviour."""
+
+import math
+
+import pytest
+
+from repro import config
+
+
+class TestTable1:
+    """The evaluation platform must match the paper's Table I exactly."""
+
+    def setup_method(self):
+        self.cfg = config.table1()
+
+    def test_core_count(self):
+        assert self.cfg.n_cores == 64
+        assert self.cfg.mesh_width == 8
+        assert self.cfg.mesh_height == 8
+
+    def test_peak_frequency(self):
+        assert self.cfg.dvfs.f_max_hz == pytest.approx(4.0e9)
+
+    def test_l1_caches(self):
+        assert self.cfg.cache.l1i_size_bytes == 16 * 1024
+        assert self.cfg.cache.l1d_size_bytes == 16 * 1024
+        assert self.cfg.cache.l1_associativity == 8
+        assert self.cfg.cache.block_size_bytes == 64
+
+    def test_llc(self):
+        assert self.cfg.cache.llc_bank_size_bytes == 128 * 1024
+        assert self.cfg.cache.llc_associativity == 16
+
+    def test_noc(self):
+        assert self.cfg.noc.hop_latency_s == pytest.approx(1.5e-9)
+        assert self.cfg.noc.link_width_bits == 256
+
+    def test_core_area(self):
+        assert self.cfg.core_area_m2 == pytest.approx(0.81e-6)
+        assert self.cfg.core_edge_m == pytest.approx(math.sqrt(0.81e-6))
+
+    def test_section6_parameters(self):
+        assert self.cfg.thermal.ambient_c == pytest.approx(45.0)
+        assert self.cfg.thermal.dtm_threshold_c == pytest.approx(70.0)
+        assert self.cfg.thermal.headroom_delta_c == pytest.approx(1.0)
+        assert self.cfg.thermal.idle_power_w == pytest.approx(0.3)
+        assert self.cfg.rotation_interval_s == pytest.approx(0.5e-3)
+
+    def test_power_history_window(self):
+        # Algorithm 1 uses the last 10 ms of power history (Section V)
+        assert self.cfg.power_history_window_s == pytest.approx(10.0e-3)
+
+
+class TestDvfsConfig:
+    def test_levels_are_100mhz_steps(self):
+        dvfs = config.DvfsConfig()
+        freqs = dvfs.frequencies()
+        assert freqs[0] == pytest.approx(1.0e9)
+        assert freqs[-1] == pytest.approx(4.0e9)
+        assert len(freqs) == 31
+        steps = [b - a for a, b in zip(freqs, freqs[1:])]
+        assert all(s == pytest.approx(100.0e6) for s in steps)
+
+    def test_voltage_monotone(self):
+        dvfs = config.DvfsConfig()
+        freqs = dvfs.frequencies()
+        volts = [dvfs.voltage(f) for f in freqs]
+        assert volts == sorted(volts)
+        assert volts[0] == pytest.approx(dvfs.v_min)
+        assert volts[-1] == pytest.approx(dvfs.v_max)
+
+    def test_voltage_out_of_range(self):
+        dvfs = config.DvfsConfig()
+        with pytest.raises(ValueError):
+            dvfs.voltage(0.5e9)
+        with pytest.raises(ValueError):
+            dvfs.voltage(5.0e9)
+
+
+class TestConfigVariants:
+    def test_motivational_is_16_core(self):
+        assert config.motivational().n_cores == 16
+
+    def test_small_test_is_4_core(self):
+        assert config.small_test().n_cores == 4
+
+    def test_replace_does_not_mutate(self):
+        base = config.table1()
+        other = base.replace(mesh_width=4)
+        assert base.mesh_width == 8
+        assert other.mesh_width == 4
+        assert other.mesh_height == 8
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            config.table1().mesh_width = 2

@@ -1,0 +1,149 @@
+"""Cross-module integration tests: the paper's claims at reduced scale.
+
+These exercise the full stack (workload -> scheduler -> simulator ->
+thermal) and assert the qualitative results the evaluation section reports,
+sized to run in seconds.
+"""
+
+import numpy as np
+import pytest
+
+from repro import config
+from repro.sched import (
+    FixedRotationScheduler,
+    HotPotatoScheduler,
+    PCGovScheduler,
+    PCMigScheduler,
+    PeakFrequencyScheduler,
+)
+from repro.sim import IntervalSimulator, SimContext
+from repro.workload import PARSEC, Task, homogeneous_fill, materialize
+
+
+@pytest.fixture(scope="module")
+def ctx16(cfg16, model16):
+    return SimContext(cfg16, model16)
+
+
+def run16(cfg16, model16, scheduler, tasks=None, **kwargs):
+    if tasks is None:
+        tasks = [Task(0, PARSEC["blackscholes"], 2, seed=1)]
+    sim = IntervalSimulator(
+        cfg16, scheduler, tasks, ctx=SimContext(cfg16, model16), **kwargs
+    )
+    return sim.run(max_time_s=2.0)
+
+
+class TestMotivationalClaims:
+    """Section I / Fig. 2: the observations motivating the paper."""
+
+    def test_rotation_penalty_below_dvfs_penalty(self, cfg16, model16):
+        """The paper's core observation: the performance penalty of
+        synchronous migration is lower than that of DVFS."""
+        none = run16(cfg16, model16, PeakFrequencyScheduler(), dtm_enabled=False)
+        rotation = run16(cfg16, model16, FixedRotationScheduler(tau_s=0.5e-3))
+        dvfs = run16(cfg16, model16, PCGovScheduler(budget_mode="worst-case"))
+        t_none = none.tasks[0].response_time_s
+        t_rot = rotation.tasks[0].response_time_s
+        t_dvfs = dvfs.tasks[0].response_time_s
+        assert t_none < t_rot < t_dvfs
+
+    def test_rotation_is_thermally_safe(self, cfg16, model16):
+        rotation = run16(
+            cfg16,
+            model16,
+            FixedRotationScheduler(tau_s=0.5e-3),
+            warm_start_uniform_power_w=2.8,
+        )
+        assert (
+            rotation.peak_temperature_c < cfg16.thermal.dtm_threshold_c
+        )
+
+    def test_unmanaged_is_not(self, cfg16, model16):
+        none = run16(
+            cfg16,
+            model16,
+            PeakFrequencyScheduler(),
+            dtm_enabled=False,
+            warm_start_uniform_power_w=2.8,
+        )
+        assert none.peak_temperature_c > cfg16.thermal.dtm_threshold_c
+
+
+class TestSchedulerComparison:
+    """Fig. 4(a) at reduced scale: 16 cores, hot vs cold benchmark."""
+
+    @pytest.fixture(scope="class")
+    def outcomes(self, cfg16, model16):
+        results = {}
+        for bench in ("blackscholes", "canneal"):
+            for scheduler_cls in (PCMigScheduler, HotPotatoScheduler):
+                tasks = materialize(homogeneous_fill(bench, 16, seed=5))
+                sim = IntervalSimulator(
+                    cfg16,
+                    scheduler_cls(),
+                    tasks,
+                    ctx=SimContext(cfg16, model16),
+                )
+                results[(bench, scheduler_cls.name)] = sim.run(max_time_s=4.0)
+        return results
+
+    def test_all_tasks_complete(self, outcomes):
+        for result in outcomes.values():
+            assert result.tasks, "workload did not finish"
+
+    def test_hotpotato_competitive_on_hot_benchmark(self, outcomes):
+        pcmig = outcomes[("blackscholes", "pcmig")].makespan_s
+        hotpotato = outcomes[("blackscholes", "hotpotato")].makespan_s
+        assert hotpotato < pcmig * 1.05
+
+    def test_cold_benchmark_is_a_wash(self, outcomes):
+        pcmig = outcomes[("canneal", "pcmig")].makespan_s
+        hotpotato = outcomes[("canneal", "hotpotato")].makespan_s
+        assert abs(hotpotato / pcmig - 1.0) < 0.10
+
+    def test_both_thermally_reasonable(self, outcomes):
+        for result in outcomes.values():
+            assert result.peak_temperature_c < 72.5
+
+
+class TestAnalyticVsSimulated:
+    """The scheduler's analytic peak must predict the simulated trace."""
+
+    def test_fixed_rotation_peak_prediction(self, cfg16, model16):
+        ctx = SimContext(cfg16, model16)
+        # build the same power pattern the simulator will realize:
+        # one 8 W thread rotating over the centre ring, master phase
+        from repro.core.peak_temperature import rotation_peak_temperature
+
+        seq = np.full((4, 16), cfg16.thermal.idle_power_w)
+        for epoch, core in enumerate((5, 6, 9, 10)):
+            seq[epoch, core] = 8.0
+        analytic = rotation_peak_temperature(
+            ctx.dynamics, seq, 0.5e-3, cfg16.thermal.ambient_c
+        )
+        simulated = run16(
+            cfg16,
+            model16,
+            FixedRotationScheduler(tau_s=0.5e-3),
+            dtm_enabled=False,
+        )
+        # the analytic steady-cycle peak upper-bounds the (shorter,
+        # cold-started) simulated run and is in its ballpark
+        assert simulated.peak_temperature_c <= analytic + 0.5
+        assert analytic - 10.0 <= simulated.peak_temperature_c
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_results(self, cfg16, model16):
+        a = run16(cfg16, model16, HotPotatoScheduler())
+        b = run16(cfg16, model16, HotPotatoScheduler())
+        assert a.makespan_s == b.makespan_s
+        assert a.migration_count == b.migration_count
+        assert a.peak_temperature_c == pytest.approx(b.peak_temperature_c)
+
+    def test_energy_accounting_consistent(self, cfg16, model16):
+        result = run16(cfg16, model16, PeakFrequencyScheduler())
+        # average chip power must lie between all-idle and all-max
+        avg_power = result.energy_j / result.sim_time_s
+        assert 16 * 0.2 < avg_power < 16 * 9.0

@@ -1,0 +1,34 @@
+"""Property-based round trips for serialization."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.io import trace_from_csv, trace_to_csv
+from repro.thermal.trace import ThermalTrace
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n_cores=st.integers(1, 8),
+    samples=st.lists(
+        st.tuples(
+            st.floats(0, 1, allow_nan=False),
+            st.floats(20.0, 150.0, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=20,
+    ),
+)
+def test_trace_csv_round_trip(n_cores, samples, ):
+    trace = ThermalTrace(n_cores)
+    rng = np.random.default_rng(0)
+    time = 0.0
+    for gap, base in samples:
+        time += gap
+        trace.record(time, base + rng.uniform(0, 5, n_cores))
+    restored = trace_from_csv(trace_to_csv(trace))
+    assert restored.n_cores == trace.n_cores
+    assert np.array_equal(restored.times, trace.times)
+    assert np.array_equal(restored.temperatures, trace.temperatures)
+    assert restored.peak() == trace.peak()

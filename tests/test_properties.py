@@ -1,0 +1,233 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+Small platforms keep each example fast; deadlines are disabled where an
+example legitimately costs tens of milliseconds (linear algebra).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.arch.amd import AmdRings, amd_vector
+from repro.arch.topology import Mesh
+from repro.core.peak_temperature import (
+    PeakTemperatureCalculator,
+    rotation_fixed_point,
+    rotation_peak_temperature,
+)
+from repro.core.rotation import RotationGroup, RotationSchedule
+from repro.thermal.floorplan import Floorplan
+from repro.thermal.matex import ThermalDynamics
+from repro.thermal.rc_model import MaterialStack, build_rc_model
+
+_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+# one small model reused across examples (hypothesis-safe: read-only)
+_MODEL = build_rc_model(Floorplan(3, 3), MaterialStack())
+_DYN = ThermalDynamics(_MODEL)
+_CALC = PeakTemperatureCalculator(_DYN, 45.0)
+
+
+# -- mesh / AMD properties ---------------------------------------------------
+
+
+@_SETTINGS
+@given(width=st.integers(2, 9), height=st.integers(2, 9))
+def test_amd_rings_partition_any_mesh(width, height):
+    mesh = Mesh(width, height)
+    rings = AmdRings(mesh)
+    cores = sorted(c for i in range(rings.n_rings) for c in rings.ring(i))
+    assert cores == list(range(mesh.n_cores))
+    values = [rings.ring_value(i) for i in range(rings.n_rings)]
+    assert values == sorted(values)
+
+
+@_SETTINGS
+@given(width=st.integers(2, 9), height=st.integers(2, 9))
+def test_amd_minimum_is_central(width, height):
+    mesh = Mesh(width, height)
+    amd = amd_vector(mesh)
+    assert int(np.argmin(amd)) in mesh.center_cores()
+
+
+@_SETTINGS
+@given(
+    width=st.integers(2, 8),
+    height=st.integers(2, 8),
+    data=st.data(),
+)
+def test_xy_route_is_minimal_everywhere(width, height, data):
+    mesh = Mesh(width, height)
+    src = data.draw(st.integers(0, mesh.n_cores - 1))
+    dst = data.draw(st.integers(0, mesh.n_cores - 1))
+    route = mesh.xy_route(src, dst)
+    assert route[0] == src and route[-1] == dst
+    assert len(route) == mesh.manhattan_distance(src, dst) + 1
+    for a, b in zip(route, route[1:]):
+        assert mesh.manhattan_distance(a, b) == 1
+
+
+# -- thermal-model properties --------------------------------------------------
+
+
+@_SETTINGS
+@given(
+    power=st.lists(
+        st.floats(0.0, 10.0, allow_nan=False), min_size=9, max_size=9
+    ),
+    ambient=st.floats(20.0, 60.0, allow_nan=False),
+)
+def test_steady_state_at_least_ambient(power, ambient):
+    temps = _MODEL.steady_state(np.array(power), ambient)
+    assert np.all(temps >= ambient - 1e-9)
+
+
+@_SETTINGS
+@given(
+    power=st.lists(st.floats(0.0, 8.0, allow_nan=False), min_size=9, max_size=9),
+    extra=st.integers(0, 8),
+    bump=st.floats(0.1, 5.0, allow_nan=False),
+)
+def test_steady_state_monotone_in_power(power, extra, bump):
+    """Adding power anywhere cannot cool any node."""
+    base = _MODEL.steady_state(np.array(power), 45.0)
+    more = np.array(power)
+    more[extra] += bump
+    hotter = _MODEL.steady_state(more, 45.0)
+    assert np.all(hotter >= base - 1e-9)
+
+
+@_SETTINGS
+@given(
+    power=st.lists(st.floats(0.0, 8.0, allow_nan=False), min_size=9, max_size=9),
+    tau=st.floats(1e-4, 5e-2, allow_nan=False),
+)
+def test_transient_bounded_by_extremes(power, tau):
+    """From ambient, a transient never overshoots the steady state."""
+    power = np.array(power)
+    steady = _MODEL.steady_state(power, 45.0)
+    temps = _MODEL.ambient_vector(45.0)
+    for _ in range(5):
+        temps = _DYN.step(temps, power, 45.0, tau)
+        assert np.all(temps <= steady + 1e-6)
+        assert np.all(temps >= 45.0 - 1e-6)
+
+
+@_SETTINGS
+@given(
+    power=st.lists(st.floats(0.0, 8.0, allow_nan=False), min_size=9, max_size=9),
+    split=st.floats(0.1, 0.9),
+    tau=st.floats(5e-4, 2e-2, allow_nan=False),
+)
+def test_step_composition(power, split, tau):
+    """Exactness: stepping tau equals stepping split*tau then rest."""
+    power = np.array(power)
+    start = _MODEL.steady_state(np.roll(power, 1), 45.0)
+    one = _DYN.step(start, power, 45.0, tau)
+    two = _DYN.step(
+        _DYN.step(start, power, 45.0, split * tau), power, 45.0, (1 - split) * tau
+    )
+    assert np.allclose(one, two, atol=1e-8)
+
+
+# -- rotation peak-temperature properties ----------------------------------------
+
+
+@_SETTINGS
+@given(
+    seq=st.lists(
+        st.lists(st.floats(0.0, 8.0, allow_nan=False), min_size=9, max_size=9),
+        min_size=1,
+        max_size=5,
+    ),
+    tau=st.floats(2e-4, 5e-3, allow_nan=False),
+)
+def test_algorithm1_equals_closed_form(seq, tau):
+    seq = np.array(seq)
+    closed = rotation_fixed_point(_DYN, seq, tau, 45.0)
+    alg1 = _CALC.boundary_temperatures(seq, tau)
+    assert np.allclose(alg1, closed[:, :9], atol=1e-6)
+
+
+@_SETTINGS
+@given(
+    seq=st.lists(
+        st.lists(st.floats(0.0, 8.0, allow_nan=False), min_size=9, max_size=9),
+        min_size=2,
+        max_size=4,
+    ),
+    tau=st.floats(2e-4, 5e-3, allow_nan=False),
+    shift=st.integers(1, 3),
+)
+def test_peak_invariant_under_cyclic_shift(seq, tau, shift):
+    seq = np.array(seq)
+    base = rotation_peak_temperature(_DYN, seq, tau, 45.0)
+    rolled = rotation_peak_temperature(_DYN, np.roll(seq, shift, axis=0), tau, 45.0)
+    assert base == pytest.approx(rolled, abs=1e-6)
+
+
+@_SETTINGS
+@given(
+    seq=st.lists(
+        st.lists(st.floats(0.3, 8.0, allow_nan=False), min_size=9, max_size=9),
+        min_size=2,
+        max_size=4,
+    ),
+    tau=st.floats(2e-4, 5e-3, allow_nan=False),
+)
+def test_peak_bounded_by_power_extremes(seq, tau):
+    """The rotation peak lies between the steady peaks of the epoch-wise
+    minimum and maximum power maps."""
+    seq = np.array(seq)
+    lower = _CALC.steady_peak(np.min(seq, axis=0))
+    upper = _CALC.steady_peak(np.max(seq, axis=0))
+    peak = rotation_peak_temperature(_DYN, seq, tau, 45.0)
+    assert lower - 1e-6 <= peak <= upper + 1e-6
+
+
+@_SETTINGS
+@given(
+    power=st.lists(st.floats(0.3, 8.0, allow_nan=False), min_size=9, max_size=9),
+    delta=st.integers(1, 4),
+    tau=st.floats(2e-4, 5e-3, allow_nan=False),
+)
+def test_constant_sequence_equals_steady(power, delta, tau):
+    seq = np.tile(np.array(power), (delta, 1))
+    peak = _CALC.peak(seq, tau)
+    assert peak == pytest.approx(_CALC.steady_peak(np.array(power)), abs=1e-5)
+
+
+# -- rotation-schedule properties ---------------------------------------------------
+
+
+@_SETTINGS
+@given(
+    n_threads=st.integers(1, 4),
+    epoch=st.integers(0, 30),
+)
+def test_rotation_placement_is_injective(n_threads, epoch):
+    cores = [0, 1, 2, 4]
+    slots = [f"t{i}" for i in range(n_threads)] + [None] * (4 - n_threads)
+    schedule = RotationSchedule([RotationGroup(cores, slots)], 1e-3)
+    placement = schedule.placement_at(epoch)
+    assert len(placement) == n_threads
+    assert len(set(placement.values())) == n_threads
+    assert set(placement.values()) <= set(cores)
+
+
+@_SETTINGS
+@given(n_threads=st.integers(1, 4))
+def test_rotation_power_is_conserved(n_threads):
+    """Total chip power is identical in every epoch of a rotation."""
+    cores = [0, 1, 2, 4]
+    slots = [f"t{i}" for i in range(n_threads)] + [None] * (4 - n_threads)
+    schedule = RotationSchedule([RotationGroup(cores, slots)], 1e-3)
+    powers = {f"t{i}": 2.0 + i for i in range(n_threads)}
+    seq = schedule.power_sequence(9, powers, idle_power_w=0.3)
+    totals = seq.sum(axis=1)
+    assert np.allclose(totals, totals[0])

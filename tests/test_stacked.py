@@ -1,0 +1,185 @@
+"""3D-stacked S-NUCA extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.peak_temperature import (
+    brute_force_peak,
+    rotation_peak_temperature,
+)
+from repro.stacked import (
+    Amd3dRings,
+    Mesh3D,
+    StackedMaterialStack,
+    build_rc_model_3d,
+    default_stacked_stack,
+    amd3d_vector,
+)
+from repro.thermal.matex import ThermalDynamics
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    return Mesh3D(4, 4, 2)
+
+
+@pytest.fixture(scope="module")
+def model(mesh):
+    return build_rc_model_3d(mesh, default_stacked_stack())
+
+
+@pytest.fixture(scope="module")
+def dynamics(model):
+    return ThermalDynamics(model)
+
+
+class TestMesh3D:
+    def test_indexing_roundtrip(self, mesh):
+        for core in range(mesh.n_cores):
+            assert mesh.core_at(*mesh.position(core)) == core
+
+    def test_layer_of(self, mesh):
+        assert mesh.layer_of(0) == 0
+        assert mesh.layer_of(16) == 1
+
+    def test_stacked_column(self, mesh):
+        column = mesh.stacked_column(5)
+        assert column == [5, 21]
+        assert mesh.stacked_column(21) == [5, 21]
+
+    def test_distance_weights_tsv(self, mesh):
+        # same column, one layer apart: one weighted vertical hop
+        assert mesh.distance(5, 21) == pytest.approx(mesh.tsv_hop_weight)
+        # lateral-only distance unchanged from 2D
+        assert mesh.distance(0, 3) == pytest.approx(3.0)
+
+    def test_neighbors_include_vertical(self, mesh):
+        assert 21 in mesh.neighbors(5)
+        assert 5 in mesh.neighbors(21)
+        # interior core of a 2-layer stack: 4 lateral + 1 vertical
+        assert len(mesh.neighbors(5)) == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Mesh3D(0, 4, 2)
+        with pytest.raises(ValueError):
+            Mesh3D(4, 4, 2, tsv_hop_weight=0.0)
+        with pytest.raises(IndexError):
+            Mesh3D(2, 2, 2).position(8)
+
+    def test_amd_symmetric_across_layers(self, mesh):
+        """With 2 layers the stack is mirror-symmetric: AMD is equal for
+        vertically aligned cores."""
+        amd = amd3d_vector(mesh)
+        for core in range(16):
+            assert amd[core] == pytest.approx(amd[core + 16])
+
+
+class TestStackedModel:
+    def test_structure(self, model, mesh):
+        assert model.n_cores == 32
+        assert model.n_nodes == 32 + 16 + 1
+        b = model.b_matrix
+        assert np.allclose(b, b.T)
+        assert np.all(np.linalg.eigvalsh(b) > 0)
+
+    def test_eigenvalues_negative(self, dynamics):
+        assert np.all(dynamics.eigenvalues < 0)
+
+    def test_upper_layer_runs_hotter(self, model, mesh):
+        """The defining 3D thermal problem."""
+        peaks = []
+        for layer in (0, 1):
+            power = np.full(32, 0.3)
+            power[mesh.core_at(layer, 1, 1)] = 8.0
+            temps = model.steady_state(power, 45.0)
+            peaks.append(np.max(model.core_temperatures(temps)))
+        assert peaks[1] > peaks[0] + 10.0
+
+    def test_layer_slice(self, model, mesh):
+        temps = np.arange(model.n_nodes, dtype=float)
+        lower = model.layer_slice(temps, 0)
+        upper = model.layer_slice(temps, 1)
+        assert np.array_equal(lower, np.arange(16.0))
+        assert np.array_equal(upper, np.arange(16.0, 32.0))
+
+    def test_stronger_bond_cools_upper_layer(self, mesh):
+        import dataclasses
+
+        weak = build_rc_model_3d(
+            mesh,
+            dataclasses.replace(default_stacked_stack(), tsv_conductance_boost=1.0),
+        )
+        strong = build_rc_model_3d(
+            mesh,
+            dataclasses.replace(default_stacked_stack(), tsv_conductance_boost=10.0),
+        )
+        power = np.full(32, 0.3)
+        power[mesh.core_at(1, 1, 1)] = 8.0
+        peak_weak = np.max(weak.core_temperatures(weak.steady_state(power, 45.0)))
+        peak_strong = np.max(
+            strong.core_temperatures(strong.steady_state(power, 45.0))
+        )
+        assert peak_strong < peak_weak - 5.0
+
+
+class TestVerticalRotation:
+    def test_rotation_averages_layer_gradient(self, model, mesh, dynamics):
+        """Rotating a thread through its stacked column lands between the
+        pinned-bottom and pinned-top extremes."""
+        column = mesh.stacked_column(mesh.core_at(0, 1, 1))
+        power_w = 4.0
+        peaks = {}
+        for name, core in (("bottom", column[0]), ("top", column[1])):
+            power = np.full(32, 0.3)
+            power[core] = power_w
+            temps = model.steady_state(power, 45.0)
+            peaks[name] = float(np.max(model.core_temperatures(temps)))
+        seq = np.full((2, 32), 0.3)
+        seq[0, column[0]] = power_w
+        seq[1, column[1]] = power_w
+        rotated = rotation_peak_temperature(dynamics, seq, 0.5e-3, 45.0)
+        assert peaks["bottom"] < rotated < peaks["top"]
+
+    def test_analytic_matches_brute_force_in_3d(self, dynamics, mesh):
+        """The Section IV machinery is substrate-agnostic: closed form and
+        transient simulation agree on the stack too."""
+        column = mesh.stacked_column(5)
+        seq = np.full((2, 32), 0.3)
+        seq[0, column[0]] = 5.0
+        seq[1, column[1]] = 5.0
+        analytic = rotation_peak_temperature(dynamics, seq, 0.5e-3, 45.0)
+        brute, _ = brute_force_peak(dynamics, seq, 0.5e-3, 45.0, n_periods=3000)
+        assert analytic == pytest.approx(brute, abs=1e-3)
+
+
+class TestAmd3dRings:
+    def test_rings_partition(self, mesh):
+        rings = Amd3dRings(mesh)
+        cores = sorted(c for i in range(rings.n_rings) for c in rings.ring(i))
+        assert cores == list(range(32))
+
+    def test_rings_span_layers(self, mesh):
+        """The 2D premise (one ring = one thermal class) breaks in 3D."""
+        rings = Amd3dRings(mesh)
+        assert any(
+            not rings.thermally_homogeneous(i) for i in range(rings.n_rings)
+        )
+
+    def test_ring_values_sorted(self, mesh):
+        rings = Amd3dRings(mesh)
+        values = [rings.ring_value(i) for i in range(rings.n_rings)]
+        assert values == sorted(values)
+
+
+class TestExperiment:
+    def test_stacked3d_experiment_shape(self):
+        from repro.experiments import stacked3d
+
+        result = stacked3d.run()
+        assert result.layer_gradient_c > 10.0
+        assert result.rotation_rescues_top_layer
+        assert result.rings_span_layers
+        text = result.render()
+        assert "layer gradient" in text
+        assert "vertical rotation" in text

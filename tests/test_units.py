@@ -1,0 +1,29 @@
+"""Unit helpers."""
+
+import pytest
+
+from repro import units
+
+
+def test_celsius_kelvin_roundtrip():
+    assert units.celsius_to_kelvin(0.0) == pytest.approx(273.15)
+    assert units.kelvin_to_celsius(units.celsius_to_kelvin(45.0)) == pytest.approx(45.0)
+
+
+def test_time_helpers():
+    assert units.ms(0.5) == pytest.approx(0.5e-3)
+    assert units.us(23.76) == pytest.approx(23.76e-6)
+    assert units.ns(1.5) == pytest.approx(1.5e-9)
+
+
+def test_frequency_helpers():
+    assert units.ghz(4.0) == pytest.approx(4.0e9)
+    assert units.mhz(100.0) == pytest.approx(1.0e8)
+    assert units.ghz(1.0) == 10 * units.mhz(100.0)
+
+
+def test_length_helpers():
+    assert units.mm(0.9) == pytest.approx(0.9e-3)
+    assert units.mm2(0.81) == pytest.approx(0.81e-6)
+    # a 0.81 mm^2 core has a 0.9 mm edge
+    assert units.mm(0.9) ** 2 == pytest.approx(units.mm2(0.81))

@@ -1,0 +1,78 @@
+"""Analytic within-step peak detection (MatEx-style root finding)."""
+
+import numpy as np
+import pytest
+
+from repro.thermal.floorplan import Floorplan
+from repro.thermal.matex import ThermalDynamics
+from repro.thermal.rc_model import MaterialStack, build_rc_model
+
+
+@pytest.fixture(scope="module")
+def dyn():
+    return ThermalDynamics(build_rc_model(Floorplan(3, 3), MaterialStack()))
+
+
+def dense_peak(dyn, temps, power, tau, samples=4000):
+    _, trajectory = dyn.transient(temps, power, 45.0, tau, samples)
+    cores = dyn.model.core_temperatures(trajectory)
+    start = np.max(dyn.model.core_temperatures(np.asarray(temps)))
+    return max(float(start), float(np.max(cores)))
+
+
+class TestAnalyticPeak:
+    def test_matches_dense_sampling_on_overshoot(self, dyn, rng):
+        """Start hot on one core while heating another: the interior
+        trajectory has a genuine maximum away from both endpoints."""
+        model = dyn.model
+        hot_start = model.steady_state(
+            np.array([6.0, 0.3, 0.3, 0.3, 0.3, 0.3, 0.3, 0.3, 0.3]), 45.0
+        )
+        power = np.array([0.3, 0.3, 0.3, 0.3, 6.0, 0.3, 0.3, 0.3, 0.3])
+        tau = 20e-3
+        analytic = dyn.analytic_peak_during_step(hot_start, power, 45.0, tau)
+        dense = dense_peak(dyn, hot_start, power, tau)
+        assert analytic == pytest.approx(dense, abs=1e-3)
+
+    def test_random_cases_match_dense(self, dyn, rng):
+        model = dyn.model
+        for _ in range(5):
+            start = model.steady_state(rng.uniform(0.0, 6.0, 9), 45.0)
+            power = rng.uniform(0.0, 6.0, 9)
+            tau = float(rng.uniform(1e-3, 3e-2))
+            analytic = dyn.analytic_peak_during_step(start, power, 45.0, tau)
+            dense = dense_peak(dyn, start, power, tau)
+            assert analytic == pytest.approx(dense, abs=2e-3)
+
+    def test_at_least_endpoint_sampling(self, dyn, rng):
+        model = dyn.model
+        start = model.ambient_vector(45.0)
+        power = rng.uniform(0.0, 6.0, 9)
+        analytic = dyn.analytic_peak_during_step(start, power, 45.0, 5e-3)
+        sampled = dyn.peak_during_step(start, power, 45.0, 5e-3, n_samples=4)
+        assert analytic >= sampled - 1e-9
+
+    def test_monotone_heating_peak_is_endpoint(self, dyn):
+        model = dyn.model
+        start = model.ambient_vector(45.0)
+        power = np.full(9, 4.0)
+        tau = 5e-3
+        analytic = dyn.analytic_peak_during_step(start, power, 45.0, tau)
+        end = dyn.step(start, power, 45.0, tau)
+        assert analytic == pytest.approx(
+            float(np.max(model.core_temperatures(end))), abs=1e-6
+        )
+
+    def test_cooling_peak_is_start(self, dyn):
+        model = dyn.model
+        hot = model.steady_state(np.full(9, 5.0), 45.0)
+        analytic = dyn.analytic_peak_during_step(hot, np.zeros(9), 45.0, 10e-3)
+        assert analytic == pytest.approx(
+            float(np.max(model.core_temperatures(hot))), abs=1e-9
+        )
+
+    def test_rejects_bad_tau(self, dyn):
+        with pytest.raises(ValueError):
+            dyn.analytic_peak_during_step(
+                dyn.model.ambient_vector(45.0), np.zeros(9), 45.0, 0.0
+            )

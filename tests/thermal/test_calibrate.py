@@ -1,0 +1,73 @@
+"""Calibration anchors (the published operating points)."""
+
+import numpy as np
+import pytest
+
+from repro import config
+from repro.thermal.calibrate import (
+    HOT_THREAD_POWER_W,
+    MOTIVATIONAL_PEAK_C,
+    UNIFORM_SUSTAINABLE_POWER_W,
+    calibrated_model,
+    calibrated_stack,
+)
+from repro.thermal.steady_state import steady_peak, sustainable_uniform_power
+
+
+class TestAnchors:
+    def test_motivational_hotspot(self, model16, cfg16):
+        """One hot thread on core 5 of the 16-core chip -> ~80 degC
+        (the Fig. 2a operating point)."""
+        power = np.full(16, cfg16.thermal.idle_power_w)
+        power[5] = HOT_THREAD_POWER_W
+        peak = steady_peak(model16, power, cfg16.thermal.ambient_c)
+        assert peak == pytest.approx(MOTIVATIONAL_PEAK_C, abs=0.05)
+
+    def test_uniform_sustainability(self, model64, cfg64):
+        budget = sustainable_uniform_power(
+            model64, cfg64.thermal.ambient_c, cfg64.thermal.dtm_threshold_c
+        )
+        assert budget == pytest.approx(UNIFORM_SUSTAINABLE_POWER_W, abs=0.01)
+
+    def test_hotspot_exceeds_threshold(self, cfg16):
+        """The motivational scenario must violate the 70 degC threshold —
+        otherwise Fig. 2a would need no management at all."""
+        assert MOTIVATIONAL_PEAK_C > cfg16.thermal.dtm_threshold_c
+
+    def test_rotation_average_is_sustainable(self, model16, cfg16):
+        """Rotating the hot thread over the 4 centre cores must land below
+        the threshold (Fig. 2c)."""
+        avg = (HOT_THREAD_POWER_W + 3 * cfg16.thermal.idle_power_w) / 4
+        power = np.full(16, cfg16.thermal.idle_power_w)
+        for core in (5, 6, 9, 10):
+            power[core] = avg
+        peak = steady_peak(model16, power, cfg16.thermal.ambient_c)
+        assert peak < cfg16.thermal.dtm_threshold_c
+
+
+class TestStackProperties:
+    def test_deterministic(self):
+        assert calibrated_stack() == calibrated_stack()
+
+    def test_knobs_positive(self):
+        stack = calibrated_stack()
+        assert stack.vertical_scale > 0
+        assert stack.lateral_scale > 0
+
+    def test_same_stack_for_both_platforms(self):
+        """16- and 64-core chips share one material stack (same process)."""
+        a = calibrated_stack(config.motivational())
+        b = calibrated_stack(config.table1())
+        assert a == b
+
+    def test_edge_thermal_advantage(self, model64, cfg64):
+        """High-AMD (edge) cores must run cooler than low-AMD (centre)
+        cores for the same power — the paper's ring trade-off."""
+        idle = cfg64.thermal.idle_power_w
+        power = np.full(64, idle)
+        power[27] = HOT_THREAD_POWER_W  # centre
+        center = steady_peak(model64, power, cfg64.thermal.ambient_c)
+        power = np.full(64, idle)
+        power[0] = HOT_THREAD_POWER_W  # corner
+        corner = steady_peak(model64, power, cfg64.thermal.ambient_c)
+        assert center > corner + 1.0

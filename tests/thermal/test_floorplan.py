@@ -1,0 +1,93 @@
+"""Floorplan geometry."""
+
+import math
+
+import pytest
+
+from repro.thermal.floorplan import Floorplan
+
+
+class TestConstruction:
+    def test_table1_floorplan(self):
+        fp = Floorplan(8, 8, 0.81e-6)
+        assert fp.n_cores == 64
+        assert fp.die_area_m2 == pytest.approx(64 * 0.81e-6)
+        assert fp.core_edge_m == pytest.approx(0.9e-3)
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            Floorplan(0, 4)
+        with pytest.raises(ValueError):
+            Floorplan(4, -1)
+        with pytest.raises(ValueError):
+            Floorplan(4, 4, core_area_m2=0.0)
+
+    def test_block_positions_row_major(self):
+        fp = Floorplan(4, 4)
+        assert fp.block(0).row == 0 and fp.block(0).col == 0
+        assert fp.block(3).row == 0 and fp.block(3).col == 3
+        assert fp.block(5).row == 1 and fp.block(5).col == 1
+        assert fp.block(15).row == 3 and fp.block(15).col == 3
+
+    def test_block_centres(self):
+        fp = Floorplan(2, 2, 1.0e-6)  # 1 mm edge
+        assert fp.block(0).x_m == pytest.approx(0.5e-3)
+        assert fp.block(3).x_m == pytest.approx(1.5e-3)
+        assert fp.block(3).y_m == pytest.approx(1.5e-3)
+
+    def test_block_area(self):
+        fp = Floorplan(3, 3, 0.81e-6)
+        for block in fp.blocks():
+            assert block.area_m2 == pytest.approx(0.81e-6)
+
+
+class TestAdjacency:
+    def test_interior_has_four_neighbors(self):
+        fp = Floorplan(4, 4)
+        assert sorted(fp.neighbors(5)) == [1, 4, 6, 9]
+
+    def test_corner_has_two_neighbors(self):
+        fp = Floorplan(4, 4)
+        assert sorted(fp.neighbors(0)) == [1, 4]
+        assert sorted(fp.neighbors(15)) == [11, 14]
+
+    def test_edge_has_three_neighbors(self):
+        fp = Floorplan(4, 4)
+        assert sorted(fp.neighbors(1)) == [0, 2, 5]
+
+    def test_lateral_pair_count(self):
+        # W x H grid has W*(H-1) + H*(W-1) shared edges
+        fp = Floorplan(4, 4)
+        assert len(fp.lateral_pairs()) == 24
+        fp = Floorplan(8, 8)
+        assert len(fp.lateral_pairs()) == 112
+
+    def test_lateral_pairs_ordered_unique(self):
+        fp = Floorplan(3, 2)
+        pairs = fp.lateral_pairs()
+        assert len(set(pairs)) == len(pairs)
+        assert all(a < b for a, b in pairs)
+
+    def test_boundary_detection(self):
+        fp = Floorplan(4, 4)
+        interior = [c for c in range(16) if not fp.is_boundary(c)]
+        assert interior == [5, 6, 9, 10]  # the paper's motivational cores
+
+    def test_single_row_all_boundary(self):
+        fp = Floorplan(5, 1)
+        assert all(fp.is_boundary(c) for c in range(5))
+
+
+class TestIndexing:
+    def test_core_at_and_position_inverse(self):
+        fp = Floorplan(5, 3)
+        for core in range(fp.n_cores):
+            row, col = fp.position(core)
+            assert fp.core_at(row, col) == core
+
+    def test_out_of_range(self):
+        fp = Floorplan(2, 2)
+        with pytest.raises(IndexError):
+            fp.position(4)
+        with pytest.raises(IndexError):
+            fp.core_at(2, 0)

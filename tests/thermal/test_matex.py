@@ -1,0 +1,166 @@
+"""MatEx transient solver: eigendecomposition and exact stepping."""
+
+import numpy as np
+import pytest
+import scipy.linalg
+
+from repro.thermal.floorplan import Floorplan
+from repro.thermal.matex import ThermalDynamics
+from repro.thermal.rc_model import MaterialStack, build_rc_model
+
+
+@pytest.fixture(scope="module")
+def small():
+    model = build_rc_model(Floorplan(2, 2), MaterialStack())
+    return model, ThermalDynamics(model)
+
+
+class TestEigendecomposition:
+    def test_all_eigenvalues_negative(self, small):
+        _, dyn = small
+        assert np.all(dyn.eigenvalues < 0)
+
+    def test_eigenvectors_reconstruct_c(self, small):
+        model, dyn = small
+        c = -np.linalg.solve(model.a_matrix, model.b_matrix)
+        recon = (dyn.eigenvectors * dyn.eigenvalues[None, :]) @ dyn.eigenvectors_inv
+        assert np.allclose(recon, c, atol=1e-8)
+
+    def test_inverse_eigenvectors(self, small):
+        _, dyn = small
+        identity = dyn.eigenvectors @ dyn.eigenvectors_inv
+        assert np.allclose(identity, np.eye(len(dyn.eigenvalues)), atol=1e-10)
+
+    def test_exp_c_matches_scipy_expm(self, small):
+        """The analytic matrix exponential equals scipy's Pade expm."""
+        model, dyn = small
+        c = -np.linalg.solve(model.a_matrix, model.b_matrix)
+        for tau in (1e-4, 1e-3, 1e-2, 0.1):
+            expected = scipy.linalg.expm(c * tau)
+            assert np.allclose(dyn.exp_c(tau), expected, atol=1e-9)
+
+    def test_exp_c_zero_is_identity(self, small):
+        _, dyn = small
+        assert np.allclose(dyn.exp_c(0.0), np.eye(dyn.model.n_nodes))
+
+    def test_exp_c_semigroup(self, small):
+        """exp(C (a+b)) == exp(C a) exp(C b)."""
+        _, dyn = small
+        a, b = 3e-3, 7e-3
+        assert np.allclose(dyn.exp_c(a) @ dyn.exp_c(b), dyn.exp_c(a + b), atol=1e-10)
+
+    def test_exp_c_cached(self, small):
+        _, dyn = small
+        assert dyn.exp_c(1e-3) is dyn.exp_c(1e-3)
+
+    def test_exp_c_rejects_negative_tau(self, small):
+        _, dyn = small
+        with pytest.raises(ValueError):
+            dyn.exp_c(-1e-3)
+
+    def test_rejects_indefinite_b(self):
+        model = build_rc_model(Floorplan(2, 2), MaterialStack())
+        # zero out the ambient leg -> B only PSD -> must be rejected
+        from repro.thermal.rc_model import RCThermalModel
+
+        b = model.b_matrix
+        g = model.g_vector
+        b[model.sink_node, model.sink_node] -= g[model.sink_node]
+        broken = RCThermalModel(
+            model.floorplan,
+            model.capacitance_vector.copy(),
+            b,
+            np.zeros_like(g),
+            model.stack,
+        )
+        with pytest.raises(ValueError):
+            ThermalDynamics(broken)
+
+
+class TestStep:
+    def test_step_converges_to_steady_state(self, small):
+        model, dyn = small
+        power = np.array([4.0, 0.3, 0.3, 0.3])
+        temps = model.ambient_vector(45.0)
+        for _ in range(300):
+            temps = dyn.step(temps, power, 45.0, 10e-3)
+        expected = model.steady_state(power, 45.0)
+        assert np.allclose(temps, expected, atol=1e-6)
+
+    def test_step_is_exact_vs_composition(self, small):
+        """One 2 ms step equals two 1 ms steps (piecewise-constant power)."""
+        model, dyn = small
+        power = np.array([3.0, 1.0, 0.5, 0.3])
+        start = model.ambient_vector(45.0)
+        one = dyn.step(start, power, 45.0, 2e-3)
+        two = dyn.step(dyn.step(start, power, 45.0, 1e-3), power, 45.0, 1e-3)
+        assert np.allclose(one, two, atol=1e-10)
+
+    def test_step_from_steady_state_stays(self, small):
+        model, dyn = small
+        power = np.array([2.0, 2.0, 0.3, 0.3])
+        steady = model.steady_state(power, 45.0)
+        after = dyn.step(steady, power, 45.0, 5e-3)
+        assert np.allclose(after, steady, atol=1e-9)
+
+    def test_monotone_heating_from_ambient(self, small):
+        model, dyn = small
+        power = np.array([5.0, 0.3, 0.3, 0.3])
+        temps = model.ambient_vector(45.0)
+        last_peak = 45.0
+        for _ in range(20):
+            temps = dyn.step(temps, power, 45.0, 1e-3)
+            peak = float(np.max(temps))
+            assert peak >= last_peak - 1e-9
+            last_peak = peak
+
+
+class TestTransient:
+    def test_transient_endpoints_match_step(self, small):
+        model, dyn = small
+        power = np.array([4.0, 0.3, 1.0, 0.3])
+        start = model.ambient_vector(45.0)
+        times, temps = dyn.transient(start, power, 45.0, 5e-3, n_samples=10)
+        assert times[-1] == pytest.approx(5e-3)
+        stepped = dyn.step(start, power, 45.0, 5e-3)
+        assert np.allclose(temps[-1], stepped, atol=1e-9)
+
+    def test_transient_sample_count(self, small):
+        model, dyn = small
+        start = model.ambient_vector(45.0)
+        times, temps = dyn.transient(start, np.zeros(4), 45.0, 1e-2, 7)
+        assert times.shape == (7,)
+        assert temps.shape == (7, model.n_nodes)
+
+    def test_transient_rejects_zero_samples(self, small):
+        model, dyn = small
+        with pytest.raises(ValueError):
+            dyn.transient(model.ambient_vector(45.0), np.zeros(4), 45.0, 1e-2, 0)
+
+    def test_peak_during_step_at_least_boundary(self, small):
+        model, dyn = small
+        power = np.array([6.0, 0.3, 0.3, 0.3])
+        start = model.ambient_vector(45.0)
+        end = dyn.step(start, power, 45.0, 2e-3)
+        inner_peak = dyn.peak_during_step(start, power, 45.0, 2e-3)
+        assert inner_peak >= float(np.max(model.core_temperatures(end))) - 1e-9
+
+    def test_peak_during_cooling_is_initial(self, small):
+        """When power drops, the within-step peak is the starting temp."""
+        model, dyn = small
+        hot = model.steady_state(np.array([6.0, 0.3, 0.3, 0.3]), 45.0)
+        idle = np.full(4, 0.3)
+        peak = dyn.peak_during_step(hot, idle, 45.0, 5e-3)
+        assert peak == pytest.approx(float(np.max(hot[:4])), abs=1e-9)
+
+
+class TestTimeConstants:
+    def test_slowest_time_constant_positive(self, small):
+        _, dyn = small
+        assert dyn.slowest_time_constant_s > 0
+
+    def test_core_time_constant_supports_sub_ms_rotation(self, dynamics16):
+        """The fastest (core-level) modes must be slower than the paper's
+        0.5 ms rotation epoch, otherwise rotation could not average heat."""
+        fastest = float(np.min(-1.0 / dynamics16.eigenvalues))
+        assert fastest > 0.5e-3

@@ -1,0 +1,79 @@
+"""Steady-state queries and derived quantities."""
+
+import numpy as np
+import pytest
+
+from repro.thermal.steady_state import (
+    heat_distribution_matrix,
+    steady_core_temperatures,
+    steady_peak,
+    sustainable_uniform_power,
+    uniform_power_response,
+)
+
+
+class TestSteadyQueries:
+    def test_steady_core_temperatures_shape(self, model16):
+        temps = steady_core_temperatures(model16, np.full(16, 1.0), 45.0)
+        assert temps.shape == (16,)
+
+    def test_steady_peak_matches_max(self, model16):
+        power = np.full(16, 0.3)
+        power[5] = 6.0
+        temps = steady_core_temperatures(model16, power, 45.0)
+        assert steady_peak(model16, power, 45.0) == pytest.approx(np.max(temps))
+
+    def test_uniform_response_positive(self, model16):
+        response = uniform_power_response(model16)
+        assert response.shape == (16,)
+        assert np.all(response > 0)
+
+    def test_uniform_response_center_hottest(self, model64):
+        response = uniform_power_response(model64)
+        hottest = int(np.argmax(response))
+        # the hottest core under uniform load is one of the 4 centre cores
+        assert hottest in (27, 28, 35, 36)
+
+    def test_uniform_response_scales_linearly(self, model16):
+        response = uniform_power_response(model16)
+        temps = steady_core_temperatures(model16, np.full(16, 3.0), 45.0)
+        assert np.allclose(temps, 45.0 + 3.0 * response, atol=1e-9)
+
+
+class TestSustainablePower:
+    def test_sustainable_power_hits_limit_exactly(self, model64):
+        budget = sustainable_uniform_power(model64, 45.0, 70.0)
+        peak = steady_peak(model64, np.full(64, budget), 45.0)
+        assert peak == pytest.approx(70.0, abs=1e-6)
+
+    def test_sustainable_power_monotone_in_limit(self, model64):
+        low = sustainable_uniform_power(model64, 45.0, 60.0)
+        high = sustainable_uniform_power(model64, 45.0, 80.0)
+        assert high > low
+
+    def test_sustainable_power_rejects_limit_below_ambient(self, model64):
+        with pytest.raises(ValueError):
+            sustainable_uniform_power(model64, 45.0, 40.0)
+
+
+class TestHeatDistribution:
+    def test_shape_and_symmetry(self, model16):
+        h = heat_distribution_matrix(model16)
+        assert h.shape == (16, 16)
+        # B symmetric => its inverse (and the core block) is symmetric
+        assert np.allclose(h, h.T, atol=1e-12)
+
+    def test_reproduces_steady_state(self, model16, rng):
+        h = heat_distribution_matrix(model16)
+        power = rng.uniform(0, 4, 16)
+        via_h = 45.0 + h @ power
+        direct = steady_core_temperatures(model16, power, 45.0)
+        assert np.allclose(via_h, direct, atol=1e-9)
+
+    def test_self_heating_dominates(self, model16):
+        h = heat_distribution_matrix(model16)
+        assert np.all(np.diag(h) >= np.max(h - np.diag(np.diag(h)), axis=1))
+
+    def test_all_entries_positive(self, model16):
+        # heat anywhere raises temperature everywhere (connected network)
+        assert np.all(heat_distribution_matrix(model16) > 0)

@@ -1,0 +1,105 @@
+"""ThermalTrace recording and statistics."""
+
+import numpy as np
+import pytest
+
+from repro.thermal.trace import ThermalTrace
+
+
+@pytest.fixture()
+def trace():
+    t = ThermalTrace(4)
+    t.record(0.0, [45.0, 45.0, 45.0, 45.0])
+    t.record(1e-3, [50.0, 46.0, 47.0, 45.0])
+    t.record(2e-3, [72.0, 48.0, 47.5, 45.5])
+    t.record(3e-3, [68.0, 50.0, 48.0, 46.0])
+    return t
+
+
+class TestRecording:
+    def test_length(self, trace):
+        assert len(trace) == 4
+
+    def test_times_and_shape(self, trace):
+        assert trace.times.shape == (4,)
+        assert trace.temperatures.shape == (4, 4)
+
+    def test_rejects_wrong_width(self):
+        t = ThermalTrace(2)
+        with pytest.raises(ValueError):
+            t.record(0.0, [45.0, 45.0, 45.0])
+
+    def test_rejects_time_going_backwards(self, trace):
+        with pytest.raises(ValueError):
+            trace.record(1e-3, [45.0] * 4)
+
+    def test_equal_times_allowed(self, trace):
+        trace.record(3e-3, [45.0] * 4)
+        assert len(trace) == 5
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ValueError):
+            ThermalTrace(0)
+
+    def test_record_copies_input(self):
+        t = ThermalTrace(2)
+        sample = np.array([45.0, 46.0])
+        t.record(0.0, sample)
+        sample[0] = 99.0
+        assert t.temperatures[0, 0] == 45.0
+
+
+class TestStatistics:
+    def test_peak(self, trace):
+        assert trace.peak() == pytest.approx(72.0)
+
+    def test_peak_per_core(self, trace):
+        assert np.allclose(trace.peak_per_core(), [72.0, 50.0, 48.0, 46.0])
+
+    def test_hottest_core(self, trace):
+        assert trace.hottest_core() == 0
+
+    def test_exceeds(self, trace):
+        assert trace.exceeds(70.0)
+        assert not trace.exceeds(72.0)
+
+    def test_empty_peak_raises(self):
+        with pytest.raises(ValueError):
+            ThermalTrace(2).peak()
+
+    def test_core_series(self, trace):
+        assert np.allclose(trace.core_series(1), [45.0, 46.0, 48.0, 50.0])
+
+    def test_core_series_out_of_range(self, trace):
+        with pytest.raises(IndexError):
+            trace.core_series(4)
+
+    def test_time_above(self, trace):
+        # only the sample at 2 ms exceeds 70; sample-and-hold -> 1 ms
+        assert trace.time_above(70.0) == pytest.approx(1e-3)
+
+    def test_time_above_none(self, trace):
+        assert trace.time_above(100.0) == 0.0
+
+    def test_violations(self, trace):
+        violations = trace.violations(70.0)
+        assert violations == [(2e-3, 0, 72.0)]
+
+    def test_window(self, trace):
+        sub = trace.window(1e-3, 2e-3)
+        assert len(sub) == 2
+        assert sub.peak() == pytest.approx(72.0)
+
+
+class TestRendering:
+    def test_render_contains_legend(self, trace):
+        art = trace.render_ascii(core_ids=[0, 1], threshold_c=70.0)
+        assert "0=core 0" in art
+        assert "1=core 1" in art
+
+    def test_render_empty(self):
+        assert "empty" in ThermalTrace(2).render_ascii()
+
+    def test_render_draws_threshold(self, trace):
+        art = trace.render_ascii(threshold_c=70.0)
+        assert "-" in art

@@ -1,0 +1,95 @@
+"""Synthetic PARSEC profiles."""
+
+import numpy as np
+import pytest
+
+from repro.workload.benchmarks import (
+    BENCHMARK_NAMES,
+    PARSEC,
+    parsec_profile,
+)
+
+
+class TestCatalogue:
+    def test_exactly_the_evaluated_eight(self):
+        """The paper evaluates these eight benchmarks (Section VI)."""
+        assert set(PARSEC) == {
+            "blackscholes",
+            "bodytrack",
+            "canneal",
+            "dedup",
+            "fluidanimate",
+            "streamcluster",
+            "swaptions",
+            "x264",
+        }
+
+    def test_excluded_benchmarks_absent(self):
+        for name in ("facesim", "raytrace", "ferret", "freqmine", "vips"):
+            assert name not in PARSEC
+
+    def test_lookup(self):
+        assert parsec_profile("canneal").name == "canneal"
+
+    def test_lookup_unknown_suggests(self):
+        with pytest.raises(KeyError, match="blackscholes"):
+            parsec_profile("blackschole")
+
+    def test_names_order_stable(self):
+        assert tuple(PARSEC) == BENCHMARK_NAMES
+
+
+class TestCharacterization:
+    def test_canneal_most_memory_bound(self):
+        """Canneal's LLC intensity must dominate — it is the benchmark the
+        paper reports the smallest gain for (cold, memory-bound)."""
+        canneal = PARSEC["canneal"]
+        for name, profile in PARSEC.items():
+            if name != "canneal":
+                assert canneal.llc_misses_per_instr > profile.llc_misses_per_instr
+
+    def test_canneal_coldest(self):
+        canneal = PARSEC["canneal"]
+        for name, profile in PARSEC.items():
+            if name != "canneal":
+                assert canneal.p_dyn_ref_w < profile.p_dyn_ref_w
+
+    def test_compute_bound_benchmarks_hot(self):
+        """blackscholes and swaptions: hottest, least memory-bound."""
+        for name in ("blackscholes", "swaptions"):
+            profile = PARSEC[name]
+            assert profile.p_dyn_ref_w > 6.0
+            assert profile.llc_misses_per_instr < 0.001
+
+    def test_all_profiles_positive(self):
+        for profile in PARSEC.values():
+            assert profile.p_dyn_ref_w > 0
+            assert profile.base_cpi > 0
+            assert profile.llc_misses_per_instr >= 0
+            assert profile.work_per_thread_instr > 0
+
+
+class TestPhaseGeneration:
+    @pytest.mark.parametrize("name", sorted(PARSEC))
+    @pytest.mark.parametrize("n_threads", [1, 2, 4, 8])
+    def test_phases_conserve_work(self, name, n_threads):
+        profile = PARSEC[name]
+        phases = profile.build_phases(n_threads, seed=5)
+        total = sum(float(np.sum(p)) for p in phases)
+        assert total == pytest.approx(profile.total_instructions(n_threads))
+
+    @pytest.mark.parametrize("name", sorted(PARSEC))
+    def test_phases_shape(self, name):
+        phases = PARSEC[name].build_phases(4, seed=1)
+        assert all(p.shape == (4,) for p in phases)
+        assert all(np.all(p >= 0) for p in phases)
+
+    def test_weak_scaling(self):
+        profile = PARSEC["swaptions"]
+        assert profile.total_instructions(8) == pytest.approx(
+            4 * profile.total_instructions(2)
+        )
+
+    def test_invalid_thread_count(self):
+        with pytest.raises(ValueError):
+            PARSEC["canneal"].total_instructions(0)

@@ -1,0 +1,73 @@
+"""Analytic workload characterization."""
+
+import pytest
+
+from repro.thermal.calibrate import UNIFORM_SUSTAINABLE_POWER_W
+from repro.workload.benchmarks import PARSEC
+from repro.workload.characterize import (
+    BenchmarkCharacter,
+    characterization_table,
+    characterize,
+    duty_cycle,
+)
+
+
+class TestDutyCycle:
+    def test_bounds(self):
+        for name, profile in PARSEC.items():
+            duty = duty_cycle(profile, 8, seed=1)
+            assert 0.0 < duty <= 1.0, name
+
+    def test_streaming_is_full_duty(self):
+        """Perfectly balanced phases: everyone computes all the time."""
+        assert duty_cycle(PARSEC["canneal"], 8) == pytest.approx(1.0)
+        assert duty_cycle(PARSEC["streamcluster"], 8) == pytest.approx(1.0)
+
+    def test_master_slave_is_low_duty(self):
+        """blackscholes' 2-thread instance serializes master/slave work."""
+        assert duty_cycle(PARSEC["blackscholes"], 2, seed=1) < 0.7
+
+    def test_imbalanced_below_one(self):
+        for name in ("swaptions", "bodytrack", "x264", "dedup"):
+            assert duty_cycle(PARSEC[name], 8, seed=1) < 0.95, name
+
+    def test_single_thread_full_duty(self):
+        assert duty_cycle(PARSEC["swaptions"], 1) == pytest.approx(1.0)
+
+
+class TestCharacterize:
+    def test_average_below_burst(self):
+        for name, profile in PARSEC.items():
+            char = characterize(profile)
+            assert char.average_power_w <= char.burst_power_w + 1e-9, name
+
+    def test_canneal_is_thermally_trivial(self):
+        char = characterize(PARSEC["canneal"])
+        assert char.regime(UNIFORM_SUSTAINABLE_POWER_W, 4.5) == "thermally-trivial"
+
+    def test_hot_benchmarks_exceed_budget_in_bursts(self):
+        """The regime Fig. 4(a) exercises: bursts above the budget so PCMig
+        throttles, averages near/below sustainable so rotation wins."""
+        for name in ("blackscholes", "swaptions", "bodytrack", "x264"):
+            char = characterize(PARSEC[name])
+            assert char.burst_power_w > 4.5, name
+            assert char.average_power_w < 5.4, name
+
+    def test_stall_fraction_ordering(self):
+        assert (
+            characterize(PARSEC["canneal"]).stall_fraction
+            > characterize(PARSEC["blackscholes"]).stall_fraction
+        )
+
+    def test_table_covers_all(self):
+        table = characterization_table()
+        assert set(table) == set(PARSEC)
+        assert all(isinstance(c, BenchmarkCharacter) for c in table.values())
+
+    def test_regime_labels(self):
+        char = BenchmarkCharacter("x", burst_power_w=8.0, duty=0.5,
+                                  average_power_w=4.0, stall_fraction=0.1)
+        assert char.regime(sustainable_w=4.5, budget_w=4.5) == "rotation-wins"
+        assert char.regime(sustainable_w=3.0, budget_w=4.5) == "overloaded"
+        cold = BenchmarkCharacter("y", 2.0, 1.0, 2.0, 0.5)
+        assert cold.regime(4.5, 4.5) == "thermally-trivial"

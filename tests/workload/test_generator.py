@@ -1,0 +1,100 @@
+"""Workload generators (paper's two evaluation campaigns)."""
+
+import numpy as np
+import pytest
+
+from repro.workload.generator import (
+    TaskSpec,
+    homogeneous_fill,
+    materialize,
+    poisson_arrivals,
+    random_mixed_workload,
+)
+from repro.workload.benchmarks import PARSEC
+
+
+class TestHomogeneousFill:
+    def test_fills_exactly(self):
+        for n_cores in (16, 64):
+            specs = homogeneous_fill("swaptions", n_cores, seed=1)
+            assert sum(s.n_threads for s in specs) == n_cores
+
+    def test_single_benchmark(self):
+        specs = homogeneous_fill("canneal", 64, seed=2)
+        assert all(s.profile.name == "canneal" for s in specs)
+
+    def test_vari_sized(self):
+        specs = homogeneous_fill("x264", 64, seed=3)
+        assert len({s.n_threads for s in specs}) > 1
+
+    def test_deterministic(self):
+        a = homogeneous_fill("dedup", 64, seed=4)
+        b = homogeneous_fill("dedup", 64, seed=4)
+        assert [s.n_threads for s in a] == [s.n_threads for s in b]
+        assert [s.seed for s in a] == [s.seed for s in b]
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError):
+            homogeneous_fill("nope", 64)
+
+    def test_work_scale_propagates(self):
+        specs = homogeneous_fill("dedup", 16, seed=1, work_scale=2.5)
+        assert all(s.work_scale == 2.5 for s in specs)
+
+
+class TestRandomMix:
+    def test_default_is_20_tasks(self):
+        assert len(random_mixed_workload(seed=5)) == 20
+
+    def test_draws_from_parsec(self):
+        specs = random_mixed_workload(50, seed=6)
+        assert {s.profile.name for s in specs} <= set(PARSEC)
+        assert len({s.profile.name for s in specs}) > 3
+
+    def test_thread_counts_from_options(self):
+        for spec in random_mixed_workload(30, seed=7):
+            assert spec.n_threads in spec.profile.thread_options
+
+    def test_benchmark_restriction(self):
+        specs = random_mixed_workload(10, seed=8, benchmarks=["canneal"])
+        assert all(s.profile.name == "canneal" for s in specs)
+
+    def test_rejects_zero_tasks(self):
+        with pytest.raises(ValueError):
+            random_mixed_workload(0)
+
+
+class TestPoissonArrivals:
+    def test_arrivals_sorted_positive(self):
+        specs = poisson_arrivals(random_mixed_workload(20, seed=1), 10.0, seed=2)
+        times = [s.arrival_time_s for s in specs]
+        assert times == sorted(times)
+        assert all(t > 0 for t in times)
+
+    def test_mean_gap_matches_rate(self):
+        specs = poisson_arrivals(
+            random_mixed_workload(2000, seed=3), 50.0, seed=4
+        )
+        times = np.array([s.arrival_time_s for s in specs])
+        gaps = np.diff(np.concatenate([[0.0], times]))
+        assert np.mean(gaps) == pytest.approx(1 / 50.0, rel=0.1)
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            poisson_arrivals([], 0.0)
+
+
+class TestMaterialize:
+    def test_ids_follow_arrival_order(self):
+        specs = poisson_arrivals(random_mixed_workload(10, seed=9), 20.0, seed=10)
+        tasks = materialize(specs)
+        assert [t.task_id for t in tasks] == list(range(10))
+        arrivals = [t.arrival_time_s for t in tasks]
+        assert arrivals == sorted(arrivals)
+
+    def test_spec_materialize(self):
+        spec = TaskSpec(PARSEC["canneal"], 4, 0.5, seed=11)
+        task = spec.materialize(3)
+        assert task.task_id == 3
+        assert task.n_threads == 4
+        assert task.arrival_time_s == 0.5

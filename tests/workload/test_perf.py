@@ -1,0 +1,103 @@
+"""S-NUCA performance model."""
+
+import numpy as np
+import pytest
+
+from repro.arch.topology import Mesh
+from repro.workload.benchmarks import PARSEC
+from repro.workload.perf import PerformanceModel
+
+
+@pytest.fixture(scope="module")
+def perf():
+    return PerformanceModel(Mesh(8, 8))
+
+
+CENTER, CORNER = 27, 0
+
+
+class TestTiming:
+    def test_time_per_instruction_positive(self, perf):
+        for profile in PARSEC.values():
+            assert perf.time_per_instruction_s(profile, CENTER, 4.0e9) > 0
+
+    def test_memory_bound_suffers_on_high_amd(self, perf):
+        """Canneal slows down much more toward the die edge than
+        blackscholes (the paper's performance heterogeneity)."""
+
+        def ring_spread(profile):
+            center = perf.time_per_instruction_s(profile, CENTER, 4.0e9)
+            corner = perf.time_per_instruction_s(profile, CORNER, 4.0e9)
+            return corner / center
+
+        assert ring_spread(PARSEC["canneal"]) > ring_spread(PARSEC["blackscholes"])
+        assert ring_spread(PARSEC["canneal"]) > 1.15
+        assert ring_spread(PARSEC["blackscholes"]) < 1.05
+
+    def test_dvfs_hurts_compute_bound_more(self, perf):
+        """Halving frequency nearly halves blackscholes speed but slows
+        canneal far less — the paper's core observation."""
+
+        def slowdown(profile):
+            fast = perf.time_per_instruction_s(profile, CENTER, 4.0e9)
+            slow = perf.time_per_instruction_s(profile, CENTER, 2.0e9)
+            return slow / fast
+
+        assert slowdown(PARSEC["blackscholes"]) > 1.9
+        assert slowdown(PARSEC["canneal"]) < 1.5
+        assert slowdown(PARSEC["canneal"]) < slowdown(PARSEC["blackscholes"]) - 0.4
+
+    def test_instructions_in_inverse(self, perf):
+        profile = PARSEC["x264"]
+        tpi = perf.time_per_instruction_s(profile, 5, 3.0e9)
+        n = perf.instructions_in(1e-3, profile, 5, 3.0e9)
+        assert n * tpi == pytest.approx(1e-3)
+
+    def test_invalid_inputs(self, perf):
+        profile = PARSEC["dedup"]
+        with pytest.raises(ValueError):
+            perf.time_per_instruction_s(profile, 0, 0.0)
+        with pytest.raises(ValueError):
+            perf.instructions_in(-1.0, profile, 0, 1e9)
+
+
+class TestCpi:
+    def test_effective_cpi_above_base(self, perf):
+        for profile in PARSEC.values():
+            assert perf.effective_cpi(profile, CENTER) >= profile.base_cpi
+
+    def test_canneal_highest_cpi(self, perf):
+        """HotPotato sorts by CPI; canneal must rank most memory-bound."""
+        cpis = {
+            name: perf.effective_cpi(profile, CENTER)
+            for name, profile in PARSEC.items()
+        }
+        assert max(cpis, key=cpis.get) == "canneal"
+
+    def test_cpi_grows_with_amd(self, perf):
+        profile = PARSEC["streamcluster"]
+        assert perf.effective_cpi(profile, CORNER) > perf.effective_cpi(
+            profile, CENTER
+        )
+
+
+class TestActivityFractions:
+    def test_fractions_sum_to_one(self, perf):
+        for profile in PARSEC.values():
+            compute, stall = perf.activity_fractions(profile, CENTER, 4.0e9)
+            assert compute + stall == pytest.approx(1.0)
+            assert 0 < compute <= 1
+            assert 0 <= stall < 1
+
+    def test_stall_share_grows_with_frequency(self, perf):
+        """At higher frequency, compute shrinks and the (fixed) memory time
+        becomes a larger share."""
+        profile = PARSEC["streamcluster"]
+        _, stall_slow = perf.activity_fractions(profile, CENTER, 1.0e9)
+        _, stall_fast = perf.activity_fractions(profile, CENTER, 4.0e9)
+        assert stall_fast > stall_slow
+
+    def test_ring_speed_ratio(self, perf):
+        profile = PARSEC["canneal"]
+        ratio = perf.ring_speed_ratio(profile, CENTER, CORNER, 4.0e9)
+        assert ratio > 1.0

@@ -1,0 +1,110 @@
+"""Phase-structure builders."""
+
+import numpy as np
+import pytest
+
+from repro.workload.phases import data_parallel, master_slave, pipeline, streaming
+
+
+def total(phases):
+    return sum(float(np.sum(p)) for p in phases)
+
+
+class TestMasterSlave:
+    def test_conserves_instructions(self):
+        phases = master_slave(4, 1e8, serial_fraction=0.4, n_rounds=2)
+        assert total(phases) == pytest.approx(1e8)
+
+    def test_phase_count(self):
+        # n_rounds x (serial, parallel) + final serial
+        assert len(master_slave(2, 1e8, n_rounds=2)) == 5
+        assert len(master_slave(2, 1e8, n_rounds=3)) == 7
+
+    def test_serial_phases_master_only(self):
+        phases = master_slave(4, 1e8, serial_fraction=0.4, n_rounds=2)
+        for serial in (phases[0], phases[2], phases[4]):
+            assert serial[0] > 0
+            assert np.all(serial[1:] == 0)
+
+    def test_parallel_phases_slaves_only(self):
+        phases = master_slave(4, 1e8, n_rounds=2)
+        for parallel in (phases[1], phases[3]):
+            assert parallel[0] == 0
+            assert np.all(parallel[1:] > 0)
+
+    def test_single_thread_does_everything(self):
+        phases = master_slave(1, 1e8)
+        assert total(phases) == pytest.approx(1e8)
+        assert all(p.shape == (1,) for p in phases)
+
+    def test_deterministic(self):
+        a = master_slave(4, 1e8, seed=3)
+        b = master_slave(4, 1e8, seed=3)
+        assert all(np.array_equal(x, y) for x, y in zip(a, b))
+
+    def test_serial_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            master_slave(2, 1e8, serial_fraction=0.0)
+        with pytest.raises(ValueError):
+            master_slave(2, 1e8, serial_fraction=1.0)
+
+
+class TestDataParallel:
+    def test_conserves_instructions(self):
+        assert total(data_parallel(8, 2e8, n_barriers=5)) == pytest.approx(2e8)
+
+    def test_barrier_count(self):
+        assert len(data_parallel(8, 1e8, n_barriers=7)) == 7
+
+    def test_imbalance_bounds_shares(self):
+        phases = data_parallel(8, 1e8, n_barriers=4, imbalance=0.2, seed=1)
+        for phase in phases:
+            mean = np.mean(phase)
+            assert np.all(phase >= mean * (1 - 0.25))
+            assert np.all(phase <= mean * (1 + 0.25))
+
+    def test_zero_imbalance_is_uniform(self):
+        phases = data_parallel(8, 1e8, n_barriers=4, imbalance=0.0)
+        for phase in phases:
+            assert np.allclose(phase, phase[0])
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            data_parallel(0, 1e8)
+        with pytest.raises(ValueError):
+            data_parallel(4, -1.0)
+        with pytest.raises(ValueError):
+            data_parallel(4, 1e8, n_barriers=0)
+        with pytest.raises(ValueError):
+            data_parallel(4, 1e8, imbalance=1.0)
+
+
+class TestPipeline:
+    def test_conserves_instructions(self):
+        assert total(pipeline(8, 2e8, n_chunks=10)) == pytest.approx(2e8)
+
+    def test_every_stage_has_work(self):
+        phases = pipeline(6, 1e8, n_chunks=4, seed=2)
+        for phase in phases:
+            assert np.all(phase > 0)
+
+    def test_bottleneck_dominates(self):
+        phases = pipeline(8, 1e8, n_chunks=6, stage_skew=0.1, bottleneck_boost=1.0)
+        for phase in phases:
+            # one stage clearly dominates (duty creation)
+            assert np.max(phase) > 1.5 * np.median(phase)
+
+    def test_rejects_bad_skew(self):
+        with pytest.raises(ValueError):
+            pipeline(4, 1e8, stage_skew=1.2)
+        with pytest.raises(ValueError):
+            pipeline(4, 1e8, bottleneck_boost=-0.1)
+
+
+class TestStreaming:
+    def test_conserves_instructions(self):
+        assert total(streaming(8, 2e8)) == pytest.approx(2e8)
+
+    def test_perfectly_balanced(self):
+        for phase in streaming(8, 1e8, n_barriers=3):
+            assert np.allclose(phase, phase[0])

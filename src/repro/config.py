@@ -116,6 +116,29 @@ class ThermalConfig:
 
 
 @dataclass(frozen=True)
+class ObservabilityConfig:
+    """Which observability components the engine attaches (all off by
+    default — the zero-overhead path; see ``docs/observability.md``).
+
+    When any flag is set the engine builds a matching
+    :class:`~repro.obs.observer.Observer` and exposes it as
+    ``IntervalSimulator.observer`` after construction.
+    """
+
+    #: record structured per-interval trace records (JSONL-exportable).
+    trace: bool = False
+    #: maintain a metrics registry, snapshotted into the result.
+    metrics: bool = False
+    #: time engine phases with wall-clock profiling hooks.
+    profiling: bool = False
+
+    @property
+    def any_enabled(self) -> bool:
+        """True when at least one component is switched on."""
+        return self.trace or self.metrics or self.profiling
+
+
+@dataclass(frozen=True)
 class SystemConfig:
     """Complete configuration of a simulated S-NUCA many-core."""
 
@@ -126,6 +149,7 @@ class SystemConfig:
     noc: NocConfig = field(default_factory=NocConfig)
     dvfs: DvfsConfig = field(default_factory=DvfsConfig)
     thermal: ThermalConfig = field(default_factory=ThermalConfig)
+    obs: ObservabilityConfig = field(default_factory=ObservabilityConfig)
     #: Initial synchronous rotation interval tau (Section VI: 0.5 ms).
     rotation_interval_s: float = 0.5e-3
     #: Simulator interval length (HotSniper-style interval simulation).
@@ -146,6 +170,19 @@ class SystemConfig:
     def replace(self, **changes) -> "SystemConfig":
         """Return a copy of this configuration with ``changes`` applied."""
         return dataclasses.replace(self, **changes)
+
+    def with_observability(
+        self,
+        trace: bool = False,
+        metrics: bool = False,
+        profiling: bool = False,
+    ) -> "SystemConfig":
+        """Copy of this configuration with the given observability flags."""
+        return self.replace(
+            obs=ObservabilityConfig(
+                trace=trace, metrics=metrics, profiling=profiling
+            )
+        )
 
 
 def table1() -> SystemConfig:

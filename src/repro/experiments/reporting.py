@@ -1,8 +1,14 @@
-"""Shared plain-text rendering for experiment reports."""
+"""Shared plain-text rendering for experiment reports.
+
+Besides the generic table/bar-chart renderers, this module renders the
+observability layer's outputs: per-phase profiling summaries
+(:func:`render_profile_table`) and metrics-registry snapshots
+(:func:`render_metrics_table`) — see ``docs/observability.md``.
+"""
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Iterable, List, Mapping, Sequence
 
 
 def render_table(
@@ -52,3 +58,41 @@ def render_bar_chart(
         bar = "#" * max(0, int(round(abs(value) / top * width)))
         lines.append(f"{label.ljust(label_width)} | {bar} {value:.2f}{unit}")
     return "\n".join(lines)
+
+
+def render_profile_table(
+    profile: Mapping[str, Mapping[str, float]], title: str = "phase profile"
+) -> str:
+    """Render a :class:`repro.obs.PhaseProfiler` summary as a table.
+
+    ``profile`` is the ``phase -> {count, total_s, mean_s, min_s, max_s}``
+    dict stored in ``SimulationResult.profile``.
+    """
+    if not profile:
+        return f"{title}\n(profiling disabled — no phases recorded)"
+    rows = [
+        [
+            phase,
+            int(stat["count"]),
+            f"{stat['total_s'] * 1e3:.2f}",
+            f"{stat['mean_s'] * 1e6:.1f}",
+            f"{stat['min_s'] * 1e6:.1f}",
+            f"{stat['max_s'] * 1e6:.1f}",
+        ]
+        for phase, stat in profile.items()
+    ]
+    return render_table(
+        ["phase", "calls", "total ms", "mean us", "min us", "max us"],
+        rows,
+        title=title,
+    )
+
+
+def render_metrics_table(
+    snapshot: Mapping[str, float], title: str = "metrics snapshot"
+) -> str:
+    """Render a :class:`repro.obs.MetricsRegistry` snapshot as a table."""
+    if not snapshot:
+        return f"{title}\n(no metrics recorded)"
+    rows = [[name, f"{value:g}"] for name, value in sorted(snapshot.items())]
+    return render_table(["metric", "value"], rows, title=title)

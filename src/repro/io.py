@@ -92,6 +92,10 @@ def result_to_dict(result: SimulationResult, include_trace: bool = False) -> dic
         "scheduler_invocations": result.scheduler_invocations,
         "annotations": dict(result.annotations),
     }
+    if result.metrics_snapshot:
+        data["metrics_snapshot"] = dict(result.metrics_snapshot)
+    if result.profile:
+        data["profile"] = {k: dict(v) for k, v in result.profile.items()}
     if include_trace and result.trace is not None:
         data["trace_csv"] = trace_to_csv(result.trace)
     return data
@@ -124,6 +128,10 @@ def result_from_dict(data: dict) -> SimulationResult:
         scheduler_wall_time_s=data["scheduler_wall_time_s"],
         scheduler_invocations=data["scheduler_invocations"],
         annotations=dict(data.get("annotations", {})),
+        metrics_snapshot=dict(data.get("metrics_snapshot", {})),
+        profile={
+            k: dict(v) for k, v in data.get("profile", {}).items()
+        },
     )
 
 

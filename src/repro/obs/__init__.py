@@ -1,0 +1,54 @@
+"""Observability: structured tracing, metrics export, profiling hooks.
+
+Zero-dependency instrumentation threaded through the interval simulator's
+hot loop (see ``docs/observability.md``):
+
+- :class:`TraceRecorder` — typed per-interval records (placement map,
+  power/temperature maps, DTM state), rotation-epoch boundaries and all
+  structured simulation events, with lossless JSONL export/reload;
+- :class:`MetricsRegistry` — named counters, gauges and histograms
+  (migrations per ring, thermal-solver cache hit rates, scheduler decision
+  latency, ...), snapshotted into
+  :class:`~repro.sim.metrics.SimulationResult` and exportable to CSV/JSON;
+- :class:`PhaseProfiler` — wall-clock timers around engine phases, off by
+  default and free when disabled;
+- :class:`Observer` — the bundle of the three the engine threads through.
+
+Enable via configuration (``config.obs``) or pass an observer explicitly::
+
+    from repro import config
+    from repro.obs import Observer
+    from repro.sim import IntervalSimulator
+
+    cfg = config.motivational().with_observability(trace=True, metrics=True)
+    sim = IntervalSimulator(cfg, scheduler, tasks)
+    result = sim.run()
+    sim.observer.trace.write_jsonl("run.jsonl")
+    print(result.metrics_snapshot)
+"""
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .observer import Observer
+from .profiling import PhaseProfiler, PhaseStat
+from .trace import (
+    EpochRecord,
+    EventRecord,
+    IntervalRecord,
+    TraceRecord,
+    TraceRecorder,
+)
+
+__all__ = [
+    "Counter",
+    "EpochRecord",
+    "EventRecord",
+    "Gauge",
+    "Histogram",
+    "IntervalRecord",
+    "MetricsRegistry",
+    "Observer",
+    "PhaseProfiler",
+    "PhaseStat",
+    "TraceRecord",
+    "TraceRecorder",
+]

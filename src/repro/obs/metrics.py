@@ -1,0 +1,183 @@
+"""Metrics registry: named counters, gauges and histograms.
+
+A :class:`MetricsRegistry` is a flat namespace of named instruments that
+the engine, the schedulers and the thermal solver publish into:
+
+- :class:`Counter` — a monotonically increasing count (e.g.
+  ``engine.migrations``, ``engine.migrations.to_ring.2``);
+- :class:`Gauge` — a last-write-wins value (e.g.
+  ``thermal.exp_cache.hits`` copied from
+  :meth:`~repro.thermal.matex.ThermalDynamics.cache_stats` at run end);
+- :class:`Histogram` — streaming count/sum/min/max of observations (e.g.
+  ``scheduler.decision_latency_s``).
+
+Instruments measuring *wall-clock* quantities are created with
+``timing=True``; :meth:`MetricsRegistry.snapshot` can exclude them so that
+two identical simulations produce bit-identical snapshots (the timing
+values are real measurements and therefore never reproducible).
+
+The snapshot is a flat, sorted ``name -> value`` dict; histograms expand
+into ``name.count`` / ``name.sum`` / ``name.min`` / ``name.max`` /
+``name.mean``.  Export to JSON (:meth:`MetricsRegistry.to_json`) and CSV
+(:meth:`MetricsRegistry.to_csv`) works on the same flat form.
+"""
+
+from __future__ import annotations
+
+import csv
+import io as _io
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+PathLike = Union[str, Path]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    def __init__(self, name: str, timing: bool = False):
+        self.name = name
+        self.timing = timing
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Increase by ``amount`` (must be non-negative)."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: negative increment")
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value:g})"
+
+
+class Gauge:
+    """A last-write-wins value."""
+
+    def __init__(self, name: str, timing: bool = False):
+        self.name = name
+        self.timing = timing
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current value."""
+        self.value = float(value)
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name}={self.value:g})"
+
+
+class Histogram:
+    """Streaming summary (count/sum/min/max) of observed values."""
+
+    def __init__(self, name: str, timing: bool = False):
+        self.name = name
+        self.timing = timing
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        """Average of all observations (0.0 when empty)."""
+        return self.sum / self.count if self.count else 0.0
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name}: n={self.count}, mean={self.mean:g})"
+
+
+Instrument = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named instruments, snapshot-exportable."""
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, Instrument] = {}
+
+    def _get_or_create(self, name: str, cls, timing: bool) -> Instrument:
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = cls(name, timing=timing)
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(instrument).__name__}, not {cls.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str, timing: bool = False) -> Counter:
+        """The counter called ``name`` (created on first use)."""
+        return self._get_or_create(name, Counter, timing)
+
+    def gauge(self, name: str, timing: bool = False) -> Gauge:
+        """The gauge called ``name`` (created on first use)."""
+        return self._get_or_create(name, Gauge, timing)
+
+    def histogram(self, name: str, timing: bool = False) -> Histogram:
+        """The histogram called ``name`` (created on first use)."""
+        return self._get_or_create(name, Histogram, timing)
+
+    def names(self) -> List[str]:
+        """All registered instrument names, sorted."""
+        return sorted(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    # -- snapshot and export -------------------------------------------------
+
+    def snapshot(self, exclude_timing: bool = False) -> Dict[str, float]:
+        """Flat ``name -> value`` view of every instrument, sorted by name.
+
+        ``exclude_timing=True`` drops wall-clock instruments, leaving only
+        values that are deterministic across identical runs.
+        """
+        flat: Dict[str, float] = {}
+        for name in sorted(self._instruments):
+            instrument = self._instruments[name]
+            if exclude_timing and instrument.timing:
+                continue
+            if isinstance(instrument, Histogram):
+                flat[f"{name}.count"] = float(instrument.count)
+                flat[f"{name}.sum"] = instrument.sum
+                flat[f"{name}.min"] = instrument.min if instrument.count else 0.0
+                flat[f"{name}.max"] = instrument.max if instrument.count else 0.0
+                flat[f"{name}.mean"] = instrument.mean
+            else:
+                flat[name] = instrument.value
+        return dict(sorted(flat.items()))
+
+    def to_json(self, exclude_timing: bool = False) -> str:
+        """The snapshot as a JSON object string."""
+        return json.dumps(self.snapshot(exclude_timing), indent=2, sort_keys=True)
+
+    def to_csv(self, exclude_timing: bool = False) -> str:
+        """The snapshot as ``metric,value`` CSV (header included)."""
+        buffer = _io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(["metric", "value"])
+        for name, value in self.snapshot(exclude_timing).items():
+            writer.writerow([name, repr(value)])
+        return buffer.getvalue()
+
+    def save(self, path: PathLike, exclude_timing: bool = False) -> None:
+        """Write the snapshot to ``path`` (format by suffix: .csv or .json)."""
+        path = Path(path)
+        if path.suffix == ".csv":
+            path.write_text(self.to_csv(exclude_timing))
+        else:
+            path.write_text(self.to_json(exclude_timing))

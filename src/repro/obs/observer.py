@@ -1,0 +1,67 @@
+"""The observer bundle the engine threads through its hot loop.
+
+An :class:`Observer` groups the three optional observability components —
+structured trace recorder, metrics registry, phase profiler — behind one
+handle.  The engine accepts an observer explicitly
+(``IntervalSimulator(..., observer=...)``) or builds one from
+``SystemConfig.obs`` (:meth:`Observer.from_config`); with everything
+disabled (the default) no observer exists at all and the hot loop pays
+only ``None`` checks.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from .metrics import MetricsRegistry
+from .profiling import PhaseProfiler
+from .trace import TraceRecorder
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..config import ObservabilityConfig
+
+
+class Observer:
+    """Optional trace recorder + metrics registry + phase profiler."""
+
+    def __init__(
+        self,
+        trace: Optional[TraceRecorder] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        profiler: Optional[PhaseProfiler] = None,
+    ):
+        self.trace = trace
+        self.metrics = metrics
+        self.profiler = profiler
+
+    @classmethod
+    def from_config(cls, obs_config: "ObservabilityConfig") -> Optional["Observer"]:
+        """Build the observer ``SystemConfig.obs`` asks for (None if all off)."""
+        if not (obs_config.trace or obs_config.metrics or obs_config.profiling):
+            return None
+        return cls(
+            trace=TraceRecorder() if obs_config.trace else None,
+            metrics=MetricsRegistry() if obs_config.metrics else None,
+            profiler=PhaseProfiler() if obs_config.profiling else None,
+        )
+
+    @classmethod
+    def full(cls) -> "Observer":
+        """An observer with every component enabled (tests, examples)."""
+        return cls(
+            trace=TraceRecorder(),
+            metrics=MetricsRegistry(),
+            profiler=PhaseProfiler(),
+        )
+
+    def __repr__(self) -> str:
+        parts = [
+            name
+            for name, component in (
+                ("trace", self.trace),
+                ("metrics", self.metrics),
+                ("profiler", self.profiler),
+            )
+            if component is not None
+        ]
+        return f"Observer({', '.join(parts) or 'empty'})"

@@ -1,0 +1,232 @@
+"""Structured per-interval trace recording with JSONL export.
+
+The :class:`TraceRecorder` is the observability layer's answer to "what did
+the engine actually do, interval by interval?".  It collects three kinds of
+typed, timestamped records:
+
+- :class:`IntervalRecord` — one per simulated interval: the placement map,
+  the per-core power map and end-of-interval core temperatures, per-core
+  frequencies, and the DTM throttle state;
+- :class:`EpochRecord` — one per rotation-epoch boundary (schedulers that
+  rotate expose their interval ``tau`` through
+  :class:`~repro.sched.base.SchedulerDecision`);
+- :class:`EventRecord` — a serialized mirror of every structured
+  :class:`~repro.sim.events.Event` (arrivals, completions, migrations, DTM
+  engage/release); the recorder subscribes to the engine's
+  :class:`~repro.sim.events.EventLog`.
+
+All records are plain-data (floats, ints, strings, dicts and tuples
+thereof), so the whole trace round-trips losslessly through JSON Lines:
+``TraceRecorder.from_jsonl(recorder.to_jsonl())`` compares equal to the
+original recorder.  Python's ``json`` emits floats via ``repr`` (shortest
+exact form), so no precision is lost.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields as _dc_fields, is_dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Mapping, Sequence, Tuple, Union
+
+PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class IntervalRecord:
+    """One simulated interval, as the engine executed it.
+
+    ``time_s`` is the interval's *start*; temperatures are the core
+    temperatures at the interval's *end* (after the exact thermal step).
+    """
+
+    time_s: float
+    dt_s: float
+    #: thread id -> core id for every placed thread this interval.
+    placements: Dict[str, int]
+    #: per-core power map [W] the thermal step integrated.
+    power_w: Tuple[float, ...]
+    #: per-core temperatures [degC] at the end of the interval.
+    temps_c: Tuple[float, ...]
+    #: per-core frequencies [Hz] after DTM clamping.
+    frequencies_hz: Tuple[float, ...]
+    #: ids of cores currently DTM-throttled.
+    dtm_throttled: Tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class EpochRecord:
+    """A rotation-epoch boundary (``tau`` as decided by the scheduler)."""
+
+    time_s: float
+    epoch: int
+    tau_s: float
+
+
+@dataclass(frozen=True)
+class EventRecord:
+    """A structured simulation event, in serialized form.
+
+    ``event`` is the event class name (e.g. ``"ThreadMigrated"``);
+    ``data`` holds the event's fields minus ``time_s``.
+    """
+
+    time_s: float
+    event: str
+    data: Dict[str, object] = field(default_factory=dict)
+
+
+TraceRecord = Union[IntervalRecord, EpochRecord, EventRecord]
+
+#: JSONL ``kind`` tag per record class.
+_KIND_OF = {IntervalRecord: "interval", EpochRecord: "epoch", EventRecord: "event"}
+
+
+class TraceRecorder:
+    """Append-only store of structured trace records, JSONL-serializable."""
+
+    def __init__(self) -> None:
+        self.records: List[TraceRecord] = []
+
+    # -- recording ----------------------------------------------------------
+
+    def record_interval(
+        self,
+        time_s: float,
+        dt_s: float,
+        placements: Mapping[str, int],
+        power_w: Sequence[float],
+        temps_c: Sequence[float],
+        frequencies_hz: Sequence[float],
+        dtm_throttled: Sequence[int] = (),
+    ) -> IntervalRecord:
+        """Append one interval record (values are copied and coerced)."""
+        record = IntervalRecord(
+            time_s=float(time_s),
+            dt_s=float(dt_s),
+            placements={str(t): int(c) for t, c in sorted(placements.items())},
+            power_w=tuple(float(p) for p in power_w),
+            temps_c=tuple(float(t) for t in temps_c),
+            frequencies_hz=tuple(float(f) for f in frequencies_hz),
+            dtm_throttled=tuple(int(c) for c in dtm_throttled),
+        )
+        self.records.append(record)
+        return record
+
+    def record_epoch(self, time_s: float, epoch: int, tau_s: float) -> EpochRecord:
+        """Append a rotation-epoch boundary record."""
+        record = EpochRecord(float(time_s), int(epoch), float(tau_s))
+        self.records.append(record)
+        return record
+
+    def record_event(self, event: object) -> EventRecord:
+        """Append a simulation event (EventLog subscription callback).
+
+        Accepts any timestamped event dataclass
+        (:class:`repro.sim.events.Event` subclasses); serialized generically
+        so the obs layer stays free of upward dependencies.
+        """
+        if not is_dataclass(event):
+            raise TypeError(f"expected an event dataclass, got {type(event)}")
+        data = {
+            f.name: getattr(event, f.name)
+            for f in _dc_fields(event)
+            if f.name != "time_s"
+        }
+        record = EventRecord(
+            time_s=float(getattr(event, "time_s")),
+            event=type(event).__name__,
+            data=data,
+        )
+        self.records.append(record)
+        return record
+
+    # -- views --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TraceRecorder):
+            return NotImplemented
+        return self.records == other.records
+
+    def intervals(self) -> List[IntervalRecord]:
+        """All interval records, in time order."""
+        return [r for r in self.records if isinstance(r, IntervalRecord)]
+
+    def epochs(self) -> List[EpochRecord]:
+        """All rotation-epoch boundary records."""
+        return [r for r in self.records if isinstance(r, EpochRecord)]
+
+    def events(self, event: str = "") -> List[EventRecord]:
+        """All event records, optionally filtered by event class name."""
+        return [
+            r
+            for r in self.records
+            if isinstance(r, EventRecord) and (not event or r.event == event)
+        ]
+
+    # -- JSONL serialization -------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """One JSON object per record, one record per line."""
+        lines = []
+        for record in self.records:
+            payload = {"kind": _KIND_OF[type(record)], **vars(record)}
+            lines.append(json.dumps(payload, sort_keys=True))
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def write_jsonl(self, path: PathLike) -> None:
+        """Write the trace to ``path`` in JSON Lines form."""
+        Path(path).write_text(self.to_jsonl())
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "TraceRecorder":
+        """Rebuild a recorder from :meth:`to_jsonl` output (lossless)."""
+        recorder = cls()
+        for line_no, line in enumerate(text.splitlines(), start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"trace JSONL line {line_no}: {exc}") from exc
+            recorder.records.append(_record_from_dict(payload, line_no))
+        return recorder
+
+    @classmethod
+    def read_jsonl(cls, path: PathLike) -> "TraceRecorder":
+        """Read a trace written by :meth:`write_jsonl`."""
+        return cls.from_jsonl(Path(path).read_text())
+
+
+def _record_from_dict(payload: Dict[str, object], line_no: int) -> TraceRecord:
+    kind = payload.pop("kind", None)
+    if kind == "interval":
+        return IntervalRecord(
+            time_s=float(payload["time_s"]),
+            dt_s=float(payload["dt_s"]),
+            placements={t: int(c) for t, c in payload["placements"].items()},
+            power_w=tuple(payload["power_w"]),
+            temps_c=tuple(payload["temps_c"]),
+            frequencies_hz=tuple(payload["frequencies_hz"]),
+            dtm_throttled=tuple(payload.get("dtm_throttled", ())),
+        )
+    if kind == "epoch":
+        return EpochRecord(
+            time_s=float(payload["time_s"]),
+            epoch=int(payload["epoch"]),
+            tau_s=float(payload["tau_s"]),
+        )
+    if kind == "event":
+        return EventRecord(
+            time_s=float(payload["time_s"]),
+            event=str(payload["event"]),
+            data=dict(payload.get("data", {})),
+        )
+    raise ValueError(f"trace JSONL line {line_no}: unknown record kind {kind!r}")

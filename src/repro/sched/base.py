@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Set
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Set
 
 import numpy as np
 
@@ -108,3 +108,17 @@ class Scheduler(abc.ABC):
         boundaries align with simulation intervals.
         """
         return None
+
+    # -- observability ---------------------------------------------------------
+
+    def metrics(self) -> Mapping[str, float]:
+        """Internal counters this scheduler publishes at run end.
+
+        When the engine runs with a metrics registry
+        (``SystemConfig.obs.metrics``, see ``docs/observability.md``), each
+        returned entry becomes a ``sched.<key>`` gauge in the result's
+        metrics snapshot.  The base implementation reports the admission
+        queue depth; subclasses should extend this dict with their own
+        decision counters (rotation epochs, refreshes, migration triggers).
+        """
+        return {"queue_length": float(self.queue_length)}

@@ -10,7 +10,7 @@ ablation baseline for rotation-interval sweeps.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -70,9 +70,17 @@ class FixedRotationScheduler(Scheduler):
             if thread is not None
         }
         freqs = np.full(self.ctx.n_cores, self.ctx.config.dvfs.f_max_hz)
+        self._last_epoch = epoch
         return SchedulerDecision(
             placements=placements,
             frequencies=freqs,
             waiting=self.waiting_threads(),
             tau_s=self.tau_s,
         )
+
+    def metrics(self) -> Mapping[str, float]:
+        """Rotation state for the observability snapshot."""
+        data = dict(super().metrics())
+        data["tau_s"] = self.tau_s
+        data["rotation_epochs"] = float(getattr(self, "_last_epoch", 0))
+        return data

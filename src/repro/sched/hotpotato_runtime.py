@@ -5,6 +5,34 @@ it what the paper says it consumes at run time — per-thread power history
 (10 ms window) and effective CPI — and translates its
 :class:`~repro.core.rotation.RotationSchedule` into per-interval placements.
 
+**Algorithm 2 step mapping** — where each phase of the paper's pseudocode
+lives in this adapter (and the heuristic it drives):
+
+=====================  ==========================================================
+paper Algorithm 2      implementation
+=====================  ==========================================================
+lines 1-7 (arrival:    :meth:`HotPotatoScheduler._admit` →
+ring search)           :meth:`repro.core.hotpotato.HotPotato.admit` — try rings
+                       lowest-AMD outward, keep the coolest empty slot, accept
+                       the first ring with ``T_peak + Delta < T_DTM``
+lines 8-14 (arrival:   ``HotPotato.admit`` mitigation branch — place at the
+mitigation)            coolest candidate anyway, migrate lowest-CPI (hottest)
+                       threads outward, re-select tau
+lines 15-22 (exit:     :meth:`HotPotatoScheduler._release` →
+headroom rebalance)    :meth:`repro.core.hotpotato.HotPotato.remove` — migrate
+                       highest-CPI (memory-bound) threads inward while the
+                       analytic peak stays sustainable
+lines 23-27 (tau       ``HotPotato`` tau re-selection — rotation *off* when
+selection)             statically sustainable, else the slowest sustainable tau
+run-time feedback      :meth:`HotPotatoScheduler._refresh_estimates` — 10 ms
+(Section V, ``Delta``  power-history averages fed back each interval; drift
+sudden-change)         > 1 W against the last re-optimization's estimates
+                       triggers :meth:`repro.core.hotpotato.HotPotato.refresh`
+epoch advance          :meth:`HotPotatoScheduler._advance_epoch` +
+(Section IV rotation)  ``RotationSchedule.placement_at`` — cyclic shift of each
+                       ring's slot assignment once per tau
+=====================  ==========================================================
+
 Power estimates for *arriving* threads (no history yet) are the profile's
 peak power, i.e. deliberately conservative; once history accumulates, the
 estimates relax to the observed duty-cycled average and the paper's
@@ -16,7 +44,7 @@ remains the backstop the analytics are designed to keep silent).
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Mapping, Optional
 
 import numpy as np
 
@@ -54,6 +82,9 @@ class HotPotatoScheduler(Scheduler):
         #: True once a refresh changed nothing — skip further refreshes
         #: until arrivals/exits or estimate drift dirty the state again.
         self._settled = False
+        #: observability counters (published via :meth:`metrics`)
+        self._refresh_count = 0
+        self._urgent_refresh_count = 0
 
     def attach(self, ctx) -> None:
         super().attach(ctx)
@@ -169,6 +200,9 @@ class HotPotatoScheduler(Scheduler):
         if urgent or routine:
             before = self.hotpotato.state_fingerprint()
             self.hotpotato.refresh()
+            self._refresh_count += 1
+            if urgent:
+                self._urgent_refresh_count += 1
             self._intervals_since_refresh = 0
             self._power_at_refresh.update(measured_now)
             self._settled = self.hotpotato.state_fingerprint() == before
@@ -185,3 +219,15 @@ class HotPotatoScheduler(Scheduler):
             waiting=self.waiting_threads(),
             tau_s=self.hotpotato.tau_s,
         )
+
+    def metrics(self) -> Mapping[str, float]:
+        """Rotation/refresh counters for the observability snapshot."""
+        data = dict(super().metrics())
+        data["rotation_epochs"] = float(self._epoch)
+        data["refreshes"] = float(self._refresh_count)
+        data["urgent_refreshes"] = float(self._urgent_refresh_count)
+        tau = self.hotpotato.tau_s if self.hotpotato is not None else None
+        data["rotation_active"] = 1.0 if tau is not None else 0.0
+        if tau is not None:
+            data["tau_s"] = float(tau)
+        return data

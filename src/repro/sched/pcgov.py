@@ -14,7 +14,7 @@ exceeds the budget get slowed.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Mapping, Optional
 
 import numpy as np
 
@@ -161,3 +161,16 @@ class PCGovScheduler(Scheduler):
             frequencies=freqs,
             waiting=self.waiting_threads(),
         )
+
+    def metrics(self) -> Mapping[str, float]:
+        """TSP-budget state for the observability snapshot."""
+        data = dict(super().metrics())
+        if self._budget_w is not None:
+            data["tsp_budget_w"] = float(self._budget_w)
+        if self._core_freq is not None and self._placer is not None:
+            occupied = self._placer.occupied_cores()
+            f_max = self.ctx.config.dvfs.f_max_hz
+            data["throttled_cores"] = float(
+                sum(1 for c in occupied if self._core_freq[c] < f_max)
+            )
+        return data

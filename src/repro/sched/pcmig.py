@@ -12,11 +12,38 @@ baseline here is therefore at least as strong as the published one.
 Migrations are asynchronous and on-demand ("a measure of last resort",
 paper Section I): at most a few per interval, each moving the thread of the
 most endangered core to the coolest free core.
+
+**Phase mapping** — how each decision phase relates to the published
+baseline and to the source paper's framing (the contrast HotPotato's
+Algorithm 2 is evaluated against):
+
+====================  ======================================================
+phase                 implementation
+====================  ======================================================
+placement             inherited from :class:`~repro.sched.pcgov.PCGovScheduler`
+                      via :class:`~repro.sched.naive.StaticPlacer` —
+                      lowest-AMD-first static assignment (PCGov mapping rule)
+violation prediction  :meth:`PCMigScheduler._predicted_core_temps` — exact RC
+                      transient ``prediction_horizon_s`` ahead under the
+                      currently observed power map (substitutes the published
+                      NN predictor, upper-bounding its accuracy)
+migration trigger     :meth:`PCMigScheduler._maybe_migrate` — the *asynchronous,
+                      on-demand* migration the source paper contrasts with its
+                      *synchronous* rotations: fire only when a core is
+                      predicted above ``T_DTM - guard_band_c``, at most
+                      ``_MAX_MIGRATIONS_PER_INTERVAL`` per interval
+DVFS enforcement      inherited PCGov governor — per-core TSP budget enforced
+                      at 100 MHz steps after migrations rebalanced the map
+====================  ======================================================
+
+Parameters (constructor): ``prediction_horizon_s`` — look-ahead of the
+violation check (default 5 ms, the published reaction horizon);
+``guard_band_c`` — trigger margin below the DTM threshold (default 1 degC).
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Mapping, Optional
 
 import numpy as np
 
@@ -108,3 +135,9 @@ class PCMigScheduler(PCGovScheduler):
     def decide(self, now_s: float) -> SchedulerDecision:
         self._maybe_migrate()
         return super().decide(now_s)
+
+    def metrics(self) -> Mapping[str, float]:
+        """Migration-trigger counters for the observability snapshot."""
+        data = dict(super().metrics())
+        data["migration_decisions"] = float(self.migration_decisions)
+        return data

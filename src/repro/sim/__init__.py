@@ -4,6 +4,7 @@ from .context import SimContext
 from .dtm import DtmController
 from .engine import IntervalSimulator
 from .events import (
+    EVENT_TYPES,
     DtmEngaged,
     DtmReleased,
     Event,
@@ -11,6 +12,8 @@ from .events import (
     TaskArrived,
     TaskCompleted,
     ThreadMigrated,
+    event_from_dict,
+    event_to_dict,
 )
 from .metrics import SimulationResult, TaskRecord
 from .migration import MigrationAccountant
@@ -19,6 +22,7 @@ __all__ = [
     "DtmController",
     "DtmEngaged",
     "DtmReleased",
+    "EVENT_TYPES",
     "Event",
     "EventLog",
     "IntervalSimulator",
@@ -29,4 +33,6 @@ __all__ = [
     "TaskCompleted",
     "TaskRecord",
     "ThreadMigrated",
+    "event_from_dict",
+    "event_to_dict",
 ]

@@ -21,6 +21,16 @@ power.  This engine reproduces that loop on top of our substrates:
 The engine steps at the scheduler's preferred interval (so synchronous
 rotation epochs align with simulation intervals) clipped to the configured
 base interval, and lands exactly on task arrival instants.
+
+**Observability** (``docs/observability.md``): when ``SystemConfig.obs``
+enables any component (or an :class:`~repro.obs.Observer` is passed
+explicitly), the loop additionally feeds a structured trace recorder
+(per-interval placement/power/temperature/DTM records, rotation-epoch
+boundaries, all structured events), a metrics registry (migrations per
+ring, thermal-solver cache hit rates, scheduler decision latency, ...)
+and wall-clock profiling hooks around the scheduler-decision,
+power-map-build and thermal-step phases.  Everything is off by default;
+the disabled path costs only ``None`` checks.
 """
 
 from __future__ import annotations
@@ -32,6 +42,7 @@ from typing import Deque, Dict, List, Optional, Tuple
 import numpy as np
 
 from ..config import SystemConfig
+from ..obs.observer import Observer
 from ..sched.base import Scheduler, SchedulerDecision
 from ..thermal.trace import ThermalTrace
 from ..workload.task import Task
@@ -98,6 +109,7 @@ class IntervalSimulator:
         record_trace: bool = True,
         record_events: bool = False,
         warm_start_uniform_power_w: Optional[float] = None,
+        observer: Optional[Observer] = None,
     ):
         self.config = config
         self.ctx = ctx if ctx is not None else SimContext(config)
@@ -132,8 +144,23 @@ class IntervalSimulator:
         self._prev_placements: Dict[str, int] = {}
         self._sched_wall_s = 0.0
         self._sched_calls = 0
-        #: structured event log (populated when ``record_events`` is set)
+        #: observability bundle (explicit argument wins over ``config.obs``)
+        self.observer: Optional[Observer] = (
+            observer if observer is not None else Observer.from_config(config.obs)
+        )
+        self._recorder = self.observer.trace if self.observer else None
+        self._metrics = self.observer.metrics if self.observer else None
+        self._profiler = self.observer.profiler if self.observer else None
+        #: structured event log (populated when ``record_events`` is set, or
+        #: when a trace recorder needs events to subscribe to)
+        record_events = record_events or self._recorder is not None
         self.events: Optional[EventLog] = EventLog() if record_events else None
+        if self._recorder is not None:
+            self.events.subscribe(self._recorder.record_event)
+        # rotation-epoch tracker (trace recording only)
+        self._obs_tau: Optional[float] = None
+        self._obs_epoch = 0
+        self._obs_epoch_start_s = 0.0
         self._breakdown: Dict[str, TimeBreakdown] = {}
         self.ctx.wire_observations(
             self._history.average, self._core_temps, self._history.recent
@@ -147,12 +174,40 @@ class IntervalSimulator:
 
     # -- helpers -------------------------------------------------------------------
 
-    def _timed_scheduler_call(self, fn, *args):
+    def _timed_scheduler_call(self, fn, *args, metric: str = "callback"):
         start = _time.perf_counter()
         result = fn(*args)
-        self._sched_wall_s += _time.perf_counter() - start
+        elapsed = _time.perf_counter() - start
+        self._sched_wall_s += elapsed
         self._sched_calls += 1
+        if self._metrics is not None:
+            self._metrics.histogram(
+                f"scheduler.{metric}_latency_s", timing=True
+            ).observe(elapsed)
         return result
+
+    def _track_epoch(self, now_s: float, tau_s: Optional[float]) -> None:
+        """Record rotation-epoch boundaries into the trace recorder.
+
+        A boundary is recorded when rotation starts, when the scheduler
+        changes tau (the epoch counter restarts), and whenever the current
+        epoch's tau has fully elapsed.
+        """
+        if tau_s is None:
+            self._obs_tau = None
+            return
+        if self._obs_tau is None or abs(tau_s - self._obs_tau) > _TIME_EPS:
+            self._obs_tau = tau_s
+            self._obs_epoch = 0
+            self._obs_epoch_start_s = now_s
+            self._recorder.record_epoch(now_s, 0, tau_s)
+            return
+        while now_s >= self._obs_epoch_start_s + tau_s - _TIME_EPS:
+            self._obs_epoch += 1
+            self._obs_epoch_start_s += tau_s
+            self._recorder.record_epoch(
+                self._obs_epoch_start_s, self._obs_epoch, tau_s
+            )
 
     def _thread_of(self, thread_id: str) -> Tuple[Task, int]:
         task_id_str, index_str = thread_id.rsplit(".", 1)
@@ -205,6 +260,8 @@ class IntervalSimulator:
                 self._timed_scheduler_call(
                     self.scheduler.on_task_arrival, task, now
                 )
+                if self._metrics is not None:
+                    self._metrics.counter("engine.tasks.arrived").inc()
                 if self.events is not None:
                     self.events.record(
                         TaskArrived(
@@ -224,6 +281,18 @@ class IntervalSimulator:
                 now += gap
                 if trace is not None:
                     trace.record(now, self._core_temps())
+                if self._recorder is not None:
+                    self._recorder.record_interval(
+                        time_s=now - gap,
+                        dt_s=gap,
+                        placements={},
+                        power_w=idle_vec,
+                        temps_c=self._core_temps(),
+                        frequencies_hz=np.full(
+                            self.ctx.n_cores, cfg.dvfs.f_max_hz
+                        ),
+                        dtm_throttled=np.nonzero(self._dtm.throttled)[0],
+                    )
                 continue
 
             # 2. interval length: scheduler preference, base interval, next arrival
@@ -237,8 +306,19 @@ class IntervalSimulator:
                     dt = until_arrival
 
             # 3. scheduler decision
-            decision = self._timed_scheduler_call(self.scheduler.decide, now)
+            if self._profiler is not None:
+                token = self._profiler.begin("scheduler.decide")
+                decision = self._timed_scheduler_call(
+                    self.scheduler.decide, now, metric="decision"
+                )
+                self._profiler.end("scheduler.decide", token)
+            else:
+                decision = self._timed_scheduler_call(
+                    self.scheduler.decide, now, metric="decision"
+                )
             self._validate(decision)
+            if self._recorder is not None:
+                self._track_epoch(now, decision.tau_s)
             moves = self._accountant.charge_moves(
                 self._prev_placements, decision.placements
             )
@@ -253,6 +333,13 @@ class IntervalSimulator:
                             self.ctx.migration.migration_penalty_s(src, dst),
                         )
                     )
+            if self._metrics is not None and moves:
+                self._metrics.counter("engine.migrations").inc(len(moves))
+                for _, _, dst in moves:
+                    ring = self.ctx.rings.ring_of(dst)
+                    self._metrics.counter(
+                        f"engine.migrations.to_ring.{ring}"
+                    ).inc()
             self._prev_placements = dict(decision.placements)
 
             # 4. DTM
@@ -269,11 +356,23 @@ class IntervalSimulator:
                         self.events.record(
                             DtmReleased(now, int(core), float(temps_now[core]))
                         )
+                if self._metrics is not None:
+                    engaged = int(np.count_nonzero(after & ~before))
+                    released = int(np.count_nonzero(before & ~after))
+                    if engaged:
+                        self._metrics.counter("engine.dtm.engaged").inc(engaged)
+                    if released:
+                        self._metrics.counter("engine.dtm.released").inc(released)
                 freqs = self._dtm.apply(decision.frequencies, dt)
             else:
                 freqs = np.asarray(decision.frequencies, dtype=float)
 
             # 5. execution + 6. power map
+            power_token = (
+                self._profiler.begin("power_map.build")
+                if self._profiler is not None
+                else 0.0
+            )
             power = np.full(self.ctx.n_cores, idle_power)
             for thread_id, core in decision.placements.items():
                 task, index = self._thread_of(thread_id)
@@ -303,15 +402,33 @@ class IntervalSimulator:
             for thread_id in decision.waiting:
                 stack = self._breakdown.setdefault(thread_id, TimeBreakdown())
                 stack.queued_s += dt
+            if self._profiler is not None:
+                self._profiler.end("power_map.build", power_token)
 
             # 7. exact thermal step
+            if self._profiler is not None:
+                step_token = self._profiler.begin("thermal.step")
             self._temps = self.ctx.dynamics.step(
                 self._temps, power, cfg.thermal.ambient_c, dt
             )
+            if self._profiler is not None:
+                self._profiler.end("thermal.step", step_token)
             energy_j += float(np.sum(power)) * dt
             now += dt
             if trace is not None:
                 trace.record(now, self._core_temps())
+            if self._metrics is not None:
+                self._metrics.counter("engine.intervals").inc()
+            if self._recorder is not None:
+                self._recorder.record_interval(
+                    time_s=now - dt,
+                    dt_s=dt,
+                    placements=decision.placements,
+                    power_w=power,
+                    temps_c=self._core_temps(),
+                    frequencies_hz=freqs,
+                    dtm_throttled=np.nonzero(self._dtm.throttled)[0],
+                )
 
             # 8. barriers and completions
             finished: List[Task] = []
@@ -329,6 +446,8 @@ class IntervalSimulator:
                 self._timed_scheduler_call(
                     self.scheduler.on_task_complete, task, now
                 )
+                if self._metrics is not None:
+                    self._metrics.counter("engine.tasks.completed").inc()
                 records.append(
                     TaskRecord(
                         task_id=task.task_id,
@@ -348,6 +467,12 @@ class IntervalSimulator:
                         )
                     )
 
+        if self._metrics is not None:
+            for key, value in self.ctx.dynamics.cache_stats().items():
+                self._metrics.gauge(f"thermal.{key}").set(value)
+            for key, value in self.scheduler.metrics().items():
+                self._metrics.gauge(f"sched.{key}").set(value)
+
         return SimulationResult(
             scheduler_name=self.scheduler.name,
             sim_time_s=now,
@@ -361,4 +486,10 @@ class IntervalSimulator:
             scheduler_wall_time_s=self._sched_wall_s,
             scheduler_invocations=self._sched_calls,
             time_breakdown=dict(self._breakdown),
+            metrics_snapshot=(
+                self._metrics.snapshot() if self._metrics is not None else {}
+            ),
+            profile=(
+                self._profiler.summary() if self._profiler is not None else {}
+            ),
         )

@@ -5,12 +5,17 @@ simulation occurrence — task arrivals/completions, thread migrations, DTM
 engagements — is recorded as a typed event, queryable afterwards.  Useful
 for debugging scheduler behaviour and for the examples' narratives; the
 metrics object carries only aggregates.
+
+Observability integrations subscribe to the log
+(:meth:`EventLog.subscribe`) to mirror events elsewhere — the
+:class:`~repro.obs.trace.TraceRecorder` serializes them into its JSONL
+trace via :func:`event_to_dict` / :func:`event_from_dict`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterator, List, Optional, Type, TypeVar
+from dataclasses import dataclass, fields
+from typing import Callable, Dict, Iterator, List, Optional, Type, TypeVar
 
 
 @dataclass(frozen=True)
@@ -56,18 +61,49 @@ class DtmReleased(Event):
 
 _E = TypeVar("_E", bound=Event)
 
+#: Every concrete event class, by name (the serialization registry).
+EVENT_TYPES: Dict[str, Type[Event]] = {
+    cls.__name__: cls
+    for cls in (TaskArrived, TaskCompleted, ThreadMigrated, DtmEngaged, DtmReleased)
+}
+
+
+def event_to_dict(event: Event) -> Dict[str, object]:
+    """Plain-dict form of an event: ``{"type": <class name>, <fields...>}``."""
+    data: Dict[str, object] = {"type": type(event).__name__}
+    for field in fields(event):
+        data[field.name] = getattr(event, field.name)
+    return data
+
+
+def event_from_dict(data: Dict[str, object]) -> Event:
+    """Rebuild an event from :func:`event_to_dict` output."""
+    payload = dict(data)
+    type_name = payload.pop("type", None)
+    cls = EVENT_TYPES.get(str(type_name))
+    if cls is None:
+        raise ValueError(f"unknown event type {type_name!r}")
+    return cls(**payload)
+
 
 class EventLog:
-    """Append-only, time-ordered event store."""
+    """Append-only, time-ordered event store (with subscriber fan-out)."""
 
     def __init__(self) -> None:
         self._events: List[Event] = []
+        self._subscribers: List[Callable[[Event], None]] = []
+
+    def subscribe(self, callback: Callable[[Event], None]) -> None:
+        """Call ``callback`` with every subsequently recorded event."""
+        self._subscribers.append(callback)
 
     def record(self, event: Event) -> None:
         """Append an event (times must be non-decreasing)."""
         if self._events and event.time_s < self._events[-1].time_s - 1e-12:
             raise ValueError("event log times must be non-decreasing")
         self._events.append(event)
+        for callback in self._subscribers:
+            callback(event)
 
     def __len__(self) -> int:
         return len(self._events)

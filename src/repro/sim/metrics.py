@@ -104,6 +104,12 @@ class SimulationResult:
     annotations: Dict[str, float] = field(default_factory=dict)
     #: per-thread wall-time breakdown (thread id -> TimeBreakdown)
     time_breakdown: Dict[str, "TimeBreakdown"] = field(default_factory=dict)
+    #: flat metrics-registry snapshot (empty unless metrics were enabled;
+    #: see :class:`repro.obs.MetricsRegistry`)
+    metrics_snapshot: Dict[str, float] = field(default_factory=dict)
+    #: per-phase wall-clock profile (empty unless profiling was enabled;
+    #: see :class:`repro.obs.PhaseProfiler`)
+    profile: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     # -- derived metrics -----------------------------------------------------
 
@@ -180,4 +186,8 @@ class SimulationResult:
             f"penalty={self.migration_penalty_s * 1e3:.2f} ms  "
             f"energy={self.energy_j:.1f} J"
         )
+        if self.metrics_snapshot:
+            lines.append(f"metrics recorded: {len(self.metrics_snapshot)}")
+        if self.profile:
+            lines.append(f"profiled phases: {', '.join(self.profile)}")
         return "\n".join(lines)

@@ -61,6 +61,12 @@ class ThermalDynamics:
         self._b_inv = np.linalg.inv(b)
         self._exp_cache: Dict[float, np.ndarray] = {}
         self._prop_cache: Dict[float, Tuple[np.ndarray, np.ndarray]] = {}
+        # cache-effectiveness counters (observability: the interval engine
+        # publishes these as ``thermal.*_cache.*`` gauges at run end)
+        self._exp_hits = 0
+        self._exp_misses = 0
+        self._prop_hits = 0
+        self._prop_misses = 0
 
     # -- spectral queries ---------------------------------------------------
 
@@ -80,9 +86,12 @@ class ThermalDynamics:
             raise ValueError("tau must be non-negative")
         cached = self._exp_cache.get(tau_s)
         if cached is None:
+            self._exp_misses += 1
             diag = np.exp(self.eigenvalues * tau_s)
             cached = (self.eigenvectors * diag[None, :]) @ self.eigenvectors_inv
             self._exp_cache[tau_s] = cached
+        else:
+            self._exp_hits += 1
         return cached
 
     def propagator(self, tau_s: float) -> Tuple[np.ndarray, np.ndarray]:
@@ -94,11 +103,29 @@ class ThermalDynamics:
         """
         cached = self._prop_cache.get(tau_s)
         if cached is None:
+            self._prop_misses += 1
             e = self.exp_c(tau_s)
             w = (np.eye(self.model.n_nodes) - e) @ self._b_inv
             cached = (e, w)
             self._prop_cache[tau_s] = cached
+        else:
+            self._prop_hits += 1
         return cached
+
+    def cache_stats(self) -> Dict[str, int]:
+        """Hit/miss counts of the ``exp_c`` and ``propagator`` caches.
+
+        Keys: ``exp_cache.hits``, ``exp_cache.misses``,
+        ``propagator_cache.hits``, ``propagator_cache.misses``.  A healthy
+        interval simulation re-uses a handful of step sizes, so hit rates
+        should approach 1 as the run progresses.
+        """
+        return {
+            "exp_cache.hits": self._exp_hits,
+            "exp_cache.misses": self._exp_misses,
+            "propagator_cache.hits": self._prop_hits,
+            "propagator_cache.misses": self._prop_misses,
+        }
 
     # -- exact transient stepping --------------------------------------------
 

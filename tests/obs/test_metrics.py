@@ -1,0 +1,159 @@
+"""Metrics registry: instruments, snapshots, export, run determinism."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro import config
+from repro.obs import MetricsRegistry
+from repro.sched import HotPotatoScheduler
+from repro.sim import IntervalSimulator
+from repro.workload import PARSEC, Task
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("engine.migrations")
+        counter.inc()
+        counter.inc(3)
+        assert registry.counter("engine.migrations").value == 4
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("c").inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.gauge("tau_s").set(0.5e-3)
+        registry.gauge("tau_s").set(0.25e-3)
+        assert registry.gauge("tau_s").value == 0.25e-3
+
+    def test_histogram_summary_stats(self):
+        histogram = MetricsRegistry().histogram("latency")
+        for value in (1.0, 2.0, 6.0):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.sum == 9.0
+        assert histogram.min == 1.0
+        assert histogram.max == 6.0
+        assert histogram.mean == 3.0
+
+    def test_name_collision_across_types_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+    def test_get_or_create_is_idempotent(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert len(registry) == 1
+        assert "a" in registry
+
+
+class TestSnapshot:
+    def _populated(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.counter("b.count").inc(2)
+        registry.gauge("a.gauge").set(1.5)
+        histogram = registry.histogram("c.hist")
+        histogram.observe(2.0)
+        histogram.observe(4.0)
+        registry.histogram("d.wall_s", timing=True).observe(0.1)
+        return registry
+
+    def test_snapshot_is_flat_and_sorted(self):
+        snapshot = self._populated().snapshot()
+        assert list(snapshot) == sorted(snapshot)
+        assert snapshot["a.gauge"] == 1.5
+        assert snapshot["b.count"] == 2.0
+        assert snapshot["c.hist.count"] == 2.0
+        assert snapshot["c.hist.mean"] == 3.0
+
+    def test_exclude_timing_drops_wall_clock_instruments(self):
+        snapshot = self._populated().snapshot(exclude_timing=True)
+        assert not any(key.startswith("d.wall_s") for key in snapshot)
+        assert "c.hist.count" in snapshot
+
+    def test_empty_histogram_snapshot_is_finite(self):
+        registry = MetricsRegistry()
+        registry.histogram("h")
+        snapshot = registry.snapshot()
+        assert snapshot["h.min"] == 0.0
+        assert snapshot["h.max"] == 0.0
+        assert snapshot["h.mean"] == 0.0
+
+    def test_json_export_parses_back(self):
+        registry = self._populated()
+        assert json.loads(registry.to_json()) == registry.snapshot()
+
+    def test_csv_export_parses_back(self):
+        registry = self._populated()
+        rows = list(csv.reader(io.StringIO(registry.to_csv())))
+        assert rows[0] == ["metric", "value"]
+        parsed = {name: float(value) for name, value in rows[1:]}
+        assert parsed == registry.snapshot()
+
+    def test_save_by_suffix(self, tmp_path):
+        registry = self._populated()
+        registry.save(tmp_path / "m.json")
+        registry.save(tmp_path / "m.csv")
+        assert json.loads((tmp_path / "m.json").read_text()) == registry.snapshot()
+        assert (tmp_path / "m.csv").read_text().startswith("metric,value")
+
+
+class TestRunDeterminism:
+    def _run_snapshot(self):
+        cfg = config.motivational().with_observability(metrics=True)
+        task = Task(0, PARSEC["blackscholes"], n_threads=2, seed=1)
+        sim = IntervalSimulator(cfg, HotPotatoScheduler(), [task])
+        result = sim.run(max_time_s=0.1)  # long enough for the task to finish
+        return sim.observer.metrics.snapshot(exclude_timing=True), result
+
+    def test_two_identical_runs_snapshot_identically(self):
+        snapshot_a, result_a = self._run_snapshot()
+        snapshot_b, result_b = self._run_snapshot()
+        assert snapshot_a == snapshot_b
+        assert result_a.sim_time_s == result_b.sim_time_s
+
+    def test_result_snapshot_carries_engine_and_scheduler_metrics(self):
+        _, result = self._run_snapshot()
+        snapshot = result.metrics_snapshot
+        assert snapshot["engine.intervals"] > 0
+        assert snapshot["engine.tasks.arrived"] == 1.0
+        assert snapshot["engine.tasks.completed"] == 1.0
+        assert snapshot["engine.migrations"] == result.migration_count
+        # per-ring migration counters sum to the total
+        per_ring = sum(
+            value
+            for key, value in snapshot.items()
+            if key.startswith("engine.migrations.to_ring.")
+        )
+        assert per_ring == result.migration_count
+        assert "sched.rotation_epochs" in snapshot
+        assert "thermal.exp_cache.hits" in snapshot
+        # decision latency histogram observes every decide() call
+        assert (
+            snapshot["scheduler.decision_latency_s.count"]
+            == result.metrics_snapshot["engine.intervals"]
+        )
+
+    def test_thermal_cache_hit_rate_is_high(self):
+        _, result = self._run_snapshot()
+        snapshot = result.metrics_snapshot
+        hits = snapshot["thermal.exp_cache.hits"]
+        misses = snapshot["thermal.exp_cache.misses"]
+        assert hits + misses > 0
+        # the interval loop reuses a handful of step sizes
+        assert hits / (hits + misses) > 0.5
+
+    def test_disabled_metrics_leave_result_snapshot_empty(self):
+        cfg = config.motivational()
+        task = Task(0, PARSEC["blackscholes"], n_threads=2, seed=1)
+        sim = IntervalSimulator(cfg, HotPotatoScheduler(), [task])
+        result = sim.run(max_time_s=0.02)
+        assert sim.observer is None
+        assert result.metrics_snapshot == {}

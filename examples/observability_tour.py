@@ -11,7 +11,10 @@ observability component enabled (``docs/observability.md``), then shows:
    thermal-solver cache hit rates, scheduler-internal gauges, decision
    latency — exported to CSV/JSON;
 3. the **profiling summary** — wall-clock cost of the scheduler-decision,
-   power-map-build and thermal-step phases of the hot loop.
+   power-map-build and thermal-step phases of the hot loop;
+4. the **analysis layer** — derived statistics, the analytic ``T_peak``
+   bound of Algorithm 1, the violation detectors (a ``check``) and a
+   self-contained single-file HTML report.
 
 Run:  python examples/observability_tour.py
 """
@@ -20,8 +23,20 @@ import tempfile
 from pathlib import Path
 
 from repro import config
-from repro.experiments.reporting import render_metrics_table, render_profile_table
-from repro.obs import TraceRecorder
+from repro.experiments.reporting import (
+    render_metrics_table,
+    render_profile_table,
+    render_violations_table,
+)
+from repro.obs import (
+    BoundDetector,
+    PowerMapDetector,
+    TraceRecorder,
+    analyze,
+    default_detectors,
+    run_detectors,
+    write_html_report,
+)
 from repro.sched import HotPotatoScheduler
 from repro.sim import IntervalSimulator
 from repro.workload import PARSEC, Task
@@ -107,6 +122,49 @@ def main() -> None:
     # 4. the profiling summary (wall-clock; off by default)
     print()
     print(render_profile_table(result.profile, title="hot-loop phase profile"))
+
+    # 5. the analysis layer: derived statistics + the Algorithm 1 bound
+    # (the simulator context already holds the platform's rings and the
+    # PeakTemperatureCalculator -- the CLI builds the same from --config)
+    calculator = simulator.ctx.calculator
+    analysis = analyze(
+        trace,
+        limit_c=cfg.thermal.dtm_threshold_c,
+        ring_of=simulator.ctx.rings.ring_of,
+        peak_fn=lambda seq, tau: calculator.peak(seq, tau, within_epoch_samples=4),
+    )
+    thermal = analysis.thermal
+    print(
+        f"\nanalysis: peak {thermal.peak_c:.2f} C on core {thermal.peak_core}, "
+        f"DTM duty cycle {analysis.dtm.duty_cycle:.2%}, "
+        f"{analysis.migration.count} migrations "
+        f"(per destination ring: {analysis.migration.per_dst_ring})"
+    )
+    if analysis.bound is not None:
+        bound = analysis.bound
+        print(
+            f"Algorithm 1 bound: analytic T_peak {bound.analytic_peak_c:.2f} C "
+            f"vs observed {bound.observed_peak_c:.2f} C -> "
+            f"{'EXCEEDED' if bound.exceeded else 'held'} "
+            f"(margin {bound.margin_c:+.2f} C, delta={bound.delta})"
+        )
+
+    # 6. a `check` (what `python -m repro.obs check` does) + HTML export
+    detectors = default_detectors(dtm_threshold_c=cfg.thermal.dtm_threshold_c)
+    detectors.append(PowerMapDetector(cfg.thermal.idle_power_w))
+    if analysis.bound is not None:
+        detectors.append(BoundDetector(analysis.bound.analytic_peak_c))
+    violations = run_detectors(trace, detectors)
+    print()
+    print(render_violations_table(violations, title="check"))
+    report_path = Path(tempfile.gettempdir()) / "observability_tour_report.html"
+    write_html_report(
+        report_path, trace, analysis, violations, title="Observability tour"
+    )
+    print(
+        f"\nself-contained HTML report: {report_path} "
+        f"({report_path.stat().st_size} bytes)"
+    )
 
 
 if __name__ == "__main__":

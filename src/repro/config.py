@@ -28,6 +28,7 @@ from __future__ import annotations
 import dataclasses
 import math
 from dataclasses import dataclass, field
+from typing import Optional
 
 from . import units
 
@@ -131,11 +132,16 @@ class ObservabilityConfig:
     metrics: bool = False
     #: time engine phases with wall-clock profiling hooks.
     profiling: bool = False
+    #: stream trace records to this JSONL file instead of buffering them in
+    #: memory (:class:`~repro.obs.sink.JsonlTraceSink`); implies tracing.
+    trace_path: Optional[str] = None
 
     @property
     def any_enabled(self) -> bool:
         """True when at least one component is switched on."""
-        return self.trace or self.metrics or self.profiling
+        return bool(
+            self.trace or self.metrics or self.profiling or self.trace_path
+        )
 
 
 @dataclass(frozen=True)
@@ -176,11 +182,19 @@ class SystemConfig:
         trace: bool = False,
         metrics: bool = False,
         profiling: bool = False,
+        trace_path: Optional[str] = None,
     ) -> "SystemConfig":
-        """Copy of this configuration with the given observability flags."""
+        """Copy of this configuration with the given observability flags.
+
+        ``trace_path`` switches the trace from in-memory buffering to a
+        streaming JSONL sink writing to that file.
+        """
         return self.replace(
             obs=ObservabilityConfig(
-                trace=trace, metrics=metrics, profiling=profiling
+                trace=trace,
+                metrics=metrics,
+                profiling=profiling,
+                trace_path=trace_path,
             )
         )
 

@@ -96,3 +96,26 @@ def render_metrics_table(
         return f"{title}\n(no metrics recorded)"
     rows = [[name, f"{value:g}"] for name, value in sorted(snapshot.items())]
     return render_table(["metric", "value"], rows, title=title)
+
+
+def render_violations_table(violations: Sequence, title: str = "violations") -> str:
+    """Render :class:`repro.obs.Violation` records as a table.
+
+    An empty sequence renders an explicit all-clear line, so ``check``
+    output always states its verdict.
+    """
+    if not violations:
+        return f"{title}\n(no violations detected)"
+    rows = [
+        [
+            f"{v.time_s * 1e3:.3f}",
+            v.detector,
+            v.severity,
+            "-" if v.core is None else str(v.core),
+            v.message,
+        ]
+        for v in violations
+    ]
+    return render_table(
+        ["time ms", "detector", "severity", "core", "message"], rows, title=title
+    )

@@ -147,3 +147,33 @@ def save_result(
 def load_result(path: PathLike) -> SimulationResult:
     """Read a result JSON from ``path``."""
     return result_from_dict(json.loads(Path(path).read_text()))
+
+
+# -- metrics snapshots -----------------------------------------------------------
+
+
+def load_metrics_snapshot(path: PathLike) -> dict:
+    """Load a flat ``name -> float`` metrics snapshot from a JSON file.
+
+    Accepts both artifact shapes this package writes: a bare snapshot
+    object (``MetricsRegistry.save``/``to_json``) and a full result JSON
+    (:func:`save_result`), from which the embedded ``metrics_snapshot`` is
+    extracted.  Used by the ``repro.obs diff``/``export`` CLI.
+    """
+    data = json.loads(Path(path).read_text())
+    if not isinstance(data, dict):
+        raise ValueError(f"{path}: not a JSON object")
+    if "metrics_snapshot" in data:
+        data = data["metrics_snapshot"]
+    elif "scheduler" in data and "sim_time_s" in data:
+        raise ValueError(
+            f"{path}: result JSON carries no metrics_snapshot "
+            "(was the run executed with metrics enabled?)"
+        )
+    bad = [k for k, v in data.items() if not isinstance(v, (int, float))]
+    if bad:
+        raise ValueError(
+            f"{path}: not a flat metrics snapshot "
+            f"(non-numeric entries: {sorted(bad)[:3]})"
+        )
+    return {str(k): float(v) for k, v in sorted(data.items())}

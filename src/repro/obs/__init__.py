@@ -1,18 +1,30 @@
-"""Observability: structured tracing, metrics export, profiling hooks.
+"""Observability: tracing, metrics, profiling — and the analysis layer.
 
 Zero-dependency instrumentation threaded through the interval simulator's
-hot loop (see ``docs/observability.md``):
+hot loop, plus the analytics that turn its artifacts into insight (see
+``docs/observability.md``):
 
 - :class:`TraceRecorder` — typed per-interval records (placement map,
   power/temperature maps, DTM state), rotation-epoch boundaries and all
   structured simulation events, with lossless JSONL export/reload;
+- :class:`JsonlTraceSink` — the streaming variant: records append to a
+  JSONL file as they happen, so long runs never buffer the trace in memory;
 - :class:`MetricsRegistry` — named counters, gauges and histograms
   (migrations per ring, thermal-solver cache hit rates, scheduler decision
   latency, ...), snapshotted into
   :class:`~repro.sim.metrics.SimulationResult` and exportable to CSV/JSON;
 - :class:`PhaseProfiler` — wall-clock timers around engine phases, off by
   default and free when disabled;
-- :class:`Observer` — the bundle of the three the engine threads through.
+- :class:`Observer` — the bundle of the three the engine threads through;
+- :mod:`repro.obs.analyze` — per-run derived statistics (thermal stress,
+  DTM duty cycle, migration rates, rotation adherence, observed peak vs the
+  analytic ``T_peak`` of Algorithm 1), bundled as :class:`RunAnalysis`;
+- :mod:`repro.obs.detect` — a detector registry producing structured
+  :class:`Violation` records, online or offline;
+- :mod:`repro.obs.export` — OpenMetrics textfile rendering and a
+  self-contained single-file HTML report;
+- ``python -m repro.obs`` — the CLI over saved artifacts: ``summarize``,
+  ``check``, ``diff``, ``export``.
 
 Enable via configuration (``config.obs``) or pass an observer explicitly::
 
@@ -27,28 +39,102 @@ Enable via configuration (``config.obs``) or pass an observer explicitly::
     print(result.metrics_snapshot)
 """
 
+from .analyze import (
+    BoundComparison,
+    CoreThermalStats,
+    DtmStats,
+    MigrationStats,
+    RotationStats,
+    RunAnalysis,
+    ThermalSummary,
+    analysis_to_flat,
+    analyze,
+    compare_peak_to_bound,
+    dtm_stats,
+    infer_rotation_period,
+    migration_stats,
+    rotation_stats,
+    thermal_stats,
+)
+from .detect import (
+    BoundDetector,
+    Detector,
+    DtmThrashDetector,
+    PowerMapDetector,
+    RotationStallDetector,
+    ThresholdDetector,
+    Violation,
+    default_detectors,
+    event_callback,
+    run_detectors,
+)
+from .export import (
+    html_report,
+    openmetrics_name,
+    parse_openmetrics,
+    to_openmetrics,
+    write_html_report,
+    write_openmetrics,
+)
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .observer import Observer
 from .profiling import PhaseProfiler, PhaseStat
+from .sink import JsonlTraceSink
 from .trace import (
     EpochRecord,
     EventRecord,
     IntervalRecord,
     TraceRecord,
     TraceRecorder,
+    event_to_record,
+    record_to_json_line,
 )
 
 __all__ = [
+    "BoundComparison",
+    "BoundDetector",
+    "CoreThermalStats",
     "Counter",
+    "Detector",
+    "DtmStats",
+    "DtmThrashDetector",
     "EpochRecord",
     "EventRecord",
     "Gauge",
     "Histogram",
     "IntervalRecord",
+    "JsonlTraceSink",
     "MetricsRegistry",
+    "MigrationStats",
     "Observer",
     "PhaseProfiler",
     "PhaseStat",
+    "PowerMapDetector",
+    "RotationStallDetector",
+    "RotationStats",
+    "RunAnalysis",
+    "ThermalSummary",
+    "ThresholdDetector",
     "TraceRecord",
     "TraceRecorder",
+    "Violation",
+    "analysis_to_flat",
+    "analyze",
+    "compare_peak_to_bound",
+    "default_detectors",
+    "dtm_stats",
+    "event_callback",
+    "event_to_record",
+    "html_report",
+    "infer_rotation_period",
+    "migration_stats",
+    "openmetrics_name",
+    "parse_openmetrics",
+    "record_to_json_line",
+    "rotation_stats",
+    "run_detectors",
+    "thermal_stats",
+    "to_openmetrics",
+    "write_html_report",
+    "write_openmetrics",
 ]

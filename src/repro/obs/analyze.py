@@ -1,0 +1,484 @@
+"""Trace analytics: derived per-run statistics from a structured trace.
+
+Pure functions over a :class:`~repro.obs.trace.TraceRecorder` (in memory or
+reloaded from JSONL).  Everything here is deterministic and free of engine
+dependencies, so a saved trace can be re-analyzed long after the run:
+
+- :func:`thermal_stats` — per-core thermal stress and residency: the
+  time-weighted mean, the peak (and when/where it occurred), the time spent
+  above a limit and the degree-seconds integral above it;
+- :func:`dtm_stats` — DTM duty cycle per core and chip-wide, engage/release
+  counts and the thrash rate (throttle transitions per second);
+- :func:`migration_stats` — migration counts/rates and penalties, broken
+  down by destination AMD ring when a ``ring_of`` mapping is supplied;
+- :func:`rotation_stats` — rotation-period adherence: how exactly the
+  recorded epoch boundaries track the scheduler's declared ``tau``;
+- :func:`compare_peak_to_bound` — the paper's core claim made checkable:
+  the observed peak versus the analytic ``T_peak`` of Algorithm 1
+  (:class:`repro.core.peak_temperature.PeakTemperatureCalculator`), with
+  the per-epoch power pattern reconstructed from the trace itself;
+- :func:`analyze` — all of the above bundled into one
+  :class:`RunAnalysis`, flattened for regression diffing by
+  :func:`analysis_to_flat`.
+
+The analytic-bound comparison is *sound by construction*: the rotation
+pattern handed to Algorithm 1 takes, per epoch slot, the **elementwise
+maximum** power over every complete epoch of that slot, so (by monotonicity
+of the RC thermal system in its power input) the converged cycle of that
+pattern upper-bounds what the simulator could have observed from the cooler
+warm start.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .trace import TraceRecorder
+
+#: Floating-point slack for time comparisons [s].
+_TIME_EPS = 1e-12
+
+
+# -- thermal stress / residency ------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CoreThermalStats:
+    """Thermal history of one core, reduced to stress statistics."""
+
+    core: int
+    #: time-weighted mean temperature [degC].
+    mean_c: float
+    peak_c: float
+    #: start time of the interval in which the peak was reached.
+    peak_time_s: float
+    #: residency: total time spent above the limit [s].
+    time_above_limit_s: float
+    #: thermal stress: integral of ``max(T - limit, 0) dt`` [degC * s].
+    stress_cs: float
+
+
+@dataclass(frozen=True)
+class ThermalSummary:
+    """Chip-wide thermal digest plus the per-core statistics."""
+
+    duration_s: float
+    limit_c: float
+    peak_c: float
+    peak_core: int
+    peak_time_s: float
+    cores: Tuple[CoreThermalStats, ...]
+
+
+def thermal_stats(trace: TraceRecorder, limit_c: float) -> ThermalSummary:
+    """Per-core thermal stress/residency statistics of a trace.
+
+    Each interval's end-of-interval temperature is taken to hold for the
+    whole interval (the trace's native piecewise-constant view).
+    """
+    intervals = trace.intervals()
+    if not intervals:
+        raise ValueError("trace has no interval records to analyze")
+    n_cores = len(intervals[0].temps_c)
+    temps = np.array([r.temps_c for r in intervals])  # (K, n_cores)
+    dts = np.array([r.dt_s for r in intervals])  # (K,)
+    duration = float(dts.sum())
+    mean = temps.T @ dts / duration if duration > 0 else temps.mean(axis=0)
+    over = np.maximum(temps - limit_c, 0.0)
+    stress = over.T @ dts  # (n_cores,)
+    residency = (over > 0).T @ dts
+    peak_idx = temps.argmax(axis=0)  # per core
+    cores = tuple(
+        CoreThermalStats(
+            core=c,
+            mean_c=float(mean[c]),
+            peak_c=float(temps[peak_idx[c], c]),
+            peak_time_s=float(intervals[peak_idx[c]].time_s),
+            time_above_limit_s=float(residency[c]),
+            stress_cs=float(stress[c]),
+        )
+        for c in range(n_cores)
+    )
+    flat_peak = int(np.argmax(temps))
+    peak_interval, peak_core = divmod(flat_peak, n_cores)
+    return ThermalSummary(
+        duration_s=duration,
+        limit_c=float(limit_c),
+        peak_c=float(temps[peak_interval, peak_core]),
+        peak_core=peak_core,
+        peak_time_s=float(intervals[peak_interval].time_s),
+        cores=cores,
+    )
+
+
+# -- DTM duty cycle / thrash ---------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DtmStats:
+    """How much the hardware DTM intervened, and how nervously."""
+
+    #: fraction of core-time spent throttled, chip-wide.
+    duty_cycle: float
+    #: per-core throttled-time fraction.
+    per_core_duty: Tuple[float, ...]
+    #: total throttled core-time [s].
+    throttled_core_time_s: float
+    engaged: int
+    released: int
+    #: throttle transitions (engage + release) per simulated second.
+    thrash_rate_hz: float
+
+
+def dtm_stats(trace: TraceRecorder) -> DtmStats:
+    """DTM duty cycle (from interval records) and thrash rate (from events)."""
+    intervals = trace.intervals()
+    if not intervals:
+        raise ValueError("trace has no interval records to analyze")
+    n_cores = len(intervals[0].temps_c)
+    duration = sum(r.dt_s for r in intervals)
+    per_core = np.zeros(n_cores)
+    for record in intervals:
+        for core in record.dtm_throttled:
+            per_core[core] += record.dt_s
+    engaged = len(trace.events("DtmEngaged"))
+    released = len(trace.events("DtmReleased"))
+    total = float(per_core.sum())
+    return DtmStats(
+        duty_cycle=total / (duration * n_cores) if duration > 0 else 0.0,
+        per_core_duty=tuple(
+            float(t / duration) if duration > 0 else 0.0 for t in per_core
+        ),
+        throttled_core_time_s=total,
+        engaged=engaged,
+        released=released,
+        thrash_rate_hz=(engaged + released) / duration if duration > 0 else 0.0,
+    )
+
+
+# -- migrations ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MigrationStats:
+    """Migration volume, rate and cost (optionally per destination ring)."""
+
+    count: int
+    rate_hz: float
+    total_penalty_s: float
+    mean_penalty_s: float
+    #: destination AMD ring -> migration count (empty without ``ring_of``).
+    per_dst_ring: Dict[int, int]
+    #: destination AMD ring -> migrations per simulated second.
+    per_dst_ring_rate_hz: Dict[int, float]
+
+
+def migration_stats(
+    trace: TraceRecorder, ring_of: Optional[Callable[[int], int]] = None
+) -> MigrationStats:
+    """Migration statistics from ``ThreadMigrated`` event records.
+
+    ``ring_of`` maps a core id to its AMD ring
+    (e.g. :meth:`repro.arch.amd.AmdRings.ring_of`); without it the
+    per-ring breakdown stays empty.
+    """
+    moves = trace.events("ThreadMigrated")
+    duration = sum(r.dt_s for r in trace.intervals())
+    penalties = [float(m.data.get("penalty_s", 0.0)) for m in moves]
+    per_ring: Dict[int, int] = {}
+    if ring_of is not None:
+        for move in moves:
+            ring = ring_of(int(move.data["dst_core"]))
+            per_ring[ring] = per_ring.get(ring, 0) + 1
+    return MigrationStats(
+        count=len(moves),
+        rate_hz=len(moves) / duration if duration > 0 else 0.0,
+        total_penalty_s=float(sum(penalties)),
+        mean_penalty_s=float(sum(penalties) / len(penalties)) if moves else 0.0,
+        per_dst_ring=dict(sorted(per_ring.items())),
+        per_dst_ring_rate_hz={
+            ring: count / duration if duration > 0 else 0.0
+            for ring, count in sorted(per_ring.items())
+        },
+    )
+
+
+# -- rotation-period adherence -------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RotationStats:
+    """How faithfully the engine executed the scheduler's declared ``tau``."""
+
+    #: number of recorded epoch boundaries.
+    epochs: int
+    #: distinct declared taus, in order of first appearance.
+    tau_values_s: Tuple[float, ...]
+    #: tau declared at the last boundary.
+    final_tau_s: float
+    #: worst relative deviation of a boundary gap from its declared tau.
+    max_deviation: float
+    #: longest gap between consecutive boundaries [s].
+    max_gap_s: float
+    #: time between the last boundary and the end of the trace [s].
+    trailing_gap_s: float
+
+
+def rotation_stats(trace: TraceRecorder) -> Optional[RotationStats]:
+    """Rotation-period adherence, or ``None`` when nothing rotated."""
+    epochs = trace.epochs()
+    if not epochs:
+        return None
+    taus: List[float] = []
+    for record in epochs:
+        if not any(abs(record.tau_s - t) < _TIME_EPS for t in taus):
+            taus.append(record.tau_s)
+    max_dev = 0.0
+    max_gap = 0.0
+    for prev, cur in zip(epochs, epochs[1:]):
+        gap = cur.time_s - prev.time_s
+        max_gap = max(max_gap, gap)
+        # a gap is only comparable to tau while tau was constant and the
+        # epoch counter advanced by exactly one (counter resets on re-tuning)
+        if (
+            abs(cur.tau_s - prev.tau_s) < _TIME_EPS
+            and cur.epoch == prev.epoch + 1
+        ):
+            max_dev = max(max_dev, abs(gap - prev.tau_s) / prev.tau_s)
+    intervals = trace.intervals()
+    end = (
+        intervals[-1].time_s + intervals[-1].dt_s if intervals else epochs[-1].time_s
+    )
+    return RotationStats(
+        epochs=len(epochs),
+        tau_values_s=tuple(taus),
+        final_tau_s=epochs[-1].tau_s,
+        max_deviation=max_dev,
+        max_gap_s=max_gap,
+        trailing_gap_s=max(0.0, end - epochs[-1].time_s),
+    )
+
+
+# -- observed peak vs analytic T_peak ------------------------------------------
+
+
+@dataclass(frozen=True)
+class BoundComparison:
+    """Observed peak versus the analytic ``T_peak`` bound of Algorithm 1."""
+
+    observed_peak_c: float
+    analytic_peak_c: float
+    #: ``analytic - observed``: positive means the run stayed under the bound.
+    margin_c: float
+    tau_s: float
+    #: rotation period length in epochs the pattern was built over.
+    delta: int
+    #: complete epochs that contributed power samples to the pattern.
+    epochs_used: int
+    exceeded: bool
+
+
+def _epoch_power_slots(
+    trace: TraceRecorder,
+) -> Tuple[List[np.ndarray], List[Tuple[int, ...]], float]:
+    """Per-complete-epoch elementwise-max power vectors, placement
+    signatures and the (constant) final tau.
+
+    Only epochs declaring the final tau are used; an epoch counts as
+    complete when its assigned intervals cover at least 99% of tau.
+    """
+    epochs = trace.epochs()
+    intervals = trace.intervals()
+    if not epochs or not intervals:
+        return [], [], 0.0
+    tau = epochs[-1].tau_s
+    bounds = [e for e in epochs if abs(e.tau_s - tau) < _TIME_EPS]
+    starts = [e.time_s for e in bounds]
+    powers: List[Optional[np.ndarray]] = [None] * len(bounds)
+    coverage = [0.0] * len(bounds)
+    signatures: List[Tuple] = [()] * len(bounds)
+    for record in intervals:
+        idx = bisect_right(starts, record.time_s + _TIME_EPS) - 1
+        if idx < 0 or record.time_s >= starts[idx] + tau - _TIME_EPS:
+            continue  # interval belongs to no (final-tau) epoch
+        vec = np.asarray(record.power_w, dtype=float)
+        if powers[idx] is None:
+            powers[idx] = vec.copy()
+            signatures[idx] = tuple(sorted(record.placements.items()))
+        else:
+            np.maximum(powers[idx], vec, out=powers[idx])
+        coverage[idx] += record.dt_s
+    complete = [
+        (powers[i], signatures[i])
+        for i in range(len(bounds))
+        if powers[i] is not None and coverage[i] >= 0.99 * tau
+    ]
+    return (
+        [p for p, _ in complete],
+        [s for _, s in complete],
+        tau,
+    )
+
+
+def infer_rotation_period(trace: TraceRecorder) -> Optional[int]:
+    """Smallest period (in epochs) of the trailing placement pattern.
+
+    Looks for the smallest ``d`` such that the last two windows of ``d``
+    epochs show identical placement signatures; ``None`` when the trace
+    never exhibits two consecutive identical periods.
+    """
+    _, signatures, _ = _epoch_power_slots(trace)
+    for d in range(1, len(signatures) // 2 + 1):
+        tail = signatures[-2 * d :]
+        if tail[:d] == tail[d:]:
+            return d
+    return None
+
+
+def compare_peak_to_bound(
+    trace: TraceRecorder,
+    peak_fn: Callable[[np.ndarray, float], float],
+    delta: Optional[int] = None,
+    tolerance_c: float = 0.0,
+) -> Optional[BoundComparison]:
+    """Observed whole-run peak versus the analytic rotation ``T_peak``.
+
+    ``peak_fn(power_seq, tau_s)`` evaluates Algorithm 1 — typically
+    ``lambda seq, tau: calculator.peak(seq, tau, within_epoch_samples=4)``
+    with a :class:`repro.core.peak_temperature.PeakTemperatureCalculator`
+    built for the run's platform.  The per-epoch power pattern is
+    reconstructed from the trace: epoch slot ``j`` receives the elementwise
+    maximum power over every complete epoch congruent to ``j`` modulo the
+    rotation period ``delta`` (inferred from the placement pattern when not
+    given).  When the placements never repeat exactly (adaptive schedulers
+    re-tune the rotation), the comparison falls back to the **whole-run
+    power envelope** as a constant ``delta = 1`` pattern — by monotonicity
+    of the RC system still a valid upper bound, just a looser one.
+    Returns ``None`` when the trace records no epochs at all.
+    """
+    powers, _, tau = _epoch_power_slots(trace)
+    intervals = trace.intervals()
+    if tau <= 0 or not intervals:
+        return None
+    if delta is None:
+        delta = infer_rotation_period(trace)
+    if delta is None:
+        # conservative fallback: hold the elementwise-max power of the
+        # whole run on every core forever
+        seq = np.max([r.power_w for r in intervals], axis=0)[None, :]
+        delta = 1
+    else:
+        if delta < 1 or not powers or len(powers) < delta:
+            return None
+        n_cores = powers[0].shape[0]
+        seq = np.zeros((delta, n_cores))
+        # align slots so the last complete epoch lands on slot delta - 1
+        offset = (delta - 1) - ((len(powers) - 1) % delta)
+        for index, power in enumerate(powers):
+            seq[(index + offset) % delta] = np.maximum(
+                seq[(index + offset) % delta], power
+            )
+    analytic = float(peak_fn(seq, tau))
+    observed = max(max(r.temps_c) for r in trace.intervals())
+    return BoundComparison(
+        observed_peak_c=observed,
+        analytic_peak_c=analytic,
+        margin_c=analytic - observed,
+        tau_s=tau,
+        delta=delta,
+        epochs_used=len(powers),
+        exceeded=observed > analytic + tolerance_c,
+    )
+
+
+# -- the bundle ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RunAnalysis:
+    """Every derived statistic of one run, in one place."""
+
+    thermal: ThermalSummary
+    dtm: DtmStats
+    migration: MigrationStats
+    rotation: Optional[RotationStats]
+    bound: Optional[BoundComparison]
+
+
+def analyze(
+    trace: TraceRecorder,
+    limit_c: float = 70.0,
+    ring_of: Optional[Callable[[int], int]] = None,
+    peak_fn: Optional[Callable[[np.ndarray, float], float]] = None,
+    delta: Optional[int] = None,
+    bound_tolerance_c: float = 0.0,
+) -> RunAnalysis:
+    """Full derived-statistics bundle for one trace.
+
+    ``limit_c`` is the thermal limit for stress/residency (typically
+    ``SystemConfig.thermal.dtm_threshold_c``); ``ring_of`` and ``peak_fn``
+    unlock the per-ring migration breakdown and the analytic-bound
+    comparison respectively (both need platform knowledge the trace alone
+    does not carry).
+    """
+    return RunAnalysis(
+        thermal=thermal_stats(trace, limit_c),
+        dtm=dtm_stats(trace),
+        migration=migration_stats(trace, ring_of),
+        rotation=rotation_stats(trace),
+        bound=(
+            compare_peak_to_bound(trace, peak_fn, delta, bound_tolerance_c)
+            if peak_fn is not None
+            else None
+        ),
+    )
+
+
+def analysis_to_flat(analysis: RunAnalysis) -> Dict[str, float]:
+    """Flatten a :class:`RunAnalysis` to a sorted ``name -> float`` dict.
+
+    The same shape as a metrics snapshot, so the ``repro.obs diff``
+    machinery compares analyses and snapshots uniformly.
+    """
+    flat: Dict[str, float] = {
+        "thermal.duration_s": analysis.thermal.duration_s,
+        "thermal.limit_c": analysis.thermal.limit_c,
+        "thermal.peak_c": analysis.thermal.peak_c,
+        "thermal.peak_core": float(analysis.thermal.peak_core),
+        "thermal.peak_time_s": analysis.thermal.peak_time_s,
+        "dtm.duty_cycle": analysis.dtm.duty_cycle,
+        "dtm.throttled_core_time_s": analysis.dtm.throttled_core_time_s,
+        "dtm.engaged": float(analysis.dtm.engaged),
+        "dtm.released": float(analysis.dtm.released),
+        "dtm.thrash_rate_hz": analysis.dtm.thrash_rate_hz,
+        "migration.count": float(analysis.migration.count),
+        "migration.rate_hz": analysis.migration.rate_hz,
+        "migration.total_penalty_s": analysis.migration.total_penalty_s,
+        "migration.mean_penalty_s": analysis.migration.mean_penalty_s,
+    }
+    for stats in analysis.thermal.cores:
+        prefix = f"thermal.core.{stats.core}"
+        flat[f"{prefix}.mean_c"] = stats.mean_c
+        flat[f"{prefix}.peak_c"] = stats.peak_c
+        flat[f"{prefix}.time_above_limit_s"] = stats.time_above_limit_s
+        flat[f"{prefix}.stress_cs"] = stats.stress_cs
+    for ring, count in analysis.migration.per_dst_ring.items():
+        flat[f"migration.to_ring.{ring}"] = float(count)
+    if analysis.rotation is not None:
+        flat["rotation.epochs"] = float(analysis.rotation.epochs)
+        flat["rotation.final_tau_s"] = analysis.rotation.final_tau_s
+        flat["rotation.max_deviation"] = analysis.rotation.max_deviation
+        flat["rotation.max_gap_s"] = analysis.rotation.max_gap_s
+        flat["rotation.trailing_gap_s"] = analysis.rotation.trailing_gap_s
+    if analysis.bound is not None:
+        flat["bound.observed_peak_c"] = analysis.bound.observed_peak_c
+        flat["bound.analytic_peak_c"] = analysis.bound.analytic_peak_c
+        flat["bound.margin_c"] = analysis.bound.margin_c
+        flat["bound.tau_s"] = analysis.bound.tau_s
+        flat["bound.delta"] = float(analysis.bound.delta)
+        flat["bound.exceeded"] = float(analysis.bound.exceeded)
+    return dict(sorted(flat.items()))

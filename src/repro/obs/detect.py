@@ -1,0 +1,391 @@
+"""Thermal-violation detection: a registry of detectors over trace records.
+
+A :class:`Detector` consumes :class:`~repro.obs.trace.TraceRecord`\\ s — one
+at a time, in time order — and produces structured :class:`Violation`
+records.  The same detector instance works
+
+- **offline**, over a saved trace: :func:`run_detectors`;
+- **online**, during a run: interval/epoch records can be fed by any trace
+  sink, and event-driven detectors attach straight to the engine's event
+  log via :func:`event_callback` and
+  :meth:`repro.sim.events.EventLog.subscribe`.
+
+Shipped detectors (create a standard set with :func:`default_detectors`):
+
+===========================  ==================================================
+:class:`ThresholdDetector`    a core temperature exceeded ``T_DTM``
+:class:`BoundDetector`        the observed temperature exceeded the analytic
+                              ``T_peak`` bound of Algorithm 1
+:class:`DtmThrashDetector`    too many DTM engage/release transitions on one
+                              core within a sliding window
+:class:`RotationStallDetector`  rotation was declared but epoch boundaries
+                              stopped advancing
+:class:`PowerMapDetector`     power-map/placement inconsistency: an idle core
+                              drawing active power or a placed core drawing
+                              less than idle power
+===========================  ==================================================
+
+Exceedance detectors emit one violation per *episode* (entering the bad
+state), not one per interval, so a sustained excursion reads as a single
+finding located at its onset.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Iterable, List, Optional, Sequence
+
+from .trace import (
+    EpochRecord,
+    EventRecord,
+    IntervalRecord,
+    TraceRecord,
+    TraceRecorder,
+    event_to_record,
+)
+
+#: Floating-point slack for time comparisons [s].
+_TIME_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One detected anomaly, locatable in time (and usually on a core)."""
+
+    detector: str
+    time_s: float
+    severity: str  # "warning" or "critical"
+    message: str
+    core: Optional[int] = None
+    #: the observed value that tripped the detector.
+    value: Optional[float] = None
+    #: the limit it was compared against.
+    limit: Optional[float] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form (JSON-serializable, ``None`` fields omitted)."""
+        data: Dict[str, object] = {
+            "detector": self.detector,
+            "time_s": self.time_s,
+            "severity": self.severity,
+            "message": self.message,
+        }
+        if self.core is not None:
+            data["core"] = self.core
+        if self.value is not None:
+            data["value"] = self.value
+        if self.limit is not None:
+            data["limit"] = self.limit
+        return data
+
+
+class Detector:
+    """Base detector: dispatches records, accumulates violations."""
+
+    name = "detector"
+
+    def __init__(self) -> None:
+        self.violations: List[Violation] = []
+
+    def observe(self, record: TraceRecord) -> None:
+        """Feed one trace record (in time order)."""
+        if isinstance(record, IntervalRecord):
+            self.on_interval(record)
+        elif isinstance(record, EpochRecord):
+            self.on_epoch(record)
+        elif isinstance(record, EventRecord):
+            self.on_event(record)
+        else:
+            raise TypeError(f"not a trace record: {type(record)}")
+
+    def on_interval(self, record: IntervalRecord) -> None:
+        """Hook: one simulated interval."""
+
+    def on_epoch(self, record: EpochRecord) -> None:
+        """Hook: one rotation-epoch boundary."""
+
+    def on_event(self, record: EventRecord) -> None:
+        """Hook: one simulation event."""
+
+    def finish(self, end_time_s: float) -> None:
+        """Hook: the trace ended at ``end_time_s`` (flush pending state)."""
+
+    def emit(
+        self,
+        time_s: float,
+        message: str,
+        severity: str = "critical",
+        core: Optional[int] = None,
+        value: Optional[float] = None,
+        limit: Optional[float] = None,
+    ) -> Violation:
+        """Record one violation (subclass convenience)."""
+        violation = Violation(
+            detector=self.name,
+            time_s=float(time_s),
+            severity=severity,
+            message=message,
+            core=core,
+            value=value,
+            limit=limit,
+        )
+        self.violations.append(violation)
+        return violation
+
+
+class _ExceedanceDetector(Detector):
+    """Shared per-core episode logic: emit once when a core goes bad."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._in_episode: Dict[int, bool] = {}
+
+    def _check_cores(
+        self,
+        record: IntervalRecord,
+        values: Sequence[float],
+        limit: float,
+        what: str,
+    ) -> None:
+        for core, value in enumerate(values):
+            bad = value > limit
+            if bad and not self._in_episode.get(core, False):
+                self.emit(
+                    record.time_s,
+                    f"core {core} {what}: {value:.2f} > {limit:.2f}",
+                    core=core,
+                    value=float(value),
+                    limit=float(limit),
+                )
+            self._in_episode[core] = bad
+
+
+class ThresholdDetector(_ExceedanceDetector):
+    """A core temperature exceeded the DTM threshold ``T_DTM``."""
+
+    name = "thermal-threshold"
+
+    def __init__(self, limit_c: float, tolerance_c: float = 0.0) -> None:
+        super().__init__()
+        self.limit_c = float(limit_c)
+        self.tolerance_c = float(tolerance_c)
+
+    def on_interval(self, record: IntervalRecord) -> None:
+        self._check_cores(
+            record,
+            record.temps_c,
+            self.limit_c + self.tolerance_c,
+            "exceeded the DTM threshold",
+        )
+
+
+class BoundDetector(_ExceedanceDetector):
+    """A core temperature exceeded the analytic ``T_peak`` bound.
+
+    The bound itself comes from Algorithm 1
+    (:func:`repro.obs.analyze.compare_peak_to_bound` computes it from a
+    trace plus a platform calculator); the detector takes the resulting
+    number so it stays usable online, where the bound is known up front.
+    """
+
+    name = "analytic-bound"
+
+    def __init__(self, bound_c: float, tolerance_c: float = 0.0) -> None:
+        super().__init__()
+        self.bound_c = float(bound_c)
+        self.tolerance_c = float(tolerance_c)
+
+    def on_interval(self, record: IntervalRecord) -> None:
+        self._check_cores(
+            record,
+            record.temps_c,
+            self.bound_c + self.tolerance_c,
+            "exceeded the analytic T_peak bound",
+        )
+
+
+class DtmThrashDetector(Detector):
+    """Too many DTM throttle transitions on one core within a window.
+
+    Counts ``DtmEngaged``/``DtmReleased`` events per core over a sliding
+    ``window_s``; more than ``max_transitions`` of them is thrash — the
+    control loop is oscillating instead of settling.
+    """
+
+    name = "dtm-thrash"
+
+    def __init__(self, window_s: float = 10e-3, max_transitions: int = 6) -> None:
+        super().__init__()
+        if window_s <= 0:
+            raise ValueError("thrash window must be positive")
+        self.window_s = float(window_s)
+        self.max_transitions = int(max_transitions)
+        self._times: Dict[int, Deque[float]] = {}
+        self._alerted: Dict[int, bool] = {}
+
+    def on_event(self, record: EventRecord) -> None:
+        if record.event not in ("DtmEngaged", "DtmReleased"):
+            return
+        core = int(record.data["core"])
+        queue = self._times.setdefault(core, deque())
+        queue.append(record.time_s)
+        while queue and queue[0] < record.time_s - self.window_s:
+            queue.popleft()
+        if len(queue) > self.max_transitions:
+            if not self._alerted.get(core, False):
+                self.emit(
+                    record.time_s,
+                    f"core {core} DTM thrash: {len(queue)} throttle "
+                    f"transitions within {self.window_s * 1e3:.1f} ms",
+                    severity="warning",
+                    core=core,
+                    value=float(len(queue)),
+                    limit=float(self.max_transitions),
+                )
+            self._alerted[core] = True
+        else:
+            self._alerted[core] = False
+
+
+class RotationStallDetector(Detector):
+    """Rotation was declared but epoch boundaries stopped advancing.
+
+    Once an epoch boundary with period ``tau`` has been seen, the next
+    boundary is due within ``stall_factor * tau``; an interval that still
+    places threads beyond that deadline means the rotation stalled (and the
+    hot cores stopped trading places).  Fires once per stall.
+    """
+
+    name = "rotation-stall"
+
+    def __init__(self, stall_factor: float = 3.0) -> None:
+        super().__init__()
+        if stall_factor <= 1.0:
+            raise ValueError("stall factor must exceed 1")
+        self.stall_factor = float(stall_factor)
+        self._last_boundary_s: Optional[float] = None
+        self._tau_s: Optional[float] = None
+        self._stalled = False
+
+    def on_epoch(self, record: EpochRecord) -> None:
+        self._last_boundary_s = record.time_s
+        self._tau_s = record.tau_s
+        self._stalled = False
+
+    def on_interval(self, record: IntervalRecord) -> None:
+        if self._tau_s is None or self._stalled or not record.placements:
+            return
+        deadline = self._last_boundary_s + self.stall_factor * self._tau_s
+        if record.time_s > deadline + _TIME_EPS:
+            self._stalled = True
+            self.emit(
+                record.time_s,
+                f"rotation stalled: no epoch boundary for "
+                f"{(record.time_s - self._last_boundary_s) * 1e3:.2f} ms "
+                f"(tau = {self._tau_s * 1e3:.2f} ms)",
+                severity="warning",
+                value=record.time_s - self._last_boundary_s,
+                limit=self.stall_factor * self._tau_s,
+            )
+
+
+class PowerMapDetector(Detector):
+    """Power-map/placement inconsistency.
+
+    Every core without a placed thread must draw (close to) idle power, and
+    every core with a placed thread must draw at least idle power — anything
+    else means the power map and the placement map disagree about who is
+    running where.
+    """
+
+    name = "power-map"
+
+    def __init__(self, idle_power_w: float, tolerance_w: float = 1e-6) -> None:
+        super().__init__()
+        self.idle_power_w = float(idle_power_w)
+        self.tolerance_w = float(tolerance_w)
+
+    def on_interval(self, record: IntervalRecord) -> None:
+        placed = set(record.placements.values())
+        for core, power in enumerate(record.power_w):
+            if core in placed:
+                if power < self.idle_power_w - self.tolerance_w:
+                    self.emit(
+                        record.time_s,
+                        f"core {core} has a placed thread but draws "
+                        f"{power:.3f} W < idle {self.idle_power_w:.3f} W",
+                        core=core,
+                        value=float(power),
+                        limit=self.idle_power_w,
+                    )
+            elif power > self.idle_power_w + self.tolerance_w:
+                self.emit(
+                    record.time_s,
+                    f"core {core} is unplaced but draws {power:.3f} W "
+                    f"> idle {self.idle_power_w:.3f} W",
+                    core=core,
+                    value=float(power),
+                    limit=self.idle_power_w,
+                )
+
+
+def default_detectors(
+    dtm_threshold_c: float = 70.0,
+    idle_power_w: Optional[float] = None,
+    bound_c: Optional[float] = None,
+    threshold_tolerance_c: float = 0.0,
+    bound_tolerance_c: float = 0.0,
+    thrash_window_s: float = 10e-3,
+    thrash_max_transitions: int = 6,
+    stall_factor: float = 3.0,
+) -> List[Detector]:
+    """The standard detector set; ``None`` parameters skip their detector."""
+    detectors: List[Detector] = [
+        ThresholdDetector(dtm_threshold_c, threshold_tolerance_c),
+        DtmThrashDetector(thrash_window_s, thrash_max_transitions),
+        RotationStallDetector(stall_factor),
+    ]
+    if bound_c is not None:
+        detectors.append(BoundDetector(bound_c, bound_tolerance_c))
+    if idle_power_w is not None:
+        detectors.append(PowerMapDetector(idle_power_w))
+    return detectors
+
+
+def run_detectors(
+    trace: TraceRecorder, detectors: Iterable[Detector]
+) -> List[Violation]:
+    """Run detectors offline over a full trace; violations sorted by time."""
+    detectors = list(detectors)
+    end_time_s = 0.0
+    for record in trace:
+        end_time_s = max(end_time_s, record.time_s)
+        for detector in detectors:
+            detector.observe(record)
+    for detector in detectors:
+        detector.finish(end_time_s)
+    violations = [v for d in detectors for v in d.violations]
+    return sorted(violations, key=lambda v: (v.time_s, v.detector))
+
+
+def event_callback(detectors: Iterable[Detector]):
+    """A callable for :meth:`repro.sim.events.EventLog.subscribe`.
+
+    Wires event-driven detectors (e.g. :class:`DtmThrashDetector`) into a
+    *live* run::
+
+        detectors = [DtmThrashDetector()]
+        sim.events.subscribe(event_callback(detectors))
+
+    Each event is serialized to the same :class:`EventRecord` shape the
+    offline path sees, so online and offline detection agree.
+    """
+    detectors = list(detectors)
+
+    def _on_event(event: object) -> None:
+        record = event_to_record(event)
+        for detector in detectors:
+            detector.observe(record)
+
+    return _on_event

@@ -1,0 +1,402 @@
+"""Run exporters: OpenMetrics text format and a self-contained HTML report.
+
+Two render targets for observability artifacts:
+
+- :func:`to_openmetrics` — any flat metrics snapshot (a
+  ``name -> float`` dict, e.g. ``MetricsRegistry.snapshot()`` or
+  ``SimulationResult.metrics_snapshot``) as a Prometheus/OpenMetrics
+  textfile, suitable for the node-exporter textfile collector or a
+  ``promtool``-style scrape.  :func:`parse_openmetrics` is the matching
+  strict line-format parser (used by the test suite to validate output);
+- :func:`html_report` — one run as a single self-contained HTML file: no
+  external scripts, stylesheets or images, just inline SVG temperature
+  timelines per core, the per-core thermal-stress table, the
+  ring-migration table and the violation list.
+"""
+
+from __future__ import annotations
+
+import html as _html
+import math
+import re
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+from .analyze import RunAnalysis
+from .detect import Violation
+from .trace import TraceRecorder
+
+PathLike = Union[str, Path]
+
+#: Characters legal in an OpenMetrics metric name (after the first char).
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+#: One sample line: ``name value`` (we emit no labels or timestamps).
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*) (?P<value>\S+)$"
+)
+
+
+def openmetrics_name(metric: str, prefix: str = "repro") -> str:
+    """Sanitize a dotted metric name into an OpenMetrics-legal one.
+
+    ``engine.migrations.to_ring.2`` becomes
+    ``repro_engine_migrations_to_ring_2``: dots and any other illegal
+    characters map to underscores, and a digit after the prefix is fine
+    because the prefix guarantees a legal first character.
+    """
+    sanitized = re.sub(r"[^a-zA-Z0-9_:]", "_", metric)
+    name = f"{prefix}_{sanitized}" if prefix else sanitized
+    if not _NAME_RE.match(name):
+        raise ValueError(f"cannot sanitize metric name {metric!r}")
+    return name
+
+
+def _format_value(value: float) -> str:
+    """A float in OpenMetrics sample syntax (inf/nan spelled out)."""
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value))
+
+
+def to_openmetrics(
+    snapshot: Mapping[str, float], prefix: str = "repro"
+) -> str:
+    """Render a flat metrics snapshot as an OpenMetrics text exposition.
+
+    Every metric is exposed as an untyped gauge with a ``# HELP`` line
+    naming its original dotted form; the exposition ends with the
+    mandatory ``# EOF`` terminator.  Two distinct metric names that
+    sanitize to the same OpenMetrics name raise :class:`ValueError`
+    instead of silently clobbering each other.
+    """
+    lines: List[str] = []
+    seen: Dict[str, str] = {}
+    for metric in sorted(snapshot):
+        name = openmetrics_name(metric, prefix)
+        if name in seen:
+            raise ValueError(
+                f"metric name collision: {metric!r} and {seen[name]!r} "
+                f"both sanitize to {name!r}"
+            )
+        seen[name] = metric
+        lines.append(f"# HELP {name} {metric}")
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name} {_format_value(float(snapshot[metric]))}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def parse_openmetrics(text: str) -> Dict[str, float]:
+    """Strictly parse a :func:`to_openmetrics` exposition back to a dict.
+
+    Validates the line format: every non-comment line must be
+    ``name value`` with a legal metric name and a parseable float, and the
+    exposition must end with ``# EOF``.  Raises :class:`ValueError` on any
+    deviation — this is the validator the tests drive.
+    """
+    values: Dict[str, float] = {}
+    lines = text.splitlines()
+    if not lines or lines[-1] != "# EOF":
+        raise ValueError("exposition does not end with '# EOF'")
+    for line_no, line in enumerate(lines[:-1], start=1):
+        if line.startswith("# HELP ") or line.startswith("# TYPE "):
+            continue
+        if line.startswith("#"):
+            raise ValueError(f"line {line_no}: unexpected comment {line!r}")
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"line {line_no}: malformed sample {line!r}")
+        name = match.group("name")
+        if name in values:
+            raise ValueError(f"line {line_no}: duplicate metric {name!r}")
+        try:
+            values[name] = float(match.group("value"))
+        except ValueError as exc:
+            raise ValueError(f"line {line_no}: bad value in {line!r}") from exc
+    return values
+
+
+def write_openmetrics(
+    snapshot: Mapping[str, float], path: PathLike, prefix: str = "repro"
+) -> None:
+    """Write an OpenMetrics textfile for ``snapshot`` to ``path``."""
+    Path(path).write_text(to_openmetrics(snapshot, prefix))
+
+
+# -- HTML report ---------------------------------------------------------------
+
+_CSS = """
+body { font-family: system-ui, sans-serif; margin: 2em auto; max-width: 64em;
+       color: #1a1a2e; }
+h1, h2 { font-weight: 600; }
+table { border-collapse: collapse; margin: 1em 0; }
+th, td { border: 1px solid #c8c8d0; padding: 0.3em 0.8em; text-align: right; }
+th { background: #eef0f4; }
+td:first-child, th:first-child { text-align: left; }
+.violation-critical { color: #b00020; font-weight: 600; }
+.violation-warning { color: #a05a00; font-weight: 600; }
+.ok { color: #1a7a3c; font-weight: 600; }
+svg { background: #fafbfc; border: 1px solid #c8c8d0; }
+figcaption { font-size: 0.85em; color: #555; }
+"""
+
+#: Cycled polyline colors for the per-core timelines.
+_PALETTE = (
+    "#4363d8", "#e6194b", "#3cb44b", "#f58231", "#911eb4",
+    "#4699c9", "#808000", "#f032e6", "#9a6324", "#2f4f4f",
+)
+
+
+def _svg_timeline(
+    trace: TraceRecorder,
+    limit_c: Optional[float],
+    bound_c: Optional[float],
+    width: int = 860,
+    height: int = 300,
+) -> str:
+    """Inline SVG: one temperature polyline per core over simulated time."""
+    intervals = trace.intervals()
+    if not intervals:
+        return "<p>(no interval records)</p>"
+    n_cores = len(intervals[0].temps_c)
+    times = [r.time_s + r.dt_s for r in intervals]
+    t_min, t_max = intervals[0].time_s, times[-1]
+    lows = [min(r.temps_c) for r in intervals]
+    highs = [max(r.temps_c) for r in intervals]
+    y_min = min(lows)
+    y_max = max(highs)
+    for level in (limit_c, bound_c):
+        if level is not None:
+            y_min = min(y_min, level)
+            y_max = max(y_max, level)
+    y_pad = max(0.5, 0.05 * (y_max - y_min))
+    y_min -= y_pad
+    y_max += y_pad
+    margin_l, margin_b, margin_t = 54, 30, 10
+    plot_w = width - margin_l - 10
+    plot_h = height - margin_b - margin_t
+
+    def x_of(t: float) -> float:
+        span = (t_max - t_min) or 1.0
+        return margin_l + (t - t_min) / span * plot_w
+
+    def y_of(temp: float) -> float:
+        span = (y_max - y_min) or 1.0
+        return margin_t + (y_max - temp) / span * plot_h
+
+    parts = [
+        f'<svg viewBox="0 0 {width} {height}" width="{width}" '
+        f'height="{height}" role="img" '
+        f'aria-label="per-core temperature timelines">'
+    ]
+    # axes and gridlines
+    n_ticks = 5
+    for i in range(n_ticks + 1):
+        temp = y_min + (y_max - y_min) * i / n_ticks
+        y = y_of(temp)
+        parts.append(
+            f'<line x1="{margin_l}" y1="{y:.1f}" x2="{width - 10}" '
+            f'y2="{y:.1f}" stroke="#e0e2e8" stroke-width="1"/>'
+        )
+        parts.append(
+            f'<text x="{margin_l - 6}" y="{y + 4:.1f}" font-size="11" '
+            f'text-anchor="end">{temp:.1f}</text>'
+        )
+    for i in range(n_ticks + 1):
+        t = t_min + (t_max - t_min) * i / n_ticks
+        x = x_of(t)
+        parts.append(
+            f'<text x="{x:.1f}" y="{height - 8}" font-size="11" '
+            f'text-anchor="middle">{t * 1e3:.1f} ms</text>'
+        )
+    # reference levels
+    for level, color, label in (
+        (limit_c, "#b00020", "T_DTM"),
+        (bound_c, "#6a1fb0", "analytic T_peak"),
+    ):
+        if level is None:
+            continue
+        y = y_of(level)
+        parts.append(
+            f'<line x1="{margin_l}" y1="{y:.1f}" x2="{width - 10}" '
+            f'y2="{y:.1f}" stroke="{color}" stroke-width="1.5" '
+            f'stroke-dasharray="6 4"/>'
+        )
+        parts.append(
+            f'<text x="{width - 14}" y="{y - 4:.1f}" font-size="11" '
+            f'text-anchor="end" fill="{color}">{label} = {level:.1f} C</text>'
+        )
+    # per-core polylines
+    for core in range(n_cores):
+        points = " ".join(
+            f"{x_of(t):.1f},{y_of(r.temps_c[core]):.1f}"
+            for t, r in zip(times, intervals)
+        )
+        color = _PALETTE[core % len(_PALETTE)]
+        parts.append(
+            f'<polyline points="{points}" fill="none" stroke="{color}" '
+            f'stroke-width="1.2"><title>core {core}</title></polyline>'
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    head = "".join(f"<th>{_html.escape(str(h))}</th>" for h in headers)
+    body = "".join(
+        "<tr>" + "".join(f"<td>{_html.escape(str(c))}</td>" for c in row) + "</tr>"
+        for row in rows
+    )
+    return f"<table><tr>{head}</tr>{body}</table>"
+
+
+def html_report(
+    trace: TraceRecorder,
+    analysis: Optional[RunAnalysis] = None,
+    violations: Sequence[Violation] = (),
+    title: str = "Simulation run report",
+) -> str:
+    """One run as a single self-contained HTML document (string).
+
+    Sections: the per-core temperature timeline (inline SVG, with the DTM
+    threshold and — when the analysis carries one — the analytic ``T_peak``
+    bound drawn as reference levels), per-core thermal stress, the
+    ring-migration table and the violation list.
+    """
+    limit_c = analysis.thermal.limit_c if analysis is not None else None
+    bound_c = (
+        analysis.bound.analytic_peak_c
+        if analysis is not None and analysis.bound is not None
+        else None
+    )
+    sections: List[str] = [
+        f"<h1>{_html.escape(title)}</h1>",
+        "<h2>Temperature timeline</h2>",
+        "<figure>",
+        _svg_timeline(trace, limit_c, bound_c),
+        "<figcaption>One polyline per core; end-of-interval temperatures."
+        "</figcaption>",
+        "</figure>",
+    ]
+    if analysis is not None:
+        thermal = analysis.thermal
+        sections.append("<h2>Run summary</h2>")
+        summary_rows = [
+            ("simulated time", f"{thermal.duration_s * 1e3:.2f} ms"),
+            (
+                "observed peak",
+                f"{thermal.peak_c:.2f} C on core {thermal.peak_core} "
+                f"at {thermal.peak_time_s * 1e3:.2f} ms",
+            ),
+            ("DTM duty cycle", f"{analysis.dtm.duty_cycle:.2%}"),
+            (
+                "DTM thrash rate",
+                f"{analysis.dtm.thrash_rate_hz:.1f} transitions/s",
+            ),
+            ("migrations", f"{analysis.migration.count}"),
+            (
+                "migration penalty",
+                f"{analysis.migration.total_penalty_s * 1e3:.2f} ms",
+            ),
+        ]
+        if analysis.rotation is not None:
+            summary_rows.append(
+                (
+                    "rotation",
+                    f"{analysis.rotation.epochs} epoch boundaries, final "
+                    f"tau {analysis.rotation.final_tau_s * 1e3:.2f} ms, "
+                    f"max deviation {analysis.rotation.max_deviation:.1%}",
+                )
+            )
+        if analysis.bound is not None:
+            bound = analysis.bound
+            verdict = (
+                "EXCEEDED" if bound.exceeded else "held"
+            )
+            summary_rows.append(
+                (
+                    "analytic T_peak bound",
+                    f"{bound.analytic_peak_c:.2f} C ({verdict}; margin "
+                    f"{bound.margin_c:+.2f} C, delta={bound.delta}, "
+                    f"tau {bound.tau_s * 1e3:.2f} ms)",
+                )
+            )
+        sections.append(_table(("quantity", "value"), summary_rows))
+        sections.append("<h2>Per-core thermal stress</h2>")
+        sections.append(
+            _table(
+                (
+                    "core",
+                    "mean [C]",
+                    "peak [C]",
+                    "peak at [ms]",
+                    f"time > {thermal.limit_c:.0f} C [ms]",
+                    "stress [C*ms]",
+                ),
+                [
+                    (
+                        stats.core,
+                        f"{stats.mean_c:.2f}",
+                        f"{stats.peak_c:.2f}",
+                        f"{stats.peak_time_s * 1e3:.2f}",
+                        f"{stats.time_above_limit_s * 1e3:.2f}",
+                        f"{stats.stress_cs * 1e3:.2f}",
+                    )
+                    for stats in thermal.cores
+                ],
+            )
+        )
+        if analysis.migration.per_dst_ring:
+            sections.append("<h2>Migrations by destination AMD ring</h2>")
+            sections.append(
+                _table(
+                    ("ring", "migrations", "rate [1/s]"),
+                    [
+                        (
+                            ring,
+                            count,
+                            f"{analysis.migration.per_dst_ring_rate_hz[ring]:.1f}",
+                        )
+                        for ring, count in analysis.migration.per_dst_ring.items()
+                    ],
+                )
+            )
+    sections.append("<h2>Violations</h2>")
+    if violations:
+        sections.append(
+            _table(
+                ("time [ms]", "detector", "severity", "core", "message"),
+                [
+                    (
+                        f"{v.time_s * 1e3:.3f}",
+                        v.detector,
+                        v.severity,
+                        "-" if v.core is None else v.core,
+                        v.message,
+                    )
+                    for v in violations
+                ],
+            )
+        )
+    else:
+        sections.append('<p class="ok">No violations detected.</p>')
+    return (
+        "<!DOCTYPE html>\n<html><head><meta charset='utf-8'>"
+        f"<title>{_html.escape(title)}</title>"
+        f"<style>{_CSS}</style></head><body>"
+        + "".join(sections)
+        + "</body></html>\n"
+    )
+
+
+def write_html_report(
+    path: PathLike,
+    trace: TraceRecorder,
+    analysis: Optional[RunAnalysis] = None,
+    violations: Sequence[Violation] = (),
+    title: str = "Simulation run report",
+) -> None:
+    """Write :func:`html_report` output to ``path``."""
+    Path(path).write_text(html_report(trace, analysis, violations, title))

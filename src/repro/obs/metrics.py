@@ -27,6 +27,7 @@ from __future__ import annotations
 import csv
 import io as _io
 import json
+import math
 from pathlib import Path
 from typing import Dict, List, Union
 
@@ -68,13 +69,14 @@ class Gauge:
 
 
 class Histogram:
-    """Streaming summary (count/sum/min/max) of observed values."""
+    """Streaming summary (count/sum/sum-of-squares/min/max) of values."""
 
     def __init__(self, name: str, timing: bool = False):
         self.name = name
         self.timing = timing
         self.count = 0
         self.sum = 0.0
+        self.sum_sq = 0.0
         self.min = float("inf")
         self.max = float("-inf")
 
@@ -83,6 +85,7 @@ class Histogram:
         value = float(value)
         self.count += 1
         self.sum += value
+        self.sum_sq += value * value
         self.min = min(self.min, value)
         self.max = max(self.max, value)
 
@@ -90,6 +93,18 @@ class Histogram:
     def mean(self) -> float:
         """Average of all observations (0.0 when empty)."""
         return self.sum / self.count if self.count else 0.0
+
+    @property
+    def stddev(self) -> float:
+        """Population standard deviation (0.0 when empty).
+
+        Computed from the streaming sum of squares; the variance is clamped
+        at zero so floating-point cancellation never yields a NaN.
+        """
+        if not self.count:
+            return 0.0
+        variance = self.sum_sq / self.count - self.mean**2
+        return math.sqrt(max(0.0, variance))
 
     def __repr__(self) -> str:
         return f"Histogram({self.name}: n={self.count}, mean={self.mean:g})"
@@ -157,6 +172,7 @@ class MetricsRegistry:
                 flat[f"{name}.min"] = instrument.min if instrument.count else 0.0
                 flat[f"{name}.max"] = instrument.max if instrument.count else 0.0
                 flat[f"{name}.mean"] = instrument.mean
+                flat[f"{name}.stddev"] = instrument.stddev
             else:
                 flat[name] = instrument.value
         return dict(sorted(flat.items()))
@@ -175,9 +191,18 @@ class MetricsRegistry:
         return buffer.getvalue()
 
     def save(self, path: PathLike, exclude_timing: bool = False) -> None:
-        """Write the snapshot to ``path`` (format by suffix: .csv or .json)."""
+        """Write the snapshot to ``path`` (format by suffix: .csv or .json).
+
+        Any other suffix raises :class:`ValueError` — a typo'd extension
+        must not silently produce a file in an unexpected format.
+        """
         path = Path(path)
         if path.suffix == ".csv":
             path.write_text(self.to_csv(exclude_timing))
-        else:
+        elif path.suffix == ".json":
             path.write_text(self.to_json(exclude_timing))
+        else:
+            raise ValueError(
+                f"cannot save metrics to {path.name!r}: "
+                "suffix must be .json or .csv"
+            )

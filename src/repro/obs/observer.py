@@ -36,11 +36,24 @@ class Observer:
 
     @classmethod
     def from_config(cls, obs_config: "ObservabilityConfig") -> Optional["Observer"]:
-        """Build the observer ``SystemConfig.obs`` asks for (None if all off)."""
-        if not (obs_config.trace or obs_config.metrics or obs_config.profiling):
+        """Build the observer ``SystemConfig.obs`` asks for (None if all off).
+
+        ``trace_path`` takes precedence over the in-memory ``trace`` flag:
+        when set, the trace component is a streaming
+        :class:`~repro.obs.sink.JsonlTraceSink` writing to that file.
+        """
+        if not obs_config.any_enabled:
             return None
+        if obs_config.trace_path:
+            from .sink import JsonlTraceSink
+
+            trace: Optional[TraceRecorder] = JsonlTraceSink(obs_config.trace_path)
+        elif obs_config.trace:
+            trace = TraceRecorder()
+        else:
+            trace = None
         return cls(
-            trace=TraceRecorder() if obs_config.trace else None,
+            trace=trace,
             metrics=MetricsRegistry() if obs_config.metrics else None,
             profiler=PhaseProfiler() if obs_config.profiling else None,
         )
@@ -53,6 +66,11 @@ class Observer:
             metrics=MetricsRegistry(),
             profiler=PhaseProfiler(),
         )
+
+    def close(self) -> None:
+        """Finalize streaming components (flushes/closes a trace sink)."""
+        if self.trace is not None:
+            self.trace.close()
 
     def __repr__(self) -> str:
         parts = [

@@ -25,6 +25,8 @@ exact form), so no precision is lost.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from dataclasses import dataclass, field, fields as _dc_fields, is_dataclass
 from pathlib import Path
 from typing import Dict, Iterator, List, Mapping, Sequence, Tuple, Union
@@ -82,6 +84,33 @@ TraceRecord = Union[IntervalRecord, EpochRecord, EventRecord]
 _KIND_OF = {IntervalRecord: "interval", EpochRecord: "epoch", EventRecord: "event"}
 
 
+def record_to_json_line(record: TraceRecord) -> str:
+    """One trace record as its canonical JSONL line (no trailing newline)."""
+    payload = {"kind": _KIND_OF[type(record)], **vars(record)}
+    return json.dumps(payload, sort_keys=True)
+
+
+def event_to_record(event: object) -> EventRecord:
+    """Serialize a timestamped event dataclass into an :class:`EventRecord`.
+
+    Shared by :meth:`TraceRecorder.record_event` and the online detector
+    path (:func:`repro.obs.detect.event_callback`), so both see identical
+    record shapes.
+    """
+    if not is_dataclass(event):
+        raise TypeError(f"expected an event dataclass, got {type(event)}")
+    data = {
+        f.name: getattr(event, f.name)
+        for f in _dc_fields(event)
+        if f.name != "time_s"
+    }
+    return EventRecord(
+        time_s=float(getattr(event, "time_s")),
+        event=type(event).__name__,
+        data=data,
+    )
+
+
 class TraceRecorder:
     """Append-only store of structured trace records, JSONL-serializable."""
 
@@ -89,6 +118,10 @@ class TraceRecorder:
         self.records: List[TraceRecord] = []
 
     # -- recording ----------------------------------------------------------
+
+    def _emit(self, record: TraceRecord) -> None:
+        """Store one freshly built record (subclass hook: sinks stream it)."""
+        self.records.append(record)
 
     def record_interval(
         self,
@@ -110,13 +143,13 @@ class TraceRecorder:
             frequencies_hz=tuple(float(f) for f in frequencies_hz),
             dtm_throttled=tuple(int(c) for c in dtm_throttled),
         )
-        self.records.append(record)
+        self._emit(record)
         return record
 
     def record_epoch(self, time_s: float, epoch: int, tau_s: float) -> EpochRecord:
         """Append a rotation-epoch boundary record."""
         record = EpochRecord(float(time_s), int(epoch), float(tau_s))
-        self.records.append(record)
+        self._emit(record)
         return record
 
     def record_event(self, event: object) -> EventRecord:
@@ -126,20 +159,16 @@ class TraceRecorder:
         (:class:`repro.sim.events.Event` subclasses); serialized generically
         so the obs layer stays free of upward dependencies.
         """
-        if not is_dataclass(event):
-            raise TypeError(f"expected an event dataclass, got {type(event)}")
-        data = {
-            f.name: getattr(event, f.name)
-            for f in _dc_fields(event)
-            if f.name != "time_s"
-        }
-        record = EventRecord(
-            time_s=float(getattr(event, "time_s")),
-            event=type(event).__name__,
-            data=data,
-        )
-        self.records.append(record)
+        record = event_to_record(event)
+        self._emit(record)
         return record
+
+    def flush(self) -> None:
+        """Push buffered output to stable storage (no-op for the in-memory
+        recorder; streaming sinks override)."""
+
+    def close(self) -> None:
+        """Release any held resources (no-op for the in-memory recorder)."""
 
     # -- views --------------------------------------------------------------
 
@@ -174,15 +203,30 @@ class TraceRecorder:
 
     def to_jsonl(self) -> str:
         """One JSON object per record, one record per line."""
-        lines = []
-        for record in self.records:
-            payload = {"kind": _KIND_OF[type(record)], **vars(record)}
-            lines.append(json.dumps(payload, sort_keys=True))
+        lines = [record_to_json_line(record) for record in self.records]
         return "\n".join(lines) + ("\n" if lines else "")
 
     def write_jsonl(self, path: PathLike) -> None:
-        """Write the trace to ``path`` in JSON Lines form."""
-        Path(path).write_text(self.to_jsonl())
+        """Write the trace to ``path`` in JSON Lines form, atomically.
+
+        The content goes to a temporary file in the same directory which is
+        then ``os.replace``-d over ``path``, so a crashed writer never
+        leaves a truncated trace behind.
+        """
+        path = Path(path)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(self.to_jsonl())
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
 
     @classmethod
     def from_jsonl(cls, text: str) -> "TraceRecorder":

@@ -472,6 +472,10 @@ class IntervalSimulator:
                 self._metrics.gauge(f"thermal.{key}").set(value)
             for key, value in self.scheduler.metrics().items():
                 self._metrics.gauge(f"sched.{key}").set(value)
+        if self._recorder is not None:
+            # streaming sinks persist everything recorded so far; the
+            # in-memory recorder's flush is a no-op
+            self._recorder.flush()
 
         return SimulationResult(
             scheduler_name=self.scheduler.name,

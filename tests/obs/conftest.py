@@ -1,0 +1,80 @@
+"""Shared fixtures: a hand-built miniature trace with known answers.
+
+The ``mini_trace`` is a 2-core, 4-interval rotation (tau = 1 ms, period
+delta = 2) whose every derived statistic can be computed by hand:
+
+====================  ========================================================
+duration              4 ms (4 intervals of 1 ms)
+placements            thread ``t0`` alternates core 0 -> 1 -> 0 -> 1
+power                 active core 2.0 W, idle core 0.3 W
+temperatures          active core 50 C, idle core 46 C — except interval 2,
+                      where core 0 spikes to 72 C (the single hot interval)
+DTM                   core 0 throttled during interval 2 only
+                      (engage at 2 ms, release at 3 ms)
+migrations            3 ``ThreadMigrated`` events (1 ms, 2 ms, 3 ms),
+                      penalty 10 us each; destinations 1, 0, 1
+epoch boundaries      0, 1, 2, 3 ms; epochs 0..3; tau exactly 1 ms
+====================  ========================================================
+
+With the DTM threshold at 70 C (or an analytic bound anywhere in
+(50, 72)), the trace violates in **exactly one interval**: interval 2,
+start time 2 ms, core 0.
+"""
+
+import pytest
+
+from repro.obs import TraceRecorder
+
+
+IDLE_W = 0.3
+ACTIVE_W = 2.0
+TAU_S = 1e-3
+PENALTY_S = 1e-5
+#: (start, placements, power, temps, throttled) per interval.
+MINI_INTERVALS = [
+    (0e-3, {"t0": 0}, (ACTIVE_W, IDLE_W), (50.0, 46.0), ()),
+    (1e-3, {"t0": 1}, (IDLE_W, ACTIVE_W), (46.0, 50.0), ()),
+    (2e-3, {"t0": 0}, (ACTIVE_W, IDLE_W), (72.0, 46.0), (0,)),
+    (3e-3, {"t0": 1}, (IDLE_W, ACTIVE_W), (46.0, 50.0), ()),
+]
+
+
+def build_mini_trace(recorder: TraceRecorder = None) -> TraceRecorder:
+    """Record the miniature rotation into ``recorder`` (or a fresh one)."""
+    from repro.sim.events import DtmEngaged, DtmReleased, ThreadMigrated
+
+    trace = recorder if recorder is not None else TraceRecorder()
+    last_core = None
+    for epoch, (start, placements, power, temps, throttled) in enumerate(
+        MINI_INTERVALS
+    ):
+        trace.record_epoch(start, epoch=epoch, tau_s=TAU_S)
+        core = placements["t0"]
+        if last_core is not None and core != last_core:
+            trace.record_event(
+                ThreadMigrated(
+                    time_s=start,
+                    thread_id="t0",
+                    src_core=last_core,
+                    dst_core=core,
+                    penalty_s=PENALTY_S,
+                )
+            )
+        last_core = core
+        trace.record_interval(
+            time_s=start,
+            dt_s=TAU_S,
+            placements=placements,
+            power_w=power,
+            temps_c=temps,
+            frequencies_hz=(4.0e9, 4.0e9),
+            dtm_throttled=throttled,
+        )
+    trace.record_event(DtmEngaged(time_s=2e-3, core=0, temperature_c=72.0))
+    trace.record_event(DtmReleased(time_s=3e-3, core=0, temperature_c=46.0))
+    return trace
+
+
+@pytest.fixture
+def mini_trace() -> TraceRecorder:
+    return build_mini_trace()

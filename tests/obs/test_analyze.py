@@ -1,0 +1,199 @@
+"""Trace analytics against the hand-built miniature trace (known answers)."""
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    analysis_to_flat,
+    analyze,
+    compare_peak_to_bound,
+    dtm_stats,
+    infer_rotation_period,
+    migration_stats,
+    rotation_stats,
+    thermal_stats,
+)
+
+from .conftest import ACTIVE_W, IDLE_W, PENALTY_S, TAU_S
+
+
+class TestThermalStats:
+    def test_chip_peak_located(self, mini_trace):
+        summary = thermal_stats(mini_trace, limit_c=70.0)
+        assert summary.peak_c == 72.0
+        assert summary.peak_core == 0
+        assert summary.peak_time_s == pytest.approx(2e-3)
+        assert summary.duration_s == pytest.approx(4e-3)
+
+    def test_per_core_means_are_time_weighted(self, mini_trace):
+        summary = thermal_stats(mini_trace, limit_c=70.0)
+        assert summary.cores[0].mean_c == pytest.approx((50 + 46 + 72 + 46) / 4)
+        assert summary.cores[1].mean_c == pytest.approx((46 + 50 + 46 + 50) / 4)
+
+    def test_stress_and_residency(self, mini_trace):
+        summary = thermal_stats(mini_trace, limit_c=70.0)
+        core0 = summary.cores[0]
+        # exactly one 1 ms interval at 72 C against a 70 C limit
+        assert core0.time_above_limit_s == pytest.approx(1e-3)
+        assert core0.stress_cs == pytest.approx(2.0 * 1e-3)
+        assert summary.cores[1].time_above_limit_s == 0.0
+        assert summary.cores[1].stress_cs == 0.0
+
+    def test_empty_trace_rejected(self):
+        from repro.obs import TraceRecorder
+
+        with pytest.raises(ValueError, match="no interval records"):
+            thermal_stats(TraceRecorder(), limit_c=70.0)
+
+
+class TestDtmStats:
+    def test_duty_cycle(self, mini_trace):
+        stats = dtm_stats(mini_trace)
+        # 1 ms throttled core-time over 4 ms x 2 cores
+        assert stats.duty_cycle == pytest.approx(1e-3 / 8e-3)
+        assert stats.per_core_duty[0] == pytest.approx(0.25)
+        assert stats.per_core_duty[1] == 0.0
+        assert stats.throttled_core_time_s == pytest.approx(1e-3)
+
+    def test_thrash_rate_from_events(self, mini_trace):
+        stats = dtm_stats(mini_trace)
+        assert stats.engaged == 1
+        assert stats.released == 1
+        assert stats.thrash_rate_hz == pytest.approx(2 / 4e-3)
+
+
+class TestMigrationStats:
+    def test_counts_and_penalties(self, mini_trace):
+        stats = migration_stats(mini_trace)
+        assert stats.count == 3
+        assert stats.rate_hz == pytest.approx(3 / 4e-3)
+        assert stats.total_penalty_s == pytest.approx(3 * PENALTY_S)
+        assert stats.mean_penalty_s == pytest.approx(PENALTY_S)
+        assert stats.per_dst_ring == {}
+
+    def test_ring_breakdown(self, mini_trace):
+        # identity ring map: destinations were cores 1, 0, 1
+        stats = migration_stats(mini_trace, ring_of=lambda core: core)
+        assert stats.per_dst_ring == {0: 1, 1: 2}
+        assert stats.per_dst_ring_rate_hz[1] == pytest.approx(2 / 4e-3)
+
+
+class TestRotationStats:
+    def test_exact_adherence(self, mini_trace):
+        stats = rotation_stats(mini_trace)
+        assert stats.epochs == 4
+        assert stats.tau_values_s == (TAU_S,)
+        assert stats.final_tau_s == TAU_S
+        assert stats.max_deviation == pytest.approx(0.0, abs=1e-9)
+        assert stats.max_gap_s == pytest.approx(TAU_S)
+        assert stats.trailing_gap_s == pytest.approx(TAU_S)
+
+    def test_none_without_epochs(self):
+        from repro.obs import TraceRecorder
+
+        trace = TraceRecorder()
+        trace.record_interval(0.0, 1e-3, {}, (IDLE_W,), (46.0,), (4e9,))
+        assert rotation_stats(trace) is None
+
+
+class TestBoundComparison:
+    def test_rotation_period_inferred(self, mini_trace):
+        # placements alternate A,B,A,B -> smallest repeating period is 2
+        assert infer_rotation_period(mini_trace) == 2
+
+    def test_power_pattern_is_slotwise_max(self, mini_trace):
+        captured = {}
+
+        def peak_fn(seq, tau):
+            captured["seq"] = np.array(seq)
+            captured["tau"] = tau
+            return 80.0
+
+        compare_peak_to_bound(mini_trace, peak_fn)
+        # slots aligned so the last epoch lands on slot delta-1 = 1:
+        # slot 0 holds epochs 0 and 2 (core 0 active), slot 1 epochs 1 and 3
+        np.testing.assert_allclose(
+            captured["seq"], [[ACTIVE_W, IDLE_W], [IDLE_W, ACTIVE_W]]
+        )
+        assert captured["tau"] == pytest.approx(TAU_S)
+
+    def test_bound_held(self, mini_trace):
+        result = compare_peak_to_bound(mini_trace, lambda seq, tau: 75.0)
+        assert result.observed_peak_c == 72.0
+        assert result.analytic_peak_c == 75.0
+        assert result.margin_c == pytest.approx(3.0)
+        assert result.delta == 2
+        assert result.epochs_used == 4
+        assert not result.exceeded
+
+    def test_bound_exceeded(self, mini_trace):
+        result = compare_peak_to_bound(mini_trace, lambda seq, tau: 71.0)
+        assert result.exceeded
+        assert result.margin_c == pytest.approx(-1.0)
+
+    def test_tolerance_suppresses_exceedance(self, mini_trace):
+        result = compare_peak_to_bound(
+            mini_trace, lambda seq, tau: 71.0, tolerance_c=1.5
+        )
+        assert not result.exceeded
+
+    def test_none_without_rotation(self):
+        from repro.obs import TraceRecorder
+
+        trace = TraceRecorder()
+        trace.record_interval(0.0, 1e-3, {}, (IDLE_W,), (46.0,), (4e9,))
+        assert compare_peak_to_bound(trace, lambda seq, tau: 0.0) is None
+
+    def test_envelope_fallback_when_placements_never_repeat(self):
+        """Adaptive schedulers re-tune placements so no exact period exists;
+        the comparison then uses the whole-run power envelope (delta = 1)."""
+        from repro.obs import TraceRecorder
+
+        trace = TraceRecorder()
+        powers = [(2.0, IDLE_W), (IDLE_W, 3.0), (1.5, 1.5)]
+        for epoch, power in enumerate(powers):
+            trace.record_epoch(epoch * TAU_S, epoch=epoch, tau_s=TAU_S)
+            trace.record_interval(
+                epoch * TAU_S,
+                TAU_S,
+                {"t0": epoch % 2},  # never two identical windows
+                power,
+                (50.0, 50.0),
+                (4e9, 4e9),
+            )
+        assert infer_rotation_period(trace) is None
+        captured = {}
+
+        def peak_fn(seq, tau):
+            captured["seq"] = np.array(seq)
+            return 60.0
+
+        result = compare_peak_to_bound(trace, peak_fn)
+        assert result.delta == 1
+        np.testing.assert_allclose(captured["seq"], [[2.0, 3.0]])
+        assert not result.exceeded
+
+
+class TestAnalyzeBundle:
+    def test_bundle_and_flattening(self, mini_trace):
+        analysis = analyze(
+            mini_trace,
+            limit_c=70.0,
+            ring_of=lambda core: core,
+            peak_fn=lambda seq, tau: 75.0,
+        )
+        flat = analysis_to_flat(analysis)
+        assert flat["thermal.peak_c"] == 72.0
+        assert flat["thermal.core.0.stress_cs"] == pytest.approx(2e-3)
+        assert flat["dtm.duty_cycle"] == pytest.approx(0.125)
+        assert flat["migration.count"] == 3.0
+        assert flat["migration.to_ring.1"] == 2.0
+        assert flat["rotation.epochs"] == 4.0
+        assert flat["bound.exceeded"] == 0.0
+        assert list(flat) == sorted(flat)
+        assert all(isinstance(v, float) for v in flat.values())
+
+    def test_bound_skipped_without_peak_fn(self, mini_trace):
+        analysis = analyze(mini_trace, limit_c=70.0)
+        assert analysis.bound is None
+        assert "bound.margin_c" not in analysis_to_flat(analysis)

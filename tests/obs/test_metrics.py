@@ -157,3 +157,42 @@ class TestRunDeterminism:
         result = sim.run(max_time_s=0.02)
         assert sim.observer is None
         assert result.metrics_snapshot == {}
+
+
+class TestHistogramStddev:
+    def test_known_population_stddev(self):
+        histogram = MetricsRegistry().histogram("h")
+        for value in (2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0):
+            histogram.observe(value)
+        assert histogram.stddev == pytest.approx(2.0)  # textbook population
+
+    def test_empty_and_single_sample_are_zero(self):
+        histogram = MetricsRegistry().histogram("h")
+        assert histogram.stddev == 0.0
+        histogram.observe(3.0)
+        assert histogram.stddev == 0.0
+
+    def test_stddev_in_snapshot(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat")
+        histogram.observe(1.0)
+        histogram.observe(3.0)
+        snapshot = registry.snapshot()
+        assert snapshot["lat.stddev"] == pytest.approx(1.0)
+        assert list(snapshot) == sorted(snapshot)
+
+    def test_catastrophic_cancellation_clamped(self):
+        histogram = MetricsRegistry().histogram("h")
+        for _ in range(3):
+            histogram.observe(1e8 + 0.1)
+        assert histogram.stddev >= 0.0
+
+
+class TestSaveSuffixValidation:
+    def test_unknown_suffix_rejected(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        for bad in ("m.txt", "m.yaml", "m"):
+            with pytest.raises(ValueError, match="suffix"):
+                registry.save(tmp_path / bad)
+        assert list(tmp_path.iterdir()) == []  # nothing was written

@@ -1,0 +1,75 @@
+"""Observer construction and precedence: explicit beats configured."""
+
+from repro import config
+from repro.obs import JsonlTraceSink, MetricsRegistry, Observer, TraceRecorder
+from repro.sched.naive import PeakFrequencyScheduler
+from repro.sim.engine import IntervalSimulator
+from repro.workload.benchmarks import PARSEC
+from repro.workload.task import Task
+
+
+def _task():
+    return Task(0, PARSEC["blackscholes"], n_threads=1, seed=1)
+
+
+class TestFromConfig:
+    def test_all_off_yields_none(self):
+        assert Observer.from_config(config.ObservabilityConfig()) is None
+        assert config.small_test().obs.any_enabled is False
+
+    def test_components_follow_flags(self):
+        obs = Observer.from_config(
+            config.ObservabilityConfig(trace=True, metrics=True)
+        )
+        assert isinstance(obs.trace, TraceRecorder)
+        assert isinstance(obs.metrics, MetricsRegistry)
+        assert obs.profiler is None
+
+    def test_trace_path_builds_a_sink(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        obs = Observer.from_config(
+            config.ObservabilityConfig(trace_path=str(path))
+        )
+        assert isinstance(obs.trace, JsonlTraceSink)
+        assert obs.trace.path == path
+        obs.close()
+        assert obs.trace.closed
+
+    def test_trace_path_wins_over_trace_flag(self, tmp_path):
+        obs = Observer.from_config(
+            config.ObservabilityConfig(
+                trace=True, trace_path=str(tmp_path / "run.jsonl")
+            )
+        )
+        assert isinstance(obs.trace, JsonlTraceSink)
+        obs.close()
+
+
+class TestEnginePrecedence:
+    def test_explicit_observer_wins_over_config(self):
+        """An explicitly passed observer overrides ``SystemConfig.obs``."""
+        cfg = config.small_test().with_observability(trace=True, profiling=True)
+        mine = Observer(metrics=MetricsRegistry())
+        sim = IntervalSimulator(
+            cfg, PeakFrequencyScheduler(), [_task()], observer=mine
+        )
+        assert sim.observer is mine
+        result = sim.run(max_time_s=0.005)
+        # only the explicit observer's components were active
+        assert mine.trace is None and mine.profiler is None
+        assert result.metrics_snapshot  # the explicit registry was used
+        assert not result.profile
+
+    def test_config_used_when_no_explicit_observer(self):
+        cfg = config.small_test().with_observability(trace=True)
+        sim = IntervalSimulator(cfg, PeakFrequencyScheduler(), [_task()])
+        assert isinstance(sim.observer.trace, TraceRecorder)
+        assert sim.observer.metrics is None
+
+    def test_disabled_config_means_no_observer(self):
+        sim = IntervalSimulator(
+            config.small_test(), PeakFrequencyScheduler(), [_task()]
+        )
+        assert sim.observer is None
+        result = sim.run(max_time_s=0.005)
+        assert result.metrics_snapshot == {}

@@ -167,3 +167,32 @@ class TestEngineIntegration:
         assert [e.epoch for e in epochs] == list(range(len(epochs)))
         for record in epochs:
             assert record.tau_s == pytest.approx(1e-3)
+
+
+class TestAtomicWrite:
+    def test_no_temp_files_left_behind(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        _sample_recorder().write_jsonl(path)
+        assert [p.name for p in tmp_path.iterdir()] == ["trace.jsonl"]
+
+    def test_overwrite_replaces_whole_file(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text("old content that must fully disappear\n" * 100)
+        recorder = _sample_recorder()
+        recorder.write_jsonl(path)
+        assert TraceRecorder.read_jsonl(path) == recorder
+
+    def test_failed_write_preserves_existing_file(self, tmp_path, monkeypatch):
+        path = tmp_path / "trace.jsonl"
+        original = _sample_recorder()
+        original.write_jsonl(path)
+        before = path.read_text()
+        broken = _sample_recorder()
+        monkeypatch.setattr(
+            type(broken), "to_jsonl", lambda self: (_ for _ in ()).throw(OSError("disk"))
+        )
+        with pytest.raises(OSError, match="disk"):
+            broken.write_jsonl(path)
+        # the target is untouched and the temp file was cleaned up
+        assert path.read_text() == before
+        assert [p.name for p in tmp_path.iterdir()] == ["trace.jsonl"]

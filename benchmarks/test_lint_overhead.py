@@ -1,0 +1,72 @@
+"""Lint overhead: the gate must stay cheap enough to run on every commit.
+
+``python -m repro.lint check src/repro`` sits in the default test gate
+(see ``tests/lint/test_self_check.py``), so its wall time is part of every
+developer iteration.  This benchmark times a full-tree lint (engine +
+all rule families) and records the measurements in
+``BENCH_lint_overhead.json`` at the repository root; the assertion is a
+generous ceiling so noisy CI boxes do not flake, while the artifact
+carries the precise numbers.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.lint import collect_files, default_rules, run_lint
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src" / "repro"
+ARTIFACT = REPO_ROOT / "BENCH_lint_overhead.json"
+
+REPEATS = 3
+#: Full-tree lint must stay interactive ("a few seconds").
+MAX_WALL_S = 10.0
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    n_files = len(collect_files([SRC]))
+    best = None
+    findings = None
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        findings = run_lint([SRC])
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return {
+        "files": n_files,
+        "rules": len(default_rules()),
+        "findings": len(findings),
+        "best_wall_s": best,
+        "per_file_ms": best / max(1, n_files) * 1e3,
+    }
+
+
+def test_artifact_written(measurements):
+    assert measurements["files"] > 50  # the tree, not an empty dir
+    assert measurements["rules"] >= 10
+    ARTIFACT.write_text(
+        json.dumps(
+            {
+                "benchmark": "lint_overhead",
+                "target": "src/repro (all rule families)",
+                "repeats": REPEATS,
+                **measurements,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    assert json.loads(ARTIFACT.read_text())["best_wall_s"] > 0
+
+
+def test_full_tree_lint_is_fast(measurements):
+    assert measurements["best_wall_s"] < MAX_WALL_S
+
+
+def test_tree_is_clean(measurements):
+    """The benchmark doubles as a second self-check entry point."""
+    assert measurements["findings"] == 0

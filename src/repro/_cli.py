@@ -1,0 +1,93 @@
+"""Shared conventions for the ``repro.*`` command-line tools.
+
+Every CLI in this package (``python -m repro.obs``, ``python -m repro.lint``)
+follows one contract:
+
+- exit ``EXIT_OK`` (0) when the requested check is clean,
+- exit ``EXIT_FINDINGS`` (1) when a gate fires (violations, drift, lint
+  findings) — the CI-failure signal,
+- exit ``EXIT_ERROR`` (2) on usage or I/O errors, reported as a single
+  ``error: ...`` line on stderr.
+
+The module also hosts the plain-text table renderer shared by all
+human-readable reports and the machine-output JSON printer, so the CLIs do
+not duplicate rendering.  It is deliberately stdlib-only: ``repro.lint``
+must stay importable without the numeric stack.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import (
+    Any,
+    Callable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+)
+
+EXIT_OK = 0
+EXIT_FINDINGS = 1
+EXIT_ERROR = 2
+
+
+def print_json(payload: Any, stream=None) -> None:
+    """Print ``payload`` as indented, key-sorted JSON (machine output)."""
+    print(json.dumps(payload, indent=2, sort_keys=True), file=stream or sys.stdout)
+
+
+def run_cli(
+    handler: Callable[[], int],
+    errors: Tuple[Type[BaseException], ...] = (ValueError, OSError),
+) -> int:
+    """Run a CLI handler under the shared error/exit-code convention.
+
+    ``handler`` returns one of the ``EXIT_*`` codes; any exception in
+    ``errors`` is rendered as ``error: <message>`` on stderr and mapped to
+    ``EXIT_ERROR``.
+    """
+    try:
+        return handler()
+    except errors as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+
+
+# -- plain-text rendering ------------------------------------------------------
+
+
+def render_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """Render an aligned plain-text table."""
+    str_rows: List[List[str]] = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def main_with_exit(main: Callable[[Optional[Sequence[str]]], int]) -> None:
+    """``if __name__ == "__main__"`` helper: run ``main`` and exit with it."""
+    sys.exit(main())

@@ -16,6 +16,7 @@ example (Section I: 74 ms vs 68 ms response time).
 
 from __future__ import annotations
 
+from .. import units
 from ..config import CacheConfig, NocConfig
 from .snuca import SnucaCache
 from .topology import Mesh
@@ -32,7 +33,7 @@ class MigrationCostModel:
     #: restart, TLB shootdown.  Independent of the destination's AMD, which
     #: keeps the migration-cost gradient across rings gentle — the S-NUCA
     #: property the paper builds on.
-    restart_overhead_s: float = 25.0e-6
+    restart_overhead_s: float = units.us(25.0)
 
     def __init__(
         self,

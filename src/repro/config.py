@@ -65,10 +65,10 @@ class CacheConfig:
 class NocConfig:
     """Network-on-chip parameters from Table I (XY-routed mesh)."""
 
-    hop_latency_s: float = 1.5e-9
+    hop_latency_s: float = units.ns(1.5)
     link_width_bits: int = 256
     #: Fixed LLC bank access time excluding NoC traversal.
-    bank_access_latency_s: float = 4.0e-9
+    bank_access_latency_s: float = units.ns(4.0)
     #: Round trips per LLC access (request + response).
     round_trip_factor: float = 2.0
 
@@ -77,9 +77,9 @@ class NocConfig:
 class DvfsConfig:
     """Voltage/frequency operating range (Section VI: 100 MHz steps)."""
 
-    f_min_hz: float = 1.0e9
-    f_max_hz: float = 4.0e9
-    f_step_hz: float = 100.0e6
+    f_min_hz: float = units.ghz(1.0)
+    f_max_hz: float = units.ghz(4.0)
+    f_step_hz: float = units.mhz(100.0)
     #: Supply voltage at the minimum / maximum frequency; voltage is
     #: interpolated linearly in frequency between these anchors (a standard
     #: approximation of published V/f tables for 14 nm parts).
@@ -150,18 +150,18 @@ class SystemConfig:
 
     mesh_width: int = 8
     mesh_height: int = 8
-    core_area_m2: float = 0.81e-6
+    core_area_m2: float = units.mm2(0.81)
     cache: CacheConfig = field(default_factory=CacheConfig)
     noc: NocConfig = field(default_factory=NocConfig)
     dvfs: DvfsConfig = field(default_factory=DvfsConfig)
     thermal: ThermalConfig = field(default_factory=ThermalConfig)
     obs: ObservabilityConfig = field(default_factory=ObservabilityConfig)
     #: Initial synchronous rotation interval tau (Section VI: 0.5 ms).
-    rotation_interval_s: float = 0.5e-3
+    rotation_interval_s: float = units.ms(0.5)
     #: Simulator interval length (HotSniper-style interval simulation).
-    sim_interval_s: float = 0.5e-3
+    sim_interval_s: float = units.ms(0.5)
     #: Power-history window used by Algorithm 1 (Section V: last 10 ms).
-    power_history_window_s: float = 10.0e-3
+    power_history_window_s: float = units.ms(10.0)
 
     @property
     def n_cores(self) -> int:

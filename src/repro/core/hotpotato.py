@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import units
 from ..arch.amd import AmdRings
 from .peak_temperature import PeakTemperatureCalculator
 from .rotation import RotationGroup, RotationSchedule, ThreadId
@@ -37,12 +38,12 @@ from .rotation import RotationGroup, RotationSchedule, ThreadId
 #: implicitly at the slow end) means rotation off.  The paper starts at
 #: 0.5 ms and adjusts from there.
 DEFAULT_TAU_LADDER_S: Tuple[float, ...] = (
-    4.0e-3,
-    2.0e-3,
-    1.0e-3,
-    0.5e-3,
-    0.25e-3,
-    0.125e-3,
+    units.ms(4.0),
+    units.ms(2.0),
+    units.ms(1.0),
+    units.ms(0.5),
+    units.ms(0.25),
+    units.ms(0.125),
 )
 
 
@@ -72,7 +73,7 @@ class HotPotato:
         t_dtm_c: float,
         headroom_delta_c: float = 1.0,
         idle_power_w: float = 0.3,
-        initial_tau_s: float = 0.5e-3,
+        initial_tau_s: float = units.ms(0.5),
         tau_ladder_s: Sequence[float] = DEFAULT_TAU_LADDER_S,
         max_mitigation_steps: int = 128,
     ):

@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
+from .. import units
 from ..config import SystemConfig, motivational
 from ..sched.fixed_rotation import FixedRotationScheduler
 from ..sched.naive import PeakFrequencyScheduler
@@ -100,7 +101,7 @@ def _task() -> Task:
 def run(
     config: SystemConfig = None,
     model: Optional[RCThermalModel] = None,
-    rotation_interval_s: float = 0.5e-3,
+    rotation_interval_s: float = units.ms(0.5),
     max_time_s: float = 1.0,
 ) -> Fig2Result:
     """Regenerate Fig. 2 (all three thermal-management variants)."""

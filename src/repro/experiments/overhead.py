@@ -25,6 +25,7 @@ import time
 from dataclasses import dataclass
 from typing import Optional
 
+from .. import units
 from ..arch.amd import AmdRings
 from ..arch.topology import Mesh
 from ..config import SystemConfig, table1
@@ -36,7 +37,7 @@ from ..thermal.rc_model import RCThermalModel
 #: Paper's measured cost per schedule computation.
 PAPER_OVERHEAD_US = 23.76
 #: The rotation epoch the overhead is quoted against.
-EPOCH_S = 0.5e-3
+EPOCH_S = units.ms(0.5)
 
 
 @dataclass

@@ -8,35 +8,20 @@ observability layer's outputs: per-phase profiling summaries
 
 from __future__ import annotations
 
-from typing import Iterable, List, Mapping, Sequence
+from typing import Mapping, Sequence
 
+# The generic table renderer lives with the shared CLI conventions so the
+# ``repro.obs`` and ``repro.lint`` CLIs render identically; it is re-exported
+# here because every experiment report imports it from this module.
+from .._cli import render_table
 
-def render_table(
-    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
-) -> str:
-    """Render an aligned plain-text table."""
-    str_rows: List[List[str]] = [[_fmt(cell) for cell in row] for row in rows]
-    widths = [len(h) for h in headers]
-    for row in str_rows:
-        if len(row) != len(headers):
-            raise ValueError("row width does not match headers")
-        for i, cell in enumerate(row):
-            widths[i] = max(widths[i], len(cell))
-    lines = []
-    if title:
-        lines.append(title)
-    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
-    lines.append(header_line)
-    lines.append("  ".join("-" * w for w in widths))
-    for row in str_rows:
-        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
-    return "\n".join(lines)
-
-
-def _fmt(cell: object) -> str:
-    if isinstance(cell, float):
-        return f"{cell:.2f}"
-    return str(cell)
+__all__ = [
+    "render_table",
+    "render_bar_chart",
+    "render_profile_table",
+    "render_metrics_table",
+    "render_violations_table",
+]
 
 
 def render_bar_chart(

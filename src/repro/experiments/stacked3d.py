@@ -24,6 +24,7 @@ from typing import Dict, Tuple
 
 import numpy as np
 
+from .. import units
 from ..core.peak_temperature import rotation_peak_temperature
 from ..stacked.mesh3d import Amd3dRings, Mesh3D
 from ..stacked.rc_model3d import build_rc_model_3d, default_stacked_stack
@@ -112,7 +113,7 @@ def run(
     width: int = 4,
     height: int = 4,
     layers: int = 2,
-    tau_s: float = 0.5e-3,
+    tau_s: float = units.ms(0.5),
 ) -> Stacked3dResult:
     """Run the 3D rotation study on a ``width x height x layers`` stack."""
     mesh = Mesh3D(width, height, layers)

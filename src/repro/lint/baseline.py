@@ -1,0 +1,64 @@
+"""Baseline files: grandfathering known findings.
+
+A baseline is a JSON file holding the fingerprints of findings that are
+tolerated (typically: pre-existing debt captured when a rule is first
+introduced).  ``repro.lint check --baseline FILE`` subtracts the baseline
+and only *new* findings fail the gate; ``--write-baseline FILE`` snapshots
+the current findings so the gate starts clean.
+
+Fingerprints are line-independent (see :mod:`repro.lint.findings`), so a
+baseline survives unrelated edits; it goes stale only when the finding's
+file, rule or message changes — at which point the finding resurfaces and
+must be fixed or re-baselined deliberately.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Sequence, Set, Union
+
+from .findings import Finding
+
+PathLike = Union[str, Path]
+
+_VERSION = 1
+
+
+def save_baseline(path: PathLike, findings: Iterable[Finding]) -> None:
+    """Write the fingerprints of ``findings`` as a baseline file."""
+    fingerprints = sorted({f.fingerprint for f in findings})
+    Path(path).write_text(
+        json.dumps(
+            {"version": _VERSION, "fingerprints": fingerprints}, indent=2
+        )
+        + "\n"
+    )
+
+
+def load_baseline(path: PathLike) -> Set[str]:
+    """Load a baseline file into a set of fingerprints."""
+    data = json.loads(Path(path).read_text())
+    if not isinstance(data, dict) or "fingerprints" not in data:
+        raise ValueError(f"{path}: not a lint baseline (no 'fingerprints')")
+    if data.get("version") != _VERSION:
+        raise ValueError(
+            f"{path}: unsupported baseline version {data.get('version')!r}"
+        )
+    fingerprints = data["fingerprints"]
+    if not isinstance(fingerprints, list) or not all(
+        isinstance(f, str) for f in fingerprints
+    ):
+        raise ValueError(f"{path}: 'fingerprints' must be a list of strings")
+    return set(fingerprints)
+
+
+def partition(
+    findings: Sequence[Finding], baseline: Set[str]
+) -> "tuple[List[Finding], List[Finding]]":
+    """Split findings into (new, grandfathered) against ``baseline``."""
+    new: List[Finding] = []
+    old: List[Finding] = []
+    for finding in findings:
+        (old if finding.fingerprint in baseline else new).append(finding)
+    return new, old

@@ -1,0 +1,76 @@
+"""Structured lint findings.
+
+A :class:`Finding` is one rule violation at one source location.  Findings
+are plain frozen dataclasses so they can be sorted, compared, serialized to
+JSON (``--json`` CLI output) and fingerprinted for baseline files.
+
+The *fingerprint* deliberately excludes the line number: baselines must
+survive unrelated edits that shift code up or down, so a grandfathered
+finding is identified by *what* fired *where* (rule id, file, message), not
+by the exact line it currently sits on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+#: Finding severities, ordered from most to least severe.
+SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    #: file the finding is in (posix-style, as passed to the engine).
+    path: str
+    #: 1-based source line.
+    line: int
+    #: rule identifier, e.g. ``unit-raw-literal``.
+    rule: str
+    #: human-readable description of the violation (includes the fix hint).
+    message: str
+    #: ``error`` or ``warning`` (both fail the gate; severity is advisory).
+    severity: str = field(default="error", compare=False)
+    #: rule family, e.g. ``unit-safety`` (used by suppression comments).
+    family: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"severity {self.severity!r} not in {SEVERITIES}"
+            )
+
+    @property
+    def fingerprint(self) -> str:
+        """Line-independent identity used for baseline matching."""
+        return f"{self.rule}::{self.path}::{self.message}"
+
+    @property
+    def location(self) -> str:
+        """``path:line`` form for reports."""
+        return f"{self.path}:{self.line}"
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form (the ``--json`` record shape)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "rule": self.rule,
+            "family": self.family,
+            "severity": self.severity,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Finding":
+        """Rebuild a finding from :meth:`to_dict` output."""
+        return cls(
+            path=str(data["path"]),
+            line=int(data["line"]),  # type: ignore[arg-type]
+            rule=str(data["rule"]),
+            message=str(data["message"]),
+            severity=str(data.get("severity", "error")),
+            family=str(data.get("family", "")),
+        )

@@ -1,0 +1,19 @@
+"""Domain lint rules, grouped by family.
+
+Importing this package registers every rule with the engine registry
+(:func:`repro.lint.engine.register`); :func:`repro.lint.engine.default_rules`
+does so lazily.  The five families:
+
+- ``unit-safety`` (:mod:`.units`) — constants go through ``repro.units``;
+- ``determinism`` (:mod:`.determinism`) — no global RNG / wall clock in
+  the simulation packages;
+- ``frozen-config`` (:mod:`.frozen`) — configs are never mutated;
+- ``scheduler-contract`` (:mod:`.contract`) — subclasses honor
+  ``sched.base.Scheduler`` and are exported;
+- ``public-api`` (:mod:`.api`) — ``__all__`` resolves, modules are
+  documented.
+"""
+
+from . import api, contract, determinism, frozen, units
+
+__all__ = ["api", "contract", "determinism", "frozen", "units"]

@@ -1,0 +1,140 @@
+"""Public-API hygiene rules.
+
+``__all__`` is the contract between the packages and their users (the
+README, the docs and ``tests/test_public_api.py`` all navigate by it); a
+name listed there that does not resolve raises only on ``from repro.x
+import *`` or silently hides an API. Module docstrings are how the docs
+build and new contributors orient — every module under ``src/repro``
+states its purpose.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set
+
+from ..engine import Module, Rule, register
+from ..findings import Finding
+
+
+def _bound_names(tree: ast.Module) -> Set[str]:
+    """Every name bound anywhere in the module (defs, imports, assigns)."""
+    names: Set[str] = {"__version__", "__doc__", "__name__"}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                names.add((alias.asname or alias.name).split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                names.add(alias.asname or alias.name)
+        elif isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            names.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name):
+                names.add(node.target.id)
+    return names
+
+
+def _all_assignment(tree: ast.Module) -> Optional[ast.Assign]:
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and any(
+            isinstance(t, ast.Name) and t.id == "__all__"
+            for t in node.targets
+        ):
+            return node
+    return None
+
+
+class _ApiRule(Rule):
+    family = "public-api"
+
+
+@register
+class AllResolvesRule(_ApiRule):
+    """``__all__`` entries must resolve to names bound in the module."""
+
+    id = "api-all-unresolved"
+    description = (
+        "__all__ must be a static list of strings naming things the "
+        "module actually binds"
+    )
+
+    def check_module(self, module: Module) -> Iterable[Finding]:
+        assignment = _all_assignment(module.tree)
+        if assignment is None:
+            return []
+        try:
+            exported = ast.literal_eval(assignment.value)
+        except (ValueError, SyntaxError):
+            return [
+                module.finding(
+                    self,
+                    assignment,
+                    "__all__ is not a static literal list of strings",
+                )
+            ]
+        if not isinstance(exported, (list, tuple)) or not all(
+            isinstance(name, str) for name in exported
+        ):
+            return [
+                module.finding(
+                    self,
+                    assignment,
+                    "__all__ must be a list/tuple of strings",
+                )
+            ]
+        findings: List[Finding] = []
+        seen: Dict[str, int] = {}
+        bound = _bound_names(module.tree)
+        for name in exported:
+            seen[name] = seen.get(name, 0) + 1
+            if name not in bound:
+                findings.append(
+                    module.finding(
+                        self,
+                        assignment,
+                        f"__all__ exports {name!r} but the module never "
+                        "binds it",
+                    )
+                )
+        for name, count in seen.items():
+            if count > 1:
+                findings.append(
+                    module.finding(
+                        self,
+                        assignment,
+                        f"__all__ lists {name!r} {count} times",
+                    )
+                )
+        return findings
+
+
+@register
+class ModuleDocstringRule(_ApiRule):
+    """Modules under ``src/repro`` must carry a docstring."""
+
+    id = "api-module-docstring"
+    severity = "warning"
+    description = (
+        "every non-empty module states its purpose in a module docstring"
+    )
+
+    def check_module(self, module: Module) -> Iterable[Finding]:
+        if not module.tree.body:  # an intentionally empty __init__.py
+            return []
+        if ast.get_docstring(module.tree) is None:
+            return [
+                module.finding(
+                    self,
+                    module.tree.body[0],
+                    "module has no docstring; state what the module is "
+                    "for (see docs/lint.md)",
+                )
+            ]
+        return []

@@ -1,0 +1,202 @@
+"""Scheduler-contract rules.
+
+The engine drives every scheduler through the ``repro.sched.base``
+contract: ``decide`` plus the admission primitives ``_can_admit`` /
+``_admit`` / ``_release``.  HotPotato (Algorithm 2), PCMig and the
+baselines all plug into the same four hooks; a subclass that misses one or
+drifts its signature fails only at run time, deep inside a simulation.
+These rules check the contract statically, and that every concrete
+scheduler is exported from ``repro.sched`` so experiments and docs can
+reach it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Tuple
+
+from ..engine import Module, Project, Rule, register
+from ..findings import Finding
+
+#: Hook name -> exact positional parameter names required by the base
+#: contract (``repro.sched.base.Scheduler``).
+REQUIRED_HOOKS: Dict[str, Tuple[str, ...]] = {
+    "decide": ("self", "now_s"),
+    "_can_admit": ("self", "task"),
+    "_admit": ("self", "task", "now_s"),
+    "_release": ("self", "task", "now_s"),
+}
+
+#: Optional hooks whose signature is checked when they are overridden.
+OPTIONAL_HOOKS: Dict[str, Tuple[str, ...]] = {
+    "on_task_arrival": ("self", "task", "now_s"),
+    "on_task_complete": ("self", "task", "now_s"),
+    "attach": ("self", "ctx"),
+    "preferred_interval_s": ("self",),
+}
+
+
+def _base_names(node: ast.ClassDef) -> List[str]:
+    names = []
+    for base in node.bases:
+        if isinstance(base, ast.Name):
+            names.append(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.append(base.attr)
+    return names
+
+
+def _is_scheduler_subclass(node: ast.ClassDef) -> bool:
+    return any(name.endswith("Scheduler") for name in _base_names(node))
+
+
+def _is_direct_subclass(node: ast.ClassDef) -> bool:
+    return "Scheduler" in _base_names(node)
+
+
+def _methods(node: ast.ClassDef) -> Dict[str, ast.FunctionDef]:
+    return {
+        item.name: item
+        for item in node.body
+        if isinstance(item, ast.FunctionDef)
+    }
+
+
+def _positional_params(func: ast.FunctionDef) -> Tuple[str, ...]:
+    args = func.args
+    return tuple(a.arg for a in args.posonlyargs + args.args)
+
+
+class _ContractRule(Rule):
+    family = "scheduler-contract"
+
+    def applies_to(self, module: Module) -> bool:
+        return module.subpackage == "sched" and module.name != "base.py"
+
+
+@register
+class MissingHookRule(_ContractRule):
+    """Direct ``Scheduler`` subclass missing a required hook."""
+
+    id = "sched-missing-hook"
+    description = (
+        "direct Scheduler subclasses must implement decide, _can_admit, "
+        "_admit and _release"
+    )
+
+    def check_module(self, module: Module) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in module.tree.body:
+            if not isinstance(node, ast.ClassDef) or not _is_direct_subclass(
+                node
+            ):
+                continue
+            defined = _methods(node)
+            for hook in REQUIRED_HOOKS:
+                if hook not in defined:
+                    findings.append(
+                        module.finding(
+                            self,
+                            node,
+                            f"scheduler {node.name!r} does not define "
+                            f"required hook {hook}() from the "
+                            "sched.base.Scheduler contract",
+                        )
+                    )
+        return findings
+
+
+@register
+class HookSignatureRule(_ContractRule):
+    """Scheduler hook overridden with an incompatible signature."""
+
+    id = "sched-hook-signature"
+    description = (
+        "overridden scheduler hooks must keep the base contract's "
+        "positional parameter names (the engine calls them by position "
+        "and keyword)"
+    )
+
+    def check_module(self, module: Module) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        expected_all = dict(REQUIRED_HOOKS)
+        expected_all.update(OPTIONAL_HOOKS)
+        for node in module.tree.body:
+            if not isinstance(node, ast.ClassDef) or not (
+                _is_scheduler_subclass(node)
+            ):
+                continue
+            for hook, expected in expected_all.items():
+                func = _methods(node).get(hook)
+                if func is None:
+                    continue
+                actual = _positional_params(func)
+                if actual[: len(expected)] != expected or (
+                    len(actual) > len(expected)
+                    and len(actual) - len(expected)
+                    > len(func.args.defaults)
+                ):
+                    findings.append(
+                        module.finding(
+                            self,
+                            func,
+                            f"{node.name}.{hook}() signature "
+                            f"{actual} is incompatible with the base "
+                            f"contract {expected} (extra parameters need "
+                            "defaults)",
+                        )
+                    )
+        return findings
+
+
+@register
+class SchedulerExportRule(Rule):
+    """Every concrete scheduler is exported from ``repro.sched``."""
+
+    id = "sched-export"
+    family = "scheduler-contract"
+    description = (
+        "concrete Scheduler subclasses defined in repro/sched modules "
+        "must appear in repro/sched/__init__.py __all__"
+    )
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        init = next(project.by_suffix("sched", "__init__.py"), None)
+        if init is None:
+            return []
+        exported = set()
+        for node in init.tree.body:
+            if isinstance(node, ast.Assign) and any(
+                isinstance(t, ast.Name) and t.id == "__all__"
+                for t in node.targets
+            ):
+                try:
+                    exported = set(ast.literal_eval(node.value))
+                except (ValueError, SyntaxError):
+                    exported = set()
+        findings: List[Finding] = []
+        for module in project.in_subpackage("sched"):
+            if module.name.startswith("_"):
+                continue
+            for node in module.tree.body:
+                if (
+                    isinstance(node, ast.ClassDef)
+                    and _is_scheduler_subclass(node)
+                    and not node.name.startswith("_")
+                    and node.name not in exported
+                ):
+                    findings.append(
+                        module.finding(
+                            self,
+                            node,
+                            f"scheduler {node.name!r} is not exported "
+                            "from repro.sched (__all__ in "
+                            "sched/__init__.py)",
+                        )
+                    )
+        return findings
+
+
+def hook_names() -> Tuple[str, ...]:
+    """All contract hook names (required first), for docs and tests."""
+    return tuple(REQUIRED_HOOKS) + tuple(OPTIONAL_HOOKS)

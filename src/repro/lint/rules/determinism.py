@@ -1,0 +1,190 @@
+"""Determinism rules.
+
+Simulations must be bit-reproducible under a seed: the robustness
+benchmarks, the ``repro.obs diff`` regression gate and every recorded
+campaign depend on it.  Global-state randomness (``random.*``,
+``np.random.rand`` & friends), unseeded generators and wall-clock reads
+inside the simulation packages (``repro.sim``/``sched``/``thermal``/
+``core``) break that silently — two identical runs stop agreeing, which
+poisons trace diffs long before anyone notices a physics bug.
+
+Wall-clock *measurement* via the monotonic profiling clocks
+(``perf_counter``/``process_time``/``monotonic``) stays legal: it feeds
+telemetry (scheduler wall time, profiling phases), never simulation state.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional
+
+from ..engine import (
+    DETERMINISTIC_SUBPACKAGES,
+    Module,
+    Rule,
+    import_aliases,
+    register,
+    resolve_call_target,
+)
+from ..findings import Finding
+
+#: Call targets that read the wall clock (non-monotonic => nondeterministic
+#: inputs); the monotonic measurement clocks are deliberately absent.
+_WALLCLOCK_TARGETS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: ``numpy.random`` entry points that are fine: explicit generator
+#: construction (seededness of ``default_rng`` is checked separately).
+_NP_RANDOM_ALLOWED = frozenset({"default_rng", "Generator", "SeedSequence"})
+
+
+class _DeterminismRule(Rule):
+    family = "determinism"
+
+    def applies_to(self, module: Module) -> bool:
+        return module.subpackage in DETERMINISTIC_SUBPACKAGES
+
+
+def _np_random_member(target: str) -> Optional[str]:
+    """Member name for ``numpy.random.<member>`` targets, else ``None``."""
+    for prefix in ("numpy.random.", "np.random."):
+        if target.startswith(prefix):
+            return target[len(prefix):]
+    return None
+
+
+@register
+class GlobalRandomRule(_DeterminismRule):
+    """Global-state randomness in the simulation packages."""
+
+    id = "det-global-random"
+    description = (
+        "no stdlib random or np.random.* global-state calls in repro.sim/"
+        "sched/thermal/core; thread an explicitly seeded Generator through"
+    )
+
+    def check_module(self, module: Module) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.split(".")[0] == "random":
+                        findings.append(
+                            module.finding(
+                                self,
+                                node,
+                                "stdlib 'random' (hidden global state) "
+                                "imported in a deterministic package; use "
+                                "a seeded np.random.Generator",
+                            )
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0 and (node.module or "").split(".")[0] == (
+                    "random"
+                ):
+                    findings.append(
+                        module.finding(
+                            self,
+                            node,
+                            "stdlib 'random' (hidden global state) "
+                            "imported in a deterministic package; use a "
+                            "seeded np.random.Generator",
+                        )
+                    )
+        aliases = import_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = resolve_call_target(node, aliases)
+            if target is None:
+                continue
+            member = _np_random_member(target)
+            if member is not None and member not in _NP_RANDOM_ALLOWED:
+                findings.append(
+                    module.finding(
+                        self,
+                        node,
+                        f"np.random.{member}() uses numpy's global RNG "
+                        "state; construct np.random.default_rng(seed) and "
+                        "call methods on it",
+                    )
+                )
+        return findings
+
+
+@register
+class UnseededRngRule(_DeterminismRule):
+    """``default_rng()`` without an explicit seed."""
+
+    id = "det-unseeded-rng"
+    description = (
+        "np.random.default_rng() without a seed draws OS entropy; pass an "
+        "explicit seed so runs are reproducible"
+    )
+
+    def check_module(self, module: Module) -> Iterable[Finding]:
+        aliases = import_aliases(module.tree)
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = resolve_call_target(node, aliases)
+            if target is None:
+                continue
+            member = _np_random_member(target)
+            is_default_rng = member == "default_rng" or target.endswith(
+                "numpy.random.default_rng"
+            )
+            if target == "default_rng":
+                is_default_rng = aliases.get(
+                    "default_rng", ""
+                ).endswith("random.default_rng")
+            if is_default_rng and not node.args and not node.keywords:
+                findings.append(
+                    module.finding(
+                        self,
+                        node,
+                        "default_rng() without a seed is nondeterministic; "
+                        "pass an explicit seed",
+                    )
+                )
+        return findings
+
+
+@register
+class WallClockRule(_DeterminismRule):
+    """Wall-clock reads in the simulation packages."""
+
+    id = "det-wallclock"
+    description = (
+        "no time.time()/datetime.now() in repro.sim/sched/thermal/core; "
+        "simulated time comes from the engine, telemetry may use "
+        "perf_counter()"
+    )
+
+    def check_module(self, module: Module) -> Iterable[Finding]:
+        aliases = import_aliases(module.tree)
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = resolve_call_target(node, aliases)
+            if target in _WALLCLOCK_TARGETS:
+                findings.append(
+                    module.finding(
+                        self,
+                        node,
+                        f"{target}() reads the wall clock inside a "
+                        "deterministic package; use simulated time (or "
+                        "time.perf_counter() for pure telemetry)",
+                    )
+                )
+        return findings

@@ -1,0 +1,116 @@
+"""Frozen-config rules.
+
+``SystemConfig`` and its sub-configs are frozen dataclasses on purpose:
+every substrate (thermal model, power model, scheduler, simulator) is
+calibrated against one immutable parameter set, and the analytic
+``T_peak`` bound is only valid for the configuration it was computed
+from.  Mutating a config after construction desynchronizes the substrates
+without any error — the canonical "silent physics corruption" bug.  The
+blessed route is ``SystemConfig.replace(...)`` / ``dataclasses.replace``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional
+
+from ..engine import Module, Rule, attribute_chain, register
+from ..findings import Finding
+
+#: Local names that, by repo convention, hold (frozen) config objects.
+_CONFIG_NAMES = frozenset({"cfg", "config"})
+_CONFIG_SUFFIXES = ("_cfg", "_config")
+
+
+def _is_config_name(name: str) -> bool:
+    return name in _CONFIG_NAMES or name.endswith(_CONFIG_SUFFIXES)
+
+
+class _FrozenRule(Rule):
+    family = "frozen-config"
+
+
+@register
+class FrozenSetattrRule(_FrozenRule):
+    """``object.__setattr__`` outside ``__post_init__``."""
+
+    id = "frozen-setattr"
+    description = (
+        "object.__setattr__ defeats frozen dataclasses; it is only legal "
+        "inside __post_init__ of the dataclass itself"
+    )
+
+    def check_module(self, module: Module) -> Iterable[Finding]:
+        findings: List[Finding] = []
+
+        def walk(node: ast.AST, func: Optional[str]) -> None:
+            for child in ast.iter_child_nodes(node):
+                child_func = func
+                if isinstance(
+                    child, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    child_func = child.name
+                if (
+                    isinstance(child, ast.Call)
+                    and isinstance(child.func, ast.Attribute)
+                    and child.func.attr == "__setattr__"
+                    and isinstance(child.func.value, ast.Name)
+                    and child.func.value.id == "object"
+                    and func != "__post_init__"
+                ):
+                    findings.append(
+                        module.finding(
+                            self,
+                            child,
+                            "object.__setattr__ outside __post_init__ "
+                            "mutates a frozen dataclass; use "
+                            "dataclasses.replace() instead",
+                        )
+                    )
+                walk(child, child_func)
+
+        walk(module.tree, None)
+        return findings
+
+
+@register
+class FrozenConfigAssignRule(_FrozenRule):
+    """Attribute assignment on a known config object."""
+
+    id = "frozen-config-assign"
+    description = (
+        "assigning attributes on cfg/config objects mutates a frozen "
+        "dataclass at runtime; build a new config with .replace()"
+    )
+
+    def _flag_target(
+        self, module: Module, target: ast.expr
+    ) -> Optional[Finding]:
+        if not isinstance(target, ast.Attribute):
+            return None
+        # The chain minus the assigned attribute is the mutated object:
+        # ``cfg.thermal.x = 1`` mutates ``cfg.thermal``.
+        owner = attribute_chain(target.value)
+        if any(_is_config_name(part) for part in owner):
+            dotted = ".".join(owner + [target.attr])
+            return module.finding(
+                self,
+                target,
+                f"assignment to {dotted!r} mutates a config object; "
+                "configs are frozen — use SystemConfig.replace()",
+            )
+        return None
+
+    def check_module(self, module: Module) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            targets: List[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            for target in targets:
+                finding = self._flag_target(module, target)
+                if finding is not None:
+                    findings.append(finding)
+        return findings

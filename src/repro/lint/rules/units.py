@@ -1,0 +1,201 @@
+"""Unit-safety rules.
+
+The whole thermal pipeline relies on the convention documented in
+``repro.units``: every temperature is a Celsius-compatible difference from
+an absolute reference, every duration is seconds, every frequency Hertz.
+A raw ``273.15`` or a stray ``0.5e-3`` bound to a ``*_s`` name is exactly
+how a Kelvin/Celsius or ms/s mix-up slips in — it silently shifts the
+analytic ``T_peak`` bound instead of raising.  These rules force all such
+constants through the named helpers in ``repro.units``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from ..engine import Module, Rule, register
+from ..findings import Finding
+
+#: The Celsius/Kelvin offset; only ``repro/units.py`` may spell it out.
+KELVIN_OFFSET_VALUE = 273.15
+
+#: Unit-bearing name suffixes and the helpers that must produce their
+#: values (suffix matching is case-insensitive, so ``EPOCH_S`` counts).
+UNIT_SUFFIXES: Tuple[Tuple[str, str], ...] = (
+    ("_s", "units.ms()/units.us()/units.ns()"),
+    ("_hz", "units.ghz()/units.mhz()"),
+    ("_m2", "units.mm2()"),
+    ("_m", "units.mm()/units.um()"),
+)
+
+_SCI_NOTATION_RE = re.compile(r"\d[eE][-+]?\d")
+
+
+def _unit_suffix(name: Optional[str]) -> Optional[Tuple[str, str]]:
+    if not name:
+        return None
+    lowered = name.lower()
+    for suffix, helpers in UNIT_SUFFIXES:
+        if lowered.endswith(suffix):
+            return suffix, helpers
+    return None
+
+
+def _scale_literals(node: ast.AST, module: Module) -> Iterator[ast.Constant]:
+    """Scientific-notation float constants inside ``node`` (incl. tuples)."""
+    if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        for elt in node.elts:
+            yield from _scale_literals(elt, module)
+        return
+    if isinstance(node, ast.UnaryOp):
+        yield from _scale_literals(node.operand, module)
+        return
+    if (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, float)
+        and _SCI_NOTATION_RE.search(module.segment(node))
+    ):
+        yield node
+
+
+class _UnitVisitor(ast.NodeVisitor):
+    """Collect (name, literal) pairs for unit-suffixed bindings."""
+
+    def __init__(self, module: Module) -> None:
+        self.module = module
+        self.hits: List[Tuple[str, str, ast.Constant]] = []
+
+    def _scan(self, name: Optional[str], value: Optional[ast.AST]) -> None:
+        suffix = _unit_suffix(name)
+        if suffix is None or value is None:
+            return
+        for literal in _scale_literals(value, self.module):
+            self.hits.append((name or "", suffix[1], literal))
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                self._scan(target.id, node.value)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if isinstance(node.target, ast.Name):
+            self._scan(node.target.id, node.value)
+        self.generic_visit(node)
+
+    def _scan_arguments(self, args: ast.arguments) -> None:
+        positional = args.posonlyargs + args.args
+        defaults: List[Optional[ast.expr]] = [None] * (
+            len(positional) - len(args.defaults)
+        ) + list(args.defaults)
+        for arg, default in zip(positional, defaults):
+            self._scan(arg.arg, default)
+        for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+            self._scan(arg.arg, default)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._scan_arguments(node.args)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._scan_arguments(node.args)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        for keyword in node.keywords:
+            self._scan(keyword.arg, keyword.value)
+        self.generic_visit(node)
+
+
+class _UnitsRule(Rule):
+    """Base: unit rules never apply inside ``units.py`` itself."""
+
+    family = "unit-safety"
+
+    def applies_to(self, module: Module) -> bool:
+        return module.name != "units.py"
+
+
+@register
+class RawScaleLiteralRule(_UnitsRule):
+    """Scientific-notation literal bound to a unit-suffixed name."""
+
+    id = "unit-raw-literal"
+    description = (
+        "scale literals (0.5e-3, 1.5e-9, ...) bound to *_s/*_hz/*_m/*_m2 "
+        "names must go through the repro.units helpers"
+    )
+
+    def check_module(self, module: Module) -> Iterable[Finding]:
+        visitor = _UnitVisitor(module)
+        visitor.visit(module.tree)
+        return [
+            module.finding(
+                self,
+                literal,
+                f"raw scale literal {module.segment(literal)!r} bound to "
+                f"{name!r}; use {helpers} from repro.units",
+            )
+            for name, helpers, literal in visitor.hits
+        ]
+
+
+@register
+class KelvinLiteralRule(_UnitsRule):
+    """A literal 273.15 outside ``units.py``."""
+
+    id = "unit-kelvin-literal"
+    description = (
+        "the Kelvin offset 273.15 may only be spelled in repro/units.py; "
+        "use units.KELVIN_OFFSET or the conversion helpers"
+    )
+
+    def check_module(self, module: Module) -> Iterable[Finding]:
+        return [
+            module.finding(
+                self,
+                node,
+                "literal 273.15 duplicates units.KELVIN_OFFSET; use "
+                "units.celsius_to_kelvin()/kelvin_to_celsius()",
+            )
+            for node in ast.walk(module.tree)
+            if isinstance(node, ast.Constant)
+            and isinstance(node.value, float)
+            and node.value == KELVIN_OFFSET_VALUE
+        ]
+
+
+@register
+class KelvinArithmeticRule(_UnitsRule):
+    """Hand-rolled ``x + KELVIN_OFFSET`` arithmetic outside ``units.py``."""
+
+    id = "unit-kelvin-arith"
+    description = (
+        "adding/subtracting KELVIN_OFFSET by hand re-implements the "
+        "conversion helpers; use units.celsius_to_kelvin()/"
+        "kelvin_to_celsius()"
+    )
+
+    @staticmethod
+    def _is_offset(node: ast.AST) -> bool:
+        if isinstance(node, ast.Name):
+            return node.id == "KELVIN_OFFSET"
+        if isinstance(node, ast.Attribute):
+            return node.attr == "KELVIN_OFFSET"
+        return False
+
+    def check_module(self, module: Module) -> Iterable[Finding]:
+        return [
+            module.finding(
+                self,
+                node,
+                "arithmetic with KELVIN_OFFSET outside units.py; use "
+                "units.celsius_to_kelvin()/kelvin_to_celsius()",
+            )
+            for node in ast.walk(module.tree)
+            if isinstance(node, ast.BinOp)
+            and isinstance(node.op, (ast.Add, ast.Sub))
+            and (self._is_offset(node.left) or self._is_offset(node.right))
+        ]

@@ -24,12 +24,17 @@ and imports them lazily.
 from __future__ import annotations
 
 import argparse
-import json
 import re
-import sys
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .._cli import (
+    EXIT_FINDINGS,
+    EXIT_OK,
+    main_with_exit,
+    print_json,
+    run_cli,
+)
 from .analyze import RunAnalysis, analysis_to_flat, analyze
 from .detect import (
     BoundDetector,
@@ -122,8 +127,8 @@ def _cmd_summarize(args: argparse.Namespace) -> int:
     analysis = _build_analysis(args, trace)
     flat = analysis_to_flat(analysis)
     if args.json:
-        print(json.dumps(flat, indent=2, sort_keys=True))
-        return 0
+        print_json(flat)
+        return EXIT_OK
     from ..experiments.reporting import render_metrics_table
 
     thermal = analysis.thermal
@@ -156,7 +161,7 @@ def _cmd_summarize(args: argparse.Namespace) -> int:
         )
     print()
     print(render_metrics_table(flat, title="derived statistics"))
-    return 0
+    return EXIT_OK
 
 
 # -- check ---------------------------------------------------------------------
@@ -198,12 +203,12 @@ def _cmd_check(args: argparse.Namespace) -> int:
     trace = _load_trace(args.trace)
     violations, _ = _check_violations(args, trace)
     if args.json:
-        print(json.dumps([v.to_dict() for v in violations], indent=2))
+        print_json([v.to_dict() for v in violations])
     else:
         from ..experiments.reporting import render_violations_table
 
         print(render_violations_table(violations, title=f"check {args.trace}"))
-    return 1 if violations else 0
+    return EXIT_FINDINGS if violations else EXIT_OK
 
 
 # -- diff ----------------------------------------------------------------------
@@ -240,14 +245,8 @@ def _cmd_diff(args: argparse.Namespace) -> int:
         if abs(a - b) > allowed:
             drifts.append((name, a, b))
     if args.json:
-        print(
-            json.dumps(
-                [
-                    {"metric": name, "a": a, "b": b}
-                    for name, a, b in drifts
-                ],
-                indent=2,
-            )
+        print_json(
+            [{"metric": name, "a": a, "b": b} for name, a, b in drifts]
         )
     elif drifts:
         from ..experiments.reporting import render_table
@@ -274,7 +273,7 @@ def _cmd_diff(args: argparse.Namespace) -> int:
             f"metrics within tolerance "
             f"(abs {args.tolerance:g}, rel {args.rel_tolerance:g})"
         )
-    return 1 if drifts else 0
+    return EXIT_FINDINGS if drifts else EXIT_OK
 
 
 # -- export --------------------------------------------------------------------
@@ -304,7 +303,7 @@ def _cmd_export(args: argparse.Namespace) -> int:
             title=args.title or f"Run report: {Path(args.input).name}",
         )
     print(f"wrote {out} ({out.stat().st_size} bytes)")
-    return 0
+    return EXIT_OK
 
 
 # -- argument parsing ----------------------------------------------------------
@@ -437,12 +436,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    try:
-        return args.func(args)
-    except (ValueError, OSError) as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+    return run_cli(lambda: args.func(args))
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    main_with_exit(main)

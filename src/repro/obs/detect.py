@@ -36,6 +36,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Dict, Iterable, List, Optional, Sequence
 
+from .. import units
 from .trace import (
     EpochRecord,
     EventRecord,
@@ -215,7 +216,9 @@ class DtmThrashDetector(Detector):
 
     name = "dtm-thrash"
 
-    def __init__(self, window_s: float = 10e-3, max_transitions: int = 6) -> None:
+    def __init__(
+        self, window_s: float = units.ms(10.0), max_transitions: int = 6
+    ) -> None:
         super().__init__()
         if window_s <= 0:
             raise ValueError("thrash window must be positive")
@@ -336,7 +339,7 @@ def default_detectors(
     bound_c: Optional[float] = None,
     threshold_tolerance_c: float = 0.0,
     bound_tolerance_c: float = 0.0,
-    thrash_window_s: float = 10e-3,
+    thrash_window_s: float = units.ms(10.0),
     thrash_max_transitions: int = 6,
     stall_factor: float = 3.0,
 ) -> List[Detector]:

@@ -19,12 +19,13 @@ from typing import Optional
 
 import numpy as np
 
+from .. import units
 from ..workload.task import Task
 from .base import Scheduler, SchedulerDecision
 from .naive import StaticPlacer
 
 #: Prediction horizon [s] and guard band [degC] (as PCMig).
-_PREDICTION_HORIZON_S = 5.0e-3
+_PREDICTION_HORIZON_S = units.ms(5.0)
 _GUARD_BAND_C = 1.0
 _MAX_MIGRATIONS_PER_INTERVAL = 2
 

@@ -14,6 +14,7 @@ from typing import List, Mapping, Optional, Sequence
 
 import numpy as np
 
+from .. import units
 from ..workload.task import Task
 from .base import Scheduler, SchedulerDecision
 
@@ -24,7 +25,7 @@ class FixedRotationScheduler(Scheduler):
     name = "fixed-rotation"
 
     def __init__(
-        self, cores: Optional[Sequence[int]] = None, tau_s: float = 0.5e-3
+        self, cores: Optional[Sequence[int]] = None, tau_s: float = units.ms(0.5)
     ) -> None:
         super().__init__()
         if tau_s <= 0:

@@ -47,11 +47,12 @@ from typing import Mapping, Optional
 
 import numpy as np
 
+from .. import units
 from .base import SchedulerDecision
 from .pcgov import PCGovScheduler
 
 #: Prediction horizon [s]: how far ahead the violation check looks.
-_PREDICTION_HORIZON_S = 5.0e-3
+_PREDICTION_HORIZON_S = units.ms(5.0)
 #: Trigger guard band [degC] below the DTM threshold.
 _GUARD_BAND_C = 1.0
 #: Maximum migrations performed per interval (asynchronous/on-demand).

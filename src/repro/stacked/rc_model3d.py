@@ -29,6 +29,7 @@ from typing import Optional
 
 import numpy as np
 
+from .. import units
 from ..thermal.floorplan import Floorplan
 from ..thermal.rc_model import MaterialStack, RCThermalModel
 from .mesh3d import Mesh3D
@@ -39,7 +40,7 @@ class StackedMaterialStack(MaterialStack):
     """2D material stack plus the inter-layer bonding interface."""
 
     #: bonding layer (underfill + micro-bumps) thickness [m] / conductivity
-    t_bond_m: float = 20.0e-6
+    t_bond_m: float = units.um(20.0)
     k_bond: float = 1.5
     #: multiplier on the bond conductance contributed by TSVs (copper vias
     #: through the bond significantly help vertical heat flow)
@@ -87,7 +88,7 @@ class StackedRCModel(RCThermalModel):
 def build_rc_model_3d(
     mesh3d: Mesh3D,
     stack: Optional[StackedMaterialStack] = None,
-    core_area_m2: float = 0.81e-6,
+    core_area_m2: float = units.mm2(0.81),
 ) -> StackedRCModel:
     """Assemble the stacked RC network."""
     if stack is None:

@@ -17,6 +17,8 @@ import math
 from dataclasses import dataclass
 from typing import Iterator, List, Tuple
 
+from .. import units
+
 
 @dataclass(frozen=True)
 class CoreBlock:
@@ -47,7 +49,7 @@ class Floorplan:
         Area of one core block; Table I uses ``0.81 mm^2``.
     """
 
-    def __init__(self, width: int, height: int, core_area_m2: float = 0.81e-6):
+    def __init__(self, width: int, height: int, core_area_m2: float = units.mm2(0.81)):
         if width < 1 or height < 1:
             raise ValueError("floorplan dimensions must be at least 1x1")
         if core_area_m2 <= 0:

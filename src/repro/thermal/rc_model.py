@@ -37,6 +37,7 @@ from typing import Optional
 
 import numpy as np
 
+from .. import units
 from .floorplan import Floorplan
 
 
@@ -52,15 +53,15 @@ class MaterialStack:
     """
 
     #: silicon die thickness [m] and conductivity [W/(m K)]
-    t_si_m: float = 0.5e-3
+    t_si_m: float = units.mm(0.5)
     k_si: float = 150.0
     #: volumetric heat capacity of silicon [J/(m^3 K)]
     vhc_si: float = 1.75e6
     #: thermal interface material thickness [m] and conductivity [W/(m K)]
-    t_tim_m: float = 25.0e-6
+    t_tim_m: float = units.um(25.0)
     k_tim: float = 5.0
     #: copper spreader thickness [m], conductivity, volumetric heat capacity
-    t_sp_m: float = 2.0e-3
+    t_sp_m: float = units.mm(2.0)
     k_cu: float = 400.0
     vhc_cu: float = 3.4e6
     #: spreader->sink interface resistivity [K m^2 / W]

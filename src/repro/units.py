@@ -75,12 +75,18 @@ def mhz(value: float) -> float:
 # -- length / area ----------------------------------------------------------
 
 MILLIMETERS = 1e-3
+MICROMETERS = 1e-6
 MM2 = 1e-6  # square millimetres in square metres
 
 
 def mm(value: float) -> float:
     """Millimetres expressed in metres."""
     return value * MILLIMETERS
+
+
+def um(value: float) -> float:
+    """Micrometres expressed in metres."""
+    return value * MICROMETERS
 
 
 def mm2(value: float) -> float:

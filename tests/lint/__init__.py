@@ -1,0 +1,1 @@
+"""Tests for the domain lint (``repro.lint``)."""

@@ -1,0 +1,45 @@
+"""Fixtures for the lint tests.
+
+``lint_files`` writes hand-written snippet files into a temp tree and runs
+the engine over it, so every rule family is exercised against positive and
+negative cases without touching the real sources.  Snippets that must fall
+inside a scoped package (e.g. determinism rules only fire in
+``repro.sim``/``sched``/``thermal``/``core``) simply use a relative path
+like ``repro/sim/snippet.py`` — the engine scopes by path, not by import.
+"""
+
+import textwrap
+from typing import Dict, List, Optional
+
+import pytest
+
+from repro.lint import Finding, default_rules, run_lint
+
+
+@pytest.fixture()
+def lint_files(tmp_path):
+    """Write ``{relpath: code}`` under a temp dir and lint it."""
+
+    def _lint(
+        files: Dict[str, str], select: Optional[str] = None
+    ) -> List[Finding]:
+        for relpath, code in files.items():
+            path = tmp_path / relpath
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(code))
+        rules = None
+        if select is not None:
+            rules = [
+                r
+                for r in default_rules()
+                if r.id == select or r.family == select
+            ]
+            assert rules, f"no rules match {select!r}"
+        return run_lint([tmp_path], rules=rules)
+
+    return _lint
+
+
+def rule_ids(findings: List[Finding]) -> List[str]:
+    """The rule ids of ``findings``, in report order."""
+    return [f.rule for f in findings]

@@ -1,0 +1,59 @@
+"""Public-API family: __all__ resolution and module docstrings."""
+
+from .conftest import rule_ids
+
+DOC = '"""doc."""\n'
+
+
+class TestAllResolves:
+    def test_unresolved_export_fires(self, lint_files):
+        code = DOC + "__all__ = ['exists', 'ghost']\n\ndef exists():\n    pass\n"
+        findings = lint_files({"mod.py": code}, select="api-all-unresolved")
+        assert rule_ids(findings) == ["api-all-unresolved"]
+        assert "ghost" in findings[0].message
+
+    def test_duplicate_export_fires(self, lint_files):
+        code = DOC + "__all__ = ['f', 'f']\n\ndef f():\n    pass\n"
+        findings = lint_files({"mod.py": code}, select="api-all-unresolved")
+        assert rule_ids(findings) == ["api-all-unresolved"]
+
+    def test_dynamic_all_fires(self, lint_files):
+        code = DOC + "__all__ = [n for n in ('a',)]\n"
+        findings = lint_files({"mod.py": code}, select="api-all-unresolved")
+        assert rule_ids(findings) == ["api-all-unresolved"]
+
+    def test_resolved_exports_are_clean(self, lint_files):
+        code = DOC + (
+            "from json import dumps\n"
+            "__all__ = ['dumps', 'VERSION', 'helper', 'Thing']\n"
+            "VERSION = 1\n"
+            "def helper():\n    pass\n"
+            "class Thing:\n    pass\n"
+        )
+        assert lint_files({"mod.py": code}, select="api-all-unresolved") == []
+
+    def test_module_without_all_is_clean(self, lint_files):
+        assert (
+            lint_files({"mod.py": DOC + "x = 1\n"}, select="api-all-unresolved")
+            == []
+        )
+
+
+class TestModuleDocstring:
+    def test_missing_docstring_fires_as_warning(self, lint_files):
+        findings = lint_files(
+            {"mod.py": "x = 1\n"}, select="api-module-docstring"
+        )
+        assert rule_ids(findings) == ["api-module-docstring"]
+        assert findings[0].severity == "warning"
+
+    def test_empty_module_is_exempt(self, lint_files):
+        assert lint_files({"mod.py": ""}, select="api-module-docstring") == []
+
+    def test_documented_module_is_clean(self, lint_files):
+        assert (
+            lint_files(
+                {"mod.py": DOC + "x = 1\n"}, select="api-module-docstring"
+            )
+            == []
+        )

@@ -1,0 +1,176 @@
+"""Scheduler-contract family: hook presence, signatures, exports."""
+
+from .conftest import rule_ids
+
+DOC = '"""doc."""\n'
+
+COMPLETE = DOC + (
+    "from .base import Scheduler, SchedulerDecision\n"
+    "class GoodScheduler(Scheduler):\n"
+    "    def _can_admit(self, task):\n"
+    "        return True\n"
+    "    def _admit(self, task, now_s):\n"
+    "        pass\n"
+    "    def _release(self, task, now_s):\n"
+    "        pass\n"
+    "    def decide(self, now_s):\n"
+    "        return None\n"
+)
+
+INIT_EXPORTING = DOC + "__all__ = ['GoodScheduler']\n"
+
+
+class TestMissingHook:
+    def test_missing_release_fires(self, lint_files):
+        code = DOC + (
+            "from .base import Scheduler\n"
+            "class BadScheduler(Scheduler):\n"
+            "    def _can_admit(self, task):\n"
+            "        return True\n"
+            "    def _admit(self, task, now_s):\n"
+            "        pass\n"
+            "    def decide(self, now_s):\n"
+            "        return None\n"
+        )
+        findings = lint_files(
+            {
+                "repro/sched/bad.py": code,
+                "repro/sched/__init__.py": DOC + "__all__ = ['BadScheduler']\n",
+            },
+            select="sched-missing-hook",
+        )
+        assert rule_ids(findings) == ["sched-missing-hook"]
+        assert "_release" in findings[0].message
+
+    def test_complete_scheduler_is_clean(self, lint_files):
+        findings = lint_files(
+            {
+                "repro/sched/good.py": COMPLETE,
+                "repro/sched/__init__.py": INIT_EXPORTING,
+            },
+            select="scheduler-contract",
+        )
+        assert findings == []
+
+    def test_derived_scheduler_inherits_hooks_cleanly(self, lint_files):
+        # Subclass of a concrete scheduler needn't redefine the hooks.
+        derived = DOC + (
+            "from .good import GoodScheduler\n"
+            "class DerivedScheduler(GoodScheduler):\n"
+            "    def decide(self, now_s):\n"
+            "        return None\n"
+        )
+        findings = lint_files(
+            {
+                "repro/sched/good.py": COMPLETE,
+                "repro/sched/derived.py": derived,
+                "repro/sched/__init__.py": DOC
+                + "__all__ = ['GoodScheduler', 'DerivedScheduler']\n",
+            },
+            select="sched-missing-hook",
+        )
+        assert findings == []
+
+
+class TestHookSignature:
+    def test_wrong_decide_arity_fires(self, lint_files):
+        code = DOC + (
+            "from .base import Scheduler\n"
+            "class OddScheduler(Scheduler):\n"
+            "    def _can_admit(self, task):\n"
+            "        return True\n"
+            "    def _admit(self, task, now_s):\n"
+            "        pass\n"
+            "    def _release(self, task, now_s):\n"
+            "        pass\n"
+            "    def decide(self):\n"
+            "        return None\n"
+        )
+        findings = lint_files(
+            {
+                "repro/sched/odd.py": code,
+                "repro/sched/__init__.py": DOC + "__all__ = ['OddScheduler']\n",
+            },
+            select="sched-hook-signature",
+        )
+        assert rule_ids(findings) == ["sched-hook-signature"]
+
+    def test_renamed_parameter_fires(self, lint_files):
+        code = DOC + (
+            "from .good import GoodScheduler\n"
+            "class RenamedScheduler(GoodScheduler):\n"
+            "    def _admit(self, job, now_s):\n"
+            "        pass\n"
+        )
+        findings = lint_files(
+            {
+                "repro/sched/good.py": COMPLETE,
+                "repro/sched/renamed.py": code,
+                "repro/sched/__init__.py": DOC
+                + "__all__ = ['GoodScheduler', 'RenamedScheduler']\n",
+            },
+            select="sched-hook-signature",
+        )
+        assert rule_ids(findings) == ["sched-hook-signature"]
+
+    def test_extra_defaulted_parameter_is_clean(self, lint_files):
+        code = DOC + (
+            "from .good import GoodScheduler\n"
+            "class TunedScheduler(GoodScheduler):\n"
+            "    def decide(self, now_s, horizon_factor=2.0):\n"
+            "        return None\n"
+        )
+        findings = lint_files(
+            {
+                "repro/sched/good.py": COMPLETE,
+                "repro/sched/tuned.py": code,
+                "repro/sched/__init__.py": DOC
+                + "__all__ = ['GoodScheduler', 'TunedScheduler']\n",
+            },
+            select="sched-hook-signature",
+        )
+        assert findings == []
+
+
+class TestExport:
+    def test_unexported_scheduler_fires(self, lint_files):
+        findings = lint_files(
+            {
+                "repro/sched/good.py": COMPLETE,
+                "repro/sched/__init__.py": DOC + "__all__ = []\n",
+            },
+            select="sched-export",
+        )
+        assert rule_ids(findings) == ["sched-export"]
+        assert "GoodScheduler" in findings[0].message
+
+    def test_exported_scheduler_is_clean(self, lint_files):
+        findings = lint_files(
+            {
+                "repro/sched/good.py": COMPLETE,
+                "repro/sched/__init__.py": INIT_EXPORTING,
+            },
+            select="sched-export",
+        )
+        assert findings == []
+
+    def test_private_helper_class_is_exempt(self, lint_files):
+        helper = DOC + (
+            "from .base import Scheduler\n"
+            "class _ProbeScheduler(Scheduler):\n"
+            "    pass\n"
+        )
+        findings = lint_files(
+            {
+                "repro/sched/helper.py": helper,
+                "repro/sched/__init__.py": DOC + "__all__ = []\n",
+            },
+            select="sched-export",
+        )
+        assert findings == []
+
+    def test_without_init_module_rule_is_silent(self, lint_files):
+        findings = lint_files(
+            {"repro/sched/good.py": COMPLETE}, select="sched-export"
+        )
+        assert findings == []

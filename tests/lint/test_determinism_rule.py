@@ -1,0 +1,122 @@
+"""Determinism family: scoped to repro.sim/sched/thermal/core paths."""
+
+from .conftest import rule_ids
+
+DOC = '"""doc."""\n'
+
+
+class TestGlobalRandom:
+    def test_stdlib_random_import_fires_in_sim(self, lint_files):
+        code = DOC + "import random\nx = random.random()\n"
+        findings = lint_files(
+            {"repro/sim/snippet.py": code}, select="det-global-random"
+        )
+        assert rule_ids(findings) == ["det-global-random"]
+
+    def test_from_random_import_fires(self, lint_files):
+        code = DOC + "from random import shuffle\n"
+        findings = lint_files(
+            {"repro/sched/snippet.py": code}, select="det-global-random"
+        )
+        assert rule_ids(findings) == ["det-global-random"]
+
+    def test_np_random_module_function_fires(self, lint_files):
+        code = DOC + "import numpy as np\nx = np.random.rand(4)\n"
+        findings = lint_files(
+            {"repro/thermal/snippet.py": code}, select="det-global-random"
+        )
+        assert rule_ids(findings) == ["det-global-random"]
+
+    def test_seeded_generator_is_clean(self, lint_files):
+        code = DOC + (
+            "import numpy as np\n"
+            "rng = np.random.default_rng(42)\n"
+            "x = rng.normal()\n"
+        )
+        assert (
+            lint_files({"repro/core/snippet.py": code}, select="determinism")
+            == []
+        )
+
+    def test_outside_scoped_packages_is_clean(self, lint_files):
+        code = DOC + "import random\nx = random.random()\n"
+        assert (
+            lint_files(
+                {"repro/workload/snippet.py": code}, select="determinism"
+            )
+            == []
+        )
+
+
+class TestUnseededRng:
+    def test_unseeded_default_rng_fires(self, lint_files):
+        code = DOC + "import numpy as np\nrng = np.random.default_rng()\n"
+        findings = lint_files(
+            {"repro/sim/snippet.py": code}, select="det-unseeded-rng"
+        )
+        assert rule_ids(findings) == ["det-unseeded-rng"]
+
+    def test_unseeded_imported_default_rng_fires(self, lint_files):
+        code = DOC + (
+            "from numpy.random import default_rng\nrng = default_rng()\n"
+        )
+        findings = lint_files(
+            {"repro/sim/snippet.py": code}, select="det-unseeded-rng"
+        )
+        assert rule_ids(findings) == ["det-unseeded-rng"]
+
+    def test_seeded_default_rng_is_clean(self, lint_files):
+        code = DOC + (
+            "import numpy as np\nrng = np.random.default_rng(seed=7)\n"
+        )
+        assert (
+            lint_files(
+                {"repro/sim/snippet.py": code}, select="det-unseeded-rng"
+            )
+            == []
+        )
+
+    def test_local_function_named_default_rng_is_clean(self, lint_files):
+        code = DOC + (
+            "def default_rng():\n    return 4\n\nrng = default_rng()\n"
+        )
+        assert (
+            lint_files(
+                {"repro/sim/snippet.py": code}, select="det-unseeded-rng"
+            )
+            == []
+        )
+
+
+class TestWallClock:
+    def test_time_time_fires(self, lint_files):
+        code = DOC + "import time\nstamp = time.time()\n"
+        findings = lint_files(
+            {"repro/sim/snippet.py": code}, select="det-wallclock"
+        )
+        assert rule_ids(findings) == ["det-wallclock"]
+
+    def test_aliased_time_import_fires(self, lint_files):
+        code = DOC + "import time as _time\nstamp = _time.time()\n"
+        findings = lint_files(
+            {"repro/sched/snippet.py": code}, select="det-wallclock"
+        )
+        assert rule_ids(findings) == ["det-wallclock"]
+
+    def test_datetime_now_fires(self, lint_files):
+        code = DOC + (
+            "import datetime\nstamp = datetime.datetime.now()\n"
+        )
+        findings = lint_files(
+            {"repro/core/snippet.py": code}, select="det-wallclock"
+        )
+        assert rule_ids(findings) == ["det-wallclock"]
+
+    def test_perf_counter_telemetry_is_clean(self, lint_files):
+        code = DOC + "import time as _time\nstart = _time.perf_counter()\n"
+        assert (
+            lint_files(
+                {"repro/sim/snippet.py": code}, select="det-wallclock"
+            )
+            == []
+        )

@@ -1,0 +1,89 @@
+"""Frozen-config family: positive and negative snippets."""
+
+from .conftest import rule_ids
+
+DOC = '"""doc."""\n'
+
+
+class TestFrozenSetattr:
+    def test_setattr_outside_post_init_fires(self, lint_files):
+        code = DOC + (
+            "def hack(cfg):\n"
+            "    object.__setattr__(cfg, 'mesh_width', 99)\n"
+        )
+        findings = lint_files({"mod.py": code}, select="frozen-setattr")
+        assert rule_ids(findings) == ["frozen-setattr"]
+
+    def test_module_level_setattr_fires(self, lint_files):
+        code = DOC + "object.__setattr__(object(), 'x', 1)\n"
+        findings = lint_files({"mod.py": code}, select="frozen-setattr")
+        assert rule_ids(findings) == ["frozen-setattr"]
+
+    def test_setattr_inside_post_init_is_clean(self, lint_files):
+        code = DOC + (
+            "from dataclasses import dataclass\n"
+            "@dataclass(frozen=True)\n"
+            "class C:\n"
+            "    x: int = 0\n"
+            "    def __post_init__(self):\n"
+            "        object.__setattr__(self, 'x', abs(self.x))\n"
+        )
+        assert lint_files({"mod.py": code}, select="frozen-setattr") == []
+
+    def test_nested_function_inside_post_init_still_fires(self, lint_files):
+        # A helper *defined* in __post_init__ is not __post_init__ itself.
+        code = DOC + (
+            "class C:\n"
+            "    def __post_init__(self):\n"
+            "        def helper(other):\n"
+            "            object.__setattr__(other, 'x', 1)\n"
+            "        helper(self)\n"
+        )
+        findings = lint_files({"mod.py": code}, select="frozen-setattr")
+        assert rule_ids(findings) == ["frozen-setattr"]
+
+
+class TestFrozenConfigAssign:
+    def test_direct_config_attribute_assignment_fires(self, lint_files):
+        code = DOC + (
+            "def tweak(cfg):\n"
+            "    cfg.mesh_width = 16\n"
+        )
+        findings = lint_files({"mod.py": code}, select="frozen-config-assign")
+        assert rule_ids(findings) == ["frozen-config-assign"]
+
+    def test_nested_config_attribute_assignment_fires(self, lint_files):
+        code = DOC + (
+            "def tweak(self):\n"
+            "    self.config.thermal_limit = 75.0\n"
+        )
+        findings = lint_files({"mod.py": code}, select="frozen-config-assign")
+        assert rule_ids(findings) == ["frozen-config-assign"]
+
+    def test_augmented_assignment_fires(self, lint_files):
+        code = DOC + (
+            "def tweak(run_cfg):\n"
+            "    run_cfg.budget_w += 1.0\n"
+        )
+        findings = lint_files({"mod.py": code}, select="frozen-config-assign")
+        assert rule_ids(findings) == ["frozen-config-assign"]
+
+    def test_binding_config_attribute_on_self_is_clean(self, lint_files):
+        # ``self.config = cfg`` stores a reference; it mutates nothing.
+        code = DOC + (
+            "class Engine:\n"
+            "    def __init__(self, cfg):\n"
+            "        self.config = cfg\n"
+        )
+        assert (
+            lint_files({"mod.py": code}, select="frozen-config-assign") == []
+        )
+
+    def test_replace_is_clean(self, lint_files):
+        code = DOC + (
+            "def tweak(cfg):\n"
+            "    return cfg.replace(mesh_width=16)\n"
+        )
+        assert (
+            lint_files({"mod.py": code}, select="frozen-config-assign") == []
+        )

@@ -1,0 +1,100 @@
+"""Self-check: the committed tree lints clean and the CLI gate works.
+
+This is the tier-1 wiring of the domain lint: ``src/repro`` must produce
+zero findings (the committed baseline is empty), and introducing a
+positive-case snippet from any of the five rule families must flip the
+CLI to exit status 1.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import run_lint
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+SRC = REPO_ROOT / "src" / "repro"
+BASELINE = REPO_ROOT / "lint-baseline.json"
+
+#: One positive-case snippet per rule family, written under the path at
+#: which its family applies.
+FAMILY_SNIPPETS = {
+    "unit-safety": ("repro/mod.py", '"""doc."""\ntau_s = 0.5e-3\n'),
+    "determinism": (
+        "repro/sim/mod.py",
+        '"""doc."""\nimport time\nstamp = time.time()\n',
+    ),
+    "frozen-config": (
+        "repro/mod.py",
+        '"""doc."""\ndef f(cfg):\n    cfg.mesh_width = 2\n',
+    ),
+    "scheduler-contract": (
+        "repro/sched/mod.py",
+        '"""doc."""\n'
+        "from .base import Scheduler\n"
+        "class LonelyScheduler(Scheduler):\n"
+        "    def decide(self):\n"
+        "        return None\n",
+    ),
+    "public-api": ("repro/mod.py", '"""doc."""\n__all__ = ["ghost"]\n'),
+}
+
+
+def _cli(*args, cwd=REPO_ROOT):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    return subprocess.run(
+        [sys.executable, "-m", "repro.lint", *args],
+        cwd=cwd,
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+
+
+@pytest.mark.lint
+class TestTreeIsClean:
+    def test_library_self_check(self):
+        findings = run_lint([SRC])
+        assert findings == [], [f.to_dict() for f in findings]
+
+    def test_cli_gate_with_committed_baseline(self):
+        result = _cli(
+            "check", str(SRC), "--baseline", str(BASELINE), "--json"
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+        payload = json.loads(result.stdout)
+        assert payload["findings"] == []
+
+    def test_committed_baseline_is_empty(self):
+        data = json.loads(BASELINE.read_text())
+        assert data["fingerprints"] == []
+
+
+@pytest.mark.lint
+class TestGateFiresPerFamily:
+    @pytest.mark.parametrize(
+        "family", sorted(FAMILY_SNIPPETS), ids=sorted(FAMILY_SNIPPETS)
+    )
+    def test_positive_snippet_flips_exit_to_1(self, tmp_path, family):
+        relpath, code = FAMILY_SNIPPETS[family]
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(code))
+        result = _cli("check", str(tmp_path), "--json", cwd=tmp_path)
+        assert result.returncode == 1, result.stdout + result.stderr
+        payload = json.loads(result.stdout)
+        families = {f["family"] for f in payload["findings"]}
+        assert family in families
+
+    def test_error_exit_is_2(self, tmp_path):
+        result = _cli("check", str(tmp_path / "missing"), cwd=tmp_path)
+        assert result.returncode == 2
+        assert "error:" in result.stderr

@@ -1,0 +1,96 @@
+"""Unit-safety family: positive and negative snippets."""
+
+from .conftest import rule_ids
+
+DOC = '"""doc."""\n'
+
+
+class TestRawScaleLiteral:
+    def test_assignment_to_suffixed_name_fires(self, lint_files):
+        findings = lint_files(
+            {"mod.py": DOC + "tau_s = 0.5e-3\n"}, select="unit-raw-literal"
+        )
+        assert rule_ids(findings) == ["unit-raw-literal"]
+        assert "repro.units" in findings[0].message
+
+    def test_annotated_class_field_fires(self, lint_files):
+        code = DOC + (
+            "class C:\n"
+            "    hop_latency_s: float = 1.5e-9\n"
+        )
+        findings = lint_files({"mod.py": code}, select="unit-raw-literal")
+        assert rule_ids(findings) == ["unit-raw-literal"]
+
+    def test_function_default_fires(self, lint_files):
+        code = DOC + "def run(tau_s=0.5e-3):\n    return tau_s\n"
+        findings = lint_files({"mod.py": code}, select="unit-raw-literal")
+        assert rule_ids(findings) == ["unit-raw-literal"]
+
+    def test_keyword_argument_fires(self, lint_files):
+        code = DOC + "def f(**kw):\n    return kw\n\nf(window_s=10.0e-3)\n"
+        findings = lint_files({"mod.py": code}, select="unit-raw-literal")
+        assert rule_ids(findings) == ["unit-raw-literal"]
+
+    def test_tuple_of_literals_fires_per_element(self, lint_files):
+        code = DOC + "LADDER_S = (4.0e-3, 2.0e-3)\n"
+        findings = lint_files({"mod.py": code}, select="unit-raw-literal")
+        assert rule_ids(findings) == ["unit-raw-literal"] * 2
+
+    def test_frequency_and_area_suffixes_fire(self, lint_files):
+        code = DOC + "f_max_hz = 4.0e9\ncore_area_m2 = 0.81e-6\n"
+        findings = lint_files({"mod.py": code}, select="unit-raw-literal")
+        assert rule_ids(findings) == ["unit-raw-literal"] * 2
+
+    def test_units_helper_calls_are_clean(self, lint_files):
+        code = DOC + (
+            "from repro import units\n"
+            "tau_s = units.ms(0.5)\n"
+            "f_max_hz = units.ghz(4.0)\n"
+        )
+        assert lint_files({"mod.py": code}, select="unit-raw-literal") == []
+
+    def test_unsuffixed_tolerance_is_clean(self, lint_files):
+        code = DOC + "TOLERANCE = 1e-9\nepsilon = 1e-6\n"
+        assert lint_files({"mod.py": code}, select="unit-raw-literal") == []
+
+    def test_plain_decimal_is_clean(self, lint_files):
+        # Without scientific notation there is no scale factor to misread.
+        code = DOC + "ambient_c = 45.0\nwait_s = 2.0\n"
+        assert lint_files({"mod.py": code}, select="unit-raw-literal") == []
+
+    def test_units_module_itself_is_exempt(self, lint_files):
+        code = DOC + "MILLISECONDS_S = 1e-3\n"
+        assert lint_files({"units.py": code}, select="unit-safety") == []
+
+
+class TestKelvin:
+    def test_literal_offset_fires_anywhere(self, lint_files):
+        code = DOC + "def to_k(c):\n    return c + 273.15\n"
+        findings = lint_files({"mod.py": code}, select="unit-kelvin-literal")
+        assert rule_ids(findings) == ["unit-kelvin-literal"]
+
+    def test_offset_arithmetic_fires(self, lint_files):
+        code = DOC + (
+            "from repro.units import KELVIN_OFFSET\n"
+            "def to_k(c):\n"
+            "    return c + KELVIN_OFFSET\n"
+        )
+        findings = lint_files({"mod.py": code}, select="unit-kelvin-arith")
+        assert rule_ids(findings) == ["unit-kelvin-arith"]
+
+    def test_attribute_offset_arithmetic_fires(self, lint_files):
+        code = DOC + (
+            "from repro import units\n"
+            "def to_c(k):\n"
+            "    return k - units.KELVIN_OFFSET\n"
+        )
+        findings = lint_files({"mod.py": code}, select="unit-kelvin-arith")
+        assert rule_ids(findings) == ["unit-kelvin-arith"]
+
+    def test_conversion_helpers_are_clean(self, lint_files):
+        code = DOC + (
+            "from repro import units\n"
+            "def to_k(c):\n"
+            "    return units.celsius_to_kelvin(c)\n"
+        )
+        assert lint_files({"mod.py": code}, select="unit-safety") == []

@@ -24,6 +24,8 @@ def test_frequency_helpers():
 
 def test_length_helpers():
     assert units.mm(0.9) == pytest.approx(0.9e-3)
+    assert units.um(25.0) == pytest.approx(25.0e-6)
     assert units.mm2(0.81) == pytest.approx(0.81e-6)
+    assert units.mm(1.0) == 1000 * units.um(1.0)
     # a 0.81 mm^2 core has a 0.9 mm edge
     assert units.mm(0.9) ** 2 == pytest.approx(units.mm2(0.81))

@@ -7,10 +7,13 @@ trade-off that choice balances: faster rotation lowers the thermal ripple
 reduction has saturated but the overhead is still below ~10 %.
 """
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.core.peak_temperature import rotation_peak_temperature
+from repro.parallel import Cell, run_cells
 from repro.sched.fixed_rotation import FixedRotationScheduler
 from repro.sim.context import SimContext
 from repro.sim.engine import IntervalSimulator
@@ -18,6 +21,9 @@ from repro.workload.benchmarks import PARSEC
 from repro.workload.task import Task
 
 _TAUS_S = (4e-3, 2e-3, 1e-3, 0.5e-3, 0.25e-3)
+
+#: worker processes for the tau sweep (results are jobs-independent)
+_JOBS = int(os.environ.get("REPRO_ABLATION_JOBS", "1"))
 
 
 def _rotation_sequence(n_cores=16, hot_w=8.0):
@@ -27,16 +33,30 @@ def _rotation_sequence(n_cores=16, hot_w=8.0):
     return seq
 
 
-def _response_ms(ctx16, tau_s):
+def _response_cell(tau_s, config, model):
+    """One tau point of the sweep — module-level so pools can pickle it."""
     sim = IntervalSimulator(
-        ctx16.config,
+        config,
         FixedRotationScheduler(tau_s=tau_s),
         [Task(0, PARSEC["blackscholes"], 2, seed=1)],
-        ctx=SimContext(ctx16.config, ctx16.thermal_model),
+        ctx=SimContext(config, model),
         dtm_enabled=False,
         record_trace=False,
     )
     return sim.run(max_time_s=1.0).tasks[0].response_time_s * 1e3
+
+
+def _response_sweep_ms(ctx16):
+    cells = [
+        Cell(
+            key=tau,
+            fn=_response_cell,
+            kwargs=dict(tau_s=tau, config=ctx16.config, model=ctx16.thermal_model),
+        )
+        for tau in _TAUS_S
+    ]
+    results = run_cells(cells, jobs=_JOBS)
+    return [results[tau] for tau in _TAUS_S]
 
 
 def test_rotation_interval_tradeoff(benchmark, ctx16):
@@ -46,7 +66,7 @@ def test_rotation_interval_tradeoff(benchmark, ctx16):
             rotation_peak_temperature(ctx16.dynamics, seq, tau, 45.0)
             for tau in _TAUS_S
         ]
-        responses = [_response_ms(ctx16, tau) for tau in _TAUS_S]
+        responses = _response_sweep_ms(ctx16)
         return peaks, responses
 
     peaks, responses = benchmark.pedantic(sweep, rounds=1, iterations=1)

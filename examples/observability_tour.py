@@ -95,11 +95,15 @@ def main() -> None:
         if key.startswith("engine.migrations.to_ring.")
     }
     print(f"\nmigrations per destination AMD ring: {ring_migrations}")
-    hits = snapshot["thermal.exp_cache.hits"]
-    misses = snapshot["thermal.exp_cache.misses"]
+    # the eigenbasis-resident engine caches exp(lambda tau) per step size;
+    # the dense exp(C tau) cache only fills when step() is called directly
+    hits = snapshot["thermal.decay_cache.hits"]
+    misses = snapshot["thermal.decay_cache.misses"]
+    total = hits + misses
+    rate = f"{hits / total:.1%}" if total else "n/a"
     print(
-        f"thermal exp(C tau) cache: {int(hits)} hits / {int(misses)} misses "
-        f"({hits / (hits + misses):.1%} hit rate)"
+        f"thermal exp(lambda tau) decay cache: {int(hits)} hits / "
+        f"{int(misses)} misses ({rate} hit rate)"
     )
     print(
         f"scheduler decision latency: mean "

@@ -1,0 +1,91 @@
+"""Small bounded LRU mapping shared by the hot-path caches.
+
+The thermal solver (:class:`repro.thermal.matex.ThermalDynamics`) and the
+Algorithm-1 calculator
+(:class:`repro.core.peak_temperature.PeakTemperatureCalculator`) memoize
+per-``tau`` / per-``(tau, delta)`` auxiliaries.  A scheduler that jitters
+``tau`` (or a sweep over many intervals) would grow unbounded ``dict``
+caches without limit; :class:`LruCache` bounds them with
+least-recently-used eviction while keeping the hit/miss/eviction counters
+the observability layer publishes as gauges.
+
+Not thread-safe by design: every cache instance is owned by exactly one
+simulation (the engine is single-threaded; the parallel sweep runner in
+:mod:`repro.parallel` isolates processes, not threads).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, Hashable, Iterator, Optional
+
+__all__ = ["LruCache"]
+
+_MISSING = object()
+
+
+class LruCache:
+    """Bounded mapping with least-recently-used eviction and counters.
+
+    Supports the small ``dict`` surface the callers use (``get``, item
+    assignment, ``len``, ``in``) so it drops in for the previously
+    unbounded caches.  :meth:`get` counts hits and misses; evictions are
+    counted as they happen.  All counters survive :meth:`clear`.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("LRU capacity must be at least 1")
+        self.capacity = int(capacity)
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- mapping surface -----------------------------------------------------
+
+    def get(self, key: Hashable, default: Optional[Any] = None) -> Any:
+        """Counted lookup: refreshes recency on hit."""
+        value = self._data.get(key, _MISSING)
+        if value is _MISSING:
+            self.misses += 1
+            return default
+        self.hits += 1
+        self._data.move_to_end(key)
+        return value
+
+    def peek(self, key: Hashable, default: Optional[Any] = None) -> Any:
+        """Uncounted lookup that does not refresh recency (for tests)."""
+        value = self._data.get(key, _MISSING)
+        return default if value is _MISSING else value
+
+    def __setitem__(self, key: Hashable, value: Any) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+            self.evictions += 1
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._data)
+
+    def clear(self) -> None:
+        """Drop all entries (counters are preserved)."""
+        self._data.clear()
+
+    # -- observability -------------------------------------------------------
+
+    def stats(self, prefix: str) -> Dict[str, int]:
+        """``{prefix.hits, prefix.misses, prefix.evictions, prefix.size}``."""
+        return {
+            f"{prefix}.hits": self.hits,
+            f"{prefix}.misses": self.misses,
+            f"{prefix}.evictions": self.evictions,
+            f"{prefix}.size": len(self._data),
+        }

@@ -29,6 +29,8 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from .. import units
 from ..arch.amd import AmdRings
 from .peak_temperature import PeakTemperatureCalculator
@@ -139,16 +141,23 @@ class HotPotato:
         ]
         return RotationSchedule(groups, tau_s)
 
-    def _peak_for(
+    def _power_seq_for(
         self, slots: Sequence[Sequence[Optional[ThreadId]]], tau_s: Optional[float]
-    ) -> float:
+    ) -> Tuple[np.ndarray, Optional[float]]:
+        """Candidate in :meth:`PeakTemperatureCalculator.peak_batch` form:
+        the periodic power sequence and the *effective* rotation interval
+        (``None`` when the schedule does not actually rotate)."""
         schedule = self._schedule_for(slots, tau_s)
         powers = {t: info.power_w for t, info in self._threads.items()}
         n_cores = self.rings.mesh.n_cores
         seq = schedule.power_sequence(n_cores, powers, self.idle_power_w)
-        if not schedule.rotating:
-            return self.calculator.steady_peak(seq[0])
-        return self.calculator.peak(seq, schedule.tau_s)
+        return seq, (schedule.tau_s if schedule.rotating else None)
+
+    def _peak_for(
+        self, slots: Sequence[Sequence[Optional[ThreadId]]], tau_s: Optional[float]
+    ) -> float:
+        seq, effective_tau = self._power_seq_for(slots, tau_s)
+        return float(self.calculator.peak_batch([seq], [effective_tau])[0])
 
     def _sustainable(self, peak_c: float) -> bool:
         return peak_c + self.headroom_delta_c < self.t_dtm_c
@@ -199,15 +208,20 @@ class HotPotato:
         free = self.free_slots(ring)
         if not free:
             return None
-        best: Optional[Tuple[float, int]] = None
+        # evaluate the whole slot scan as one batched candidate set: every
+        # trial shares the same tau, so all of them ride one stacked einsum
         trial = self._copy_slots()
+        seqs: List[np.ndarray] = []
+        taus: List[Optional[float]] = []
         for slot in free:
             trial[ring][slot] = thread_id
-            peak_c = self._peak_for(trial, self.tau_s)
+            seq, effective_tau = self._power_seq_for(trial, self.tau_s)
             trial[ring][slot] = None
-            if best is None or peak_c < best[0]:
-                best = (peak_c, slot)
-        return best
+            seqs.append(seq)
+            taus.append(effective_tau)
+        peaks = self.calculator.peak_batch(seqs, taus)
+        best = int(np.argmin(peaks))  # first minimum = lowest slot index
+        return (float(peaks[best]), free[best])
 
     def _place(self, thread_id: ThreadId, ring: int, slot: int) -> None:
         if self._slots[ring][slot] is not None:
@@ -246,11 +260,23 @@ class HotPotato:
           slowest interval within 0.5 degC of the best achievable peak, so
           hopeless extra rotation speed is never paid for.
         """
-        peaks = [
-            self._peak_for(self._slots, tau) for tau in self._tau_ladder
-        ]
+        # the assignment is fixed across the ladder, so every candidate's
+        # power sequence depends only on whether it rotates (the period
+        # never depends on the tau value): build at most two sequences and
+        # evaluate the whole ladder as one batch
+        cached: Dict[bool, Tuple[np.ndarray, Optional[float]]] = {}
+        seqs: List[np.ndarray] = []
+        taus: List[Optional[float]] = []
+        for tau in self._tau_ladder:
+            rotates = self._schedule_for(self._slots, tau).rotating
+            if rotates not in cached:
+                cached[rotates] = self._power_seq_for(self._slots, tau)
+            seq, _ = cached[rotates]
+            seqs.append(seq)
+            taus.append(tau if rotates else None)
+        peaks = self.calculator.peak_batch(seqs, taus)
         target = max(
-            self.t_dtm_c - self.headroom_delta_c, min(peaks) + 0.5
+            self.t_dtm_c - self.headroom_delta_c, float(np.min(peaks)) + 0.5
         )
         for index, peak_c in enumerate(peaks):
             if peak_c <= target:

@@ -35,11 +35,20 @@ exact transient inside each epoch of the converged cycle.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+import hashlib
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .._lru import LruCache
 from ..thermal.matex import ThermalDynamics
+
+#: Bounds of the Algorithm-1 design-time caches.  The alpha tensors are
+#: ``O(delta^2 N)`` each, the beta matrices ``O(N n)``; the peak memo holds
+#: plain floats keyed by a power-sequence fingerprint.
+_ALPHA_CACHE_SIZE = 64
+_BETA_CACHE_SIZE = 64
+_PEAK_CACHE_SIZE = 4096
 
 
 def _validate_sequence(
@@ -111,13 +120,26 @@ def rotation_peak_temperature(
     model = dynamics.model
     peak = float(np.max(model.core_temperatures(boundaries)))
     if within_epoch_samples > 0:
+        # One batched eigenbasis evaluation over all (epoch, sample, core)
+        # triples: a single multi-RHS solve yields every epoch's steady
+        # state, then T[e, s] = T_ss,e + V diag(e^{lambda t_s}) V^{-1}
+        # (start_e - T_ss,e) for the whole grid at once.  The epoch-start
+        # temperatures themselves are boundary rows, already in ``peak``.
         delta = seq.shape[0]
-        for e in range(delta):
-            start = boundaries[e - 1]  # row -1 = state before epoch 0
-            inner = dynamics.peak_during_step(
-                start, seq[e], ambient_c, tau_s, n_samples=within_epoch_samples
-            )
-            peak = max(peak, inner)
+        n = model.n_cores
+        p_nodes = np.stack([model.expand_power(seq[e]) for e in range(delta)])
+        rises = np.linalg.solve(model.b_matrix, p_nodes.T).T  # (d, N)
+        t_steady = rises + ambient_c
+        starts = boundaries[np.arange(delta) - 1]  # row -1 = state before epoch 0
+        coeffs = (starts - t_steady) @ dynamics.eigenvectors_inv.T  # (d, N)
+        times = np.linspace(
+            tau_s / within_epoch_samples, tau_s, within_epoch_samples
+        )
+        decay = np.exp(np.outer(times, dynamics.eigenvalues))  # (S, N)
+        v_core = dynamics.eigenvectors[:n]  # (n, N)
+        temps = np.einsum("sk,ek,ck->esc", decay, coeffs, v_core, optimize=True)
+        temps += t_steady[:, None, :n]
+        peak = max(peak, float(np.max(temps)))
     return peak
 
 
@@ -146,8 +168,12 @@ class PeakTemperatureCalculator:
         n = dynamics.model.n_cores
         b_inv_cores = dynamics.b_inverse[:, :n]
         self._beta_base = dynamics.eigenvectors_inv @ b_inv_cores  # (N, n)
-        self._tau_cache: dict = {}
-        self._alpha_cache: dict = {}
+        # bounded LRU caches; counters surface through :meth:`cache_stats`
+        self._tau_cache = LruCache(_BETA_CACHE_SIZE)
+        self._alpha_cache = LruCache(_ALPHA_CACHE_SIZE)
+        self._peak_cache = LruCache(_PEAK_CACHE_SIZE)
+        self._batch_calls = 0
+        self._batch_candidates = 0
 
     def _beta(self, tau_s: float) -> np.ndarray:
         """``V^{-1} (I - E) B^{-1}`` on core columns (cached per tau)."""
@@ -201,9 +227,10 @@ class PeakTemperatureCalculator:
         boundary maximum plus the configured headroom ``Delta`` absorbs the
         small undershoot, exactly as the paper's run-time phase does.
         """
-        boundary = float(np.max(self.boundary_temperatures(core_power_seq, tau_s)))
         if within_epoch_samples <= 0:
-            return boundary
+            # boundary-only queries route through the batched/memoized path
+            # so scalar and batch evaluation are one and the same code
+            return float(self.peak_batch([core_power_seq], [tau_s])[0])
         return rotation_peak_temperature(
             self.dynamics,
             core_power_seq,
@@ -211,6 +238,106 @@ class PeakTemperatureCalculator:
             self.ambient_c,
             within_epoch_samples,
         )
+
+    # -- batched candidate evaluation (run-time phase, vectorized) -----------
+
+    @staticmethod
+    def _fingerprint(
+        seq: np.ndarray, tau_s: Optional[float]
+    ) -> Tuple[Optional[float], Tuple[int, ...], bytes]:
+        """Memo key for a (power sequence, rotation interval) candidate.
+
+        The sequence content is digested (BLAKE2b) rather than stored: ring
+        power sequences can reach hundreds of kilobytes at large rotation
+        periods, and the memo only needs equality.
+        """
+        digest = hashlib.blake2b(
+            np.ascontiguousarray(seq).tobytes(), digest_size=16
+        ).digest()
+        return (None if tau_s is None else float(tau_s), seq.shape, digest)
+
+    def peak_batch(
+        self,
+        core_power_seqs: Sequence[np.ndarray],
+        taus_s: Sequence[Optional[float]],
+    ) -> np.ndarray:
+        """Peak temperature of every ``(power sequence, tau)`` candidate.
+
+        The scheduler's greedy scans (slot choice, interval ladder) generate
+        many candidates that share the floorplan's alpha/beta tensors;
+        evaluating them through one stacked einsum per ``(tau, delta)`` group
+        amortizes those tensors across the whole scan instead of re-walking
+        them per candidate.  ``tau = None`` denotes a non-rotating candidate
+        and evaluates the steady-state peak of the sequence's first epoch.
+
+        Results are memoized on a content fingerprint of ``(seq, tau)`` —
+        across scheduler invocations most candidates repeat (the greedy scan
+        re-evaluates the incumbent assignment every epoch), so the memo turns
+        the common case into a dictionary lookup.
+
+        Returns an array of peaks, same order as the inputs.
+        """
+        if len(core_power_seqs) != len(taus_s):
+            raise ValueError("need one tau per power sequence")
+        self._batch_calls += 1
+        self._batch_candidates += len(core_power_seqs)
+        seqs: List[np.ndarray] = []
+        peaks = np.empty(len(core_power_seqs))
+        keys: List[Tuple] = []
+        # (tau, delta) -> candidate indices needing a fresh evaluation
+        pending: Dict[Tuple[float, int], List[int]] = {}
+        for i, (raw, tau_s) in enumerate(zip(core_power_seqs, taus_s)):
+            seq = _validate_sequence(self.dynamics, raw)
+            if tau_s is not None and tau_s <= 0:
+                raise ValueError("epoch length tau must be positive")
+            seqs.append(seq)
+            key = self._fingerprint(seq, tau_s)
+            keys.append(key)
+            cached = self._peak_cache.get(key)
+            if cached is not None:
+                peaks[i] = cached
+            elif tau_s is None:
+                value = self.steady_peak(seq[0])
+                self._peak_cache[key] = value
+                peaks[i] = value
+            else:
+                pending.setdefault((float(tau_s), seq.shape[0]), []).append(i)
+        for (tau_s, delta), indices in pending.items():
+            batch = np.stack([seqs[i] for i in indices])  # (B, delta, n)
+            values = self._stacked_peaks(batch, tau_s)
+            for i, value in zip(indices, values):
+                peaks[i] = value
+                self._peak_cache[keys[i]] = float(value)
+        return peaks
+
+    def _stacked_peaks(self, batch: np.ndarray, tau_s: float) -> np.ndarray:
+        """Boundary peaks of a ``(B, delta, n)`` stack sharing one tau."""
+        delta = batch.shape[1]
+        beta = self._beta(tau_s)  # (N, n)
+        alpha = self._alpha(tau_s, delta)  # (d, d, N)
+        # broadcast matmuls dispatch to BLAS; einsum would run naive loops
+        coeffs = beta @ batch.transpose(0, 2, 1)  # (B, N, d)
+        # weighted[b, e, n] = sum_j alpha[e, j, n] * coeffs[b, n, j]
+        weighted = alpha.transpose(2, 0, 1) @ coeffs.transpose(1, 2, 0)  # (N, d, B)
+        temps = weighted.transpose(2, 1, 0) @ self._v_core.T  # (B, d, n_cores)
+        return temps.max(axis=(1, 2)) + self.ambient_c
+
+    def cache_stats(self) -> Dict[str, int]:
+        """Counters of the Algorithm-1 caches and batch evaluator.
+
+        Keys: ``{alpha_cache, beta_cache, peak_cache}.{hits, misses,
+        evictions, size}`` plus ``batch.calls`` / ``batch.candidates``.
+        High ``peak_cache`` hit rates mean the greedy scans mostly re-visit
+        known candidates; ``batch.candidates / batch.calls`` is the mean
+        stacking width the einsum path gets to amortize over.
+        """
+        stats: Dict[str, int] = {}
+        stats.update(self._alpha_cache.stats("alpha_cache"))
+        stats.update(self._tau_cache.stats("beta_cache"))
+        stats.update(self._peak_cache.stats("peak_cache"))
+        stats["batch.calls"] = self._batch_calls
+        stats["batch.candidates"] = self._batch_candidates
+        return stats
 
     def steady_peak(self, core_power_w: np.ndarray) -> float:
         """Peak steady-state core temperature without rotation.

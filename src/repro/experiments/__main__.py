@@ -31,16 +31,26 @@ def main(argv=None) -> int:
         action="store_true",
         help="reduced scale (fewer benchmarks / load points) for a fast run",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the sweep experiments (fig4a/fig4b); "
+        "results are identical to a serial run (default: 1)",
+    )
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
 
     selected = _EXPERIMENTS[:-1] if args.experiment == "all" else (args.experiment,)
     for name in selected:
         print(f"\n{'=' * 72}\n{name}\n{'=' * 72}")
-        print(_run_one(name, args.quick).render())
+        print(_run_one(name, args.quick, args.jobs).render())
     return 0
 
 
-def _run_one(name: str, quick: bool):
+def _run_one(name: str, quick: bool, jobs: int = 1):
     if name == "table1":
         return table1.run()
     if name == "fig1":
@@ -51,11 +61,11 @@ def _run_one(name: str, quick: bool):
         return fig3.run()
     if name == "fig4a":
         benchmarks = ("blackscholes", "canneal") if quick else None
-        return fig4a.run(benchmarks=benchmarks)
+        return fig4a.run(benchmarks=benchmarks, jobs=jobs)
     if name == "fig4b":
         rates = (10.0, 60.0, 400.0) if quick else fig4b.DEFAULT_ARRIVAL_RATES
         n_tasks = 20 if quick else 40
-        return fig4b.run(arrival_rates_per_s=rates, n_tasks=n_tasks)
+        return fig4b.run(arrival_rates_per_s=rates, n_tasks=n_tasks, jobs=jobs)
     if name == "overhead":
         return overhead.run(n_repetitions=50 if quick else 200)
     if name == "stacked3d":

@@ -15,6 +15,7 @@ from typing import Dict, Optional, Sequence
 import numpy as np
 
 from ..config import SystemConfig, table1
+from ..parallel import Cell, run_cells
 from ..sched.hotpotato_runtime import HotPotatoScheduler
 from ..sched.pcmig import PCMigScheduler
 from ..sim.context import SimContext
@@ -24,6 +25,8 @@ from ..thermal.rc_model import RCThermalModel
 from ..workload.benchmarks import PARSEC
 from ..workload.generator import homogeneous_fill, materialize
 from .reporting import render_bar_chart, render_table
+
+_SCHEDULERS = {"pcmig": PCMigScheduler, "hotpotato": HotPotatoScheduler}
 
 #: Paper's headline numbers for comparison in reports.
 PAPER_MEAN_SPEEDUP_PCT = 10.72
@@ -96,6 +99,34 @@ class Fig4aResult:
         return f"{table}\n{chart}\nmean speedup: {self.mean_speedup_pct:+.2f} %"
 
 
+def _simulate_cell(
+    benchmark: str,
+    scheduler: str,
+    config: SystemConfig,
+    model: RCThermalModel,
+    seed: int,
+    work_scale: float,
+    max_time_s: float,
+) -> SimulationResult:
+    """One (benchmark, scheduler) cell — module-level so pools can pickle it.
+
+    Every cell builds its own :class:`SimContext` from the shared thermal
+    model, exactly as the serial sweep always did, so serial and parallel
+    execution are byte-identical.
+    """
+    tasks = materialize(
+        homogeneous_fill(benchmark, config.n_cores, seed=seed, work_scale=work_scale)
+    )
+    sim = IntervalSimulator(
+        config,
+        _SCHEDULERS[scheduler](),
+        tasks,
+        ctx=SimContext(config, model),
+        record_trace=False,
+    )
+    return sim.run(max_time_s=max_time_s)
+
+
 def run(
     config: SystemConfig = None,
     model: Optional[RCThermalModel] = None,
@@ -103,34 +134,43 @@ def run(
     seed: int = 42,
     work_scale: float = 2.5,
     max_time_s: float = 5.0,
+    jobs: int = 1,
 ) -> Fig4aResult:
     """Regenerate Fig. 4(a).
 
     ``benchmarks`` restricts the sweep (useful for fast CI runs); the
-    default runs all eight evaluated PARSEC benchmarks.
+    default runs all eight evaluated PARSEC benchmarks.  ``jobs > 1``
+    fans the (benchmark, scheduler) cells out over worker processes; the
+    results are identical to a serial run.
     """
     cfg = config if config is not None else table1()
     names = list(benchmarks) if benchmarks is not None else list(PARSEC)
     shared = SimContext(cfg, model)
 
-    comparisons = {}
-    for name in names:
-        outcomes = {}
-        for scheduler_cls in (PCMigScheduler, HotPotatoScheduler):
-            tasks = materialize(
-                homogeneous_fill(name, cfg.n_cores, seed=seed, work_scale=work_scale)
-            )
-            sim = IntervalSimulator(
-                cfg,
-                scheduler_cls(),
-                tasks,
-                ctx=SimContext(cfg, shared.thermal_model),
-                record_trace=False,
-            )
-            outcomes[scheduler_cls.name] = sim.run(max_time_s=max_time_s)
-        comparisons[name] = BenchmarkComparison(
-            benchmark=name,
-            hotpotato=outcomes["hotpotato"],
-            pcmig=outcomes["pcmig"],
+    cells = [
+        Cell(
+            key=(name, scheduler),
+            fn=_simulate_cell,
+            kwargs=dict(
+                benchmark=name,
+                scheduler=scheduler,
+                config=cfg,
+                model=shared.thermal_model,
+                seed=seed,
+                work_scale=work_scale,
+                max_time_s=max_time_s,
+            ),
         )
+        for name in names
+        for scheduler in ("pcmig", "hotpotato")
+    ]
+    outcomes = run_cells(cells, jobs=jobs)
+    comparisons = {
+        name: BenchmarkComparison(
+            benchmark=name,
+            hotpotato=outcomes[(name, "hotpotato")],
+            pcmig=outcomes[(name, "pcmig")],
+        )
+        for name in names
+    }
     return Fig4aResult(comparisons=comparisons)

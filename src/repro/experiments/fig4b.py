@@ -16,6 +16,7 @@ from typing import Dict, Optional, Sequence, Tuple
 import numpy as np
 
 from ..config import SystemConfig, table1
+from ..parallel import Cell, run_cells
 from ..sched.hotpotato_runtime import HotPotatoScheduler
 from ..sched.pcmig import PCMigScheduler
 from ..sim.context import SimContext
@@ -28,6 +29,8 @@ from ..workload.generator import (
     random_mixed_workload,
 )
 from .reporting import render_bar_chart, render_table
+
+_SCHEDULERS = {"pcmig": PCMigScheduler, "hotpotato": HotPotatoScheduler}
 
 #: Paper's headline number for the medium-load regime.
 PAPER_PEAK_SPEEDUP_PCT = 12.27
@@ -113,6 +116,36 @@ class Fig4bResult:
         return f"{table}\n{chart}\npeak speedup: +{self.peak_speedup_pct:.2f} %"
 
 
+def _simulate_cell(
+    arrival_rate_per_s: float,
+    scheduler: str,
+    config: SystemConfig,
+    model: RCThermalModel,
+    n_tasks: int,
+    seed: int,
+    work_scale: float,
+    max_time_s: float,
+) -> SimulationResult:
+    """One (arrival rate, scheduler) cell — module-level for pool pickling.
+
+    Builds its own :class:`SimContext` from the shared thermal model, as
+    the serial sweep always did, so serial and parallel runs agree exactly.
+    """
+    specs = poisson_arrivals(
+        random_mixed_workload(n_tasks, seed=seed, work_scale=work_scale),
+        arrival_rate_per_s,
+        seed=seed + 1,
+    )
+    sim = IntervalSimulator(
+        config,
+        _SCHEDULERS[scheduler](),
+        materialize(specs),
+        ctx=SimContext(config, model),
+        record_trace=False,
+    )
+    return sim.run(max_time_s=max_time_s)
+
+
 def run(
     config: SystemConfig = None,
     model: Optional[RCThermalModel] = None,
@@ -121,33 +154,41 @@ def run(
     seed: int = 7,
     work_scale: float = 2.0,
     max_time_s: float = 60.0,
+    jobs: int = 1,
 ) -> Fig4bResult:
-    """Regenerate Fig. 4(b) over the given arrival-rate sweep."""
+    """Regenerate Fig. 4(b) over the given arrival-rate sweep.
+
+    ``jobs > 1`` distributes the (rate, scheduler) cells over worker
+    processes; results are identical to a serial run.
+    """
     cfg = config if config is not None else table1()
     shared = SimContext(cfg, model)
 
-    points = []
-    for rate in arrival_rates_per_s:
-        outcomes = {}
-        for scheduler_cls in (PCMigScheduler, HotPotatoScheduler):
-            specs = poisson_arrivals(
-                random_mixed_workload(n_tasks, seed=seed, work_scale=work_scale),
-                rate,
-                seed=seed + 1,
-            )
-            sim = IntervalSimulator(
-                cfg,
-                scheduler_cls(),
-                materialize(specs),
-                ctx=SimContext(cfg, shared.thermal_model),
-                record_trace=False,
-            )
-            outcomes[scheduler_cls.name] = sim.run(max_time_s=max_time_s)
-        points.append(
-            LoadPoint(
+    cells = [
+        Cell(
+            key=(rate, scheduler),
+            fn=_simulate_cell,
+            kwargs=dict(
                 arrival_rate_per_s=rate,
-                hotpotato=outcomes["hotpotato"],
-                pcmig=outcomes["pcmig"],
-            )
+                scheduler=scheduler,
+                config=cfg,
+                model=shared.thermal_model,
+                n_tasks=n_tasks,
+                seed=seed,
+                work_scale=work_scale,
+                max_time_s=max_time_s,
+            ),
         )
-    return Fig4bResult(points=tuple(points))
+        for rate in arrival_rates_per_s
+        for scheduler in ("pcmig", "hotpotato")
+    ]
+    outcomes = run_cells(cells, jobs=jobs)
+    points = tuple(
+        LoadPoint(
+            arrival_rate_per_s=rate,
+            hotpotato=outcomes[(rate, "hotpotato")],
+            pcmig=outcomes[(rate, "pcmig")],
+        )
+        for rate in arrival_rates_per_s
+    )
+    return Fig4bResult(points=points)

@@ -29,6 +29,12 @@ from .findings import Finding
 #: Subpackages of ``repro`` that must be bit-deterministic under a seed.
 DETERMINISTIC_SUBPACKAGES = ("sim", "sched", "thermal", "core")
 
+#: Top-level ``repro`` modules held to the same determinism rules.  The
+#: parallel runner's whole contract is that a sweep's results are a pure
+#: function of its seeds — a wall-clock or global-RNG read there would
+#: silently break serial/parallel equivalence.
+DETERMINISTIC_MODULES = ("parallel.py",)
+
 #: Rule id reported for files the engine cannot parse.
 PARSE_ERROR_RULE = "parse-error"
 

@@ -5,8 +5,10 @@ benchmarks, the ``repro.obs diff`` regression gate and every recorded
 campaign depend on it.  Global-state randomness (``random.*``,
 ``np.random.rand`` & friends), unseeded generators and wall-clock reads
 inside the simulation packages (``repro.sim``/``sched``/``thermal``/
-``core``) break that silently — two identical runs stop agreeing, which
-poisons trace diffs long before anyone notices a physics bug.
+``core``) — or inside the parallel sweep runner (``repro/parallel.py``),
+whose serial/parallel equivalence rests on seeds being pure functions of
+cell identity — break that silently: two identical runs stop agreeing,
+which poisons trace diffs long before anyone notices a physics bug.
 
 Wall-clock *measurement* via the monotonic profiling clocks
 (``perf_counter``/``process_time``/``monotonic``) stays legal: it feeds
@@ -19,6 +21,7 @@ import ast
 from typing import Iterable, List, Optional
 
 from ..engine import (
+    DETERMINISTIC_MODULES,
     DETERMINISTIC_SUBPACKAGES,
     Module,
     Rule,
@@ -50,7 +53,12 @@ class _DeterminismRule(Rule):
     family = "determinism"
 
     def applies_to(self, module: Module) -> bool:
-        return module.subpackage in DETERMINISTIC_SUBPACKAGES
+        if module.subpackage in DETERMINISTIC_SUBPACKAGES:
+            return True
+        # top-level deterministic modules, e.g. repro/parallel.py
+        return module.repro_parts[1:] in {
+            (name,) for name in DETERMINISTIC_MODULES
+        }
 
 
 def _np_random_member(target: str) -> Optional[str]:

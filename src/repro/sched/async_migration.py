@@ -79,7 +79,8 @@ class AsyncMigrationScheduler(Scheduler):
         ambient = self.ctx.config.thermal.ambient_c
         nodes = model.steady_state(power, ambient)
         nodes[: model.n_cores] = temps_now
-        future = self.ctx.dynamics.step(
+        # one-shot what-if: eigenbasis step, no second steady-state solve
+        future = self.ctx.dynamics.step_spectral(
             nodes, power, ambient, self.prediction_horizon_s
         )
         return model.core_temperatures(future)

@@ -230,4 +230,9 @@ class HotPotatoScheduler(Scheduler):
         data["rotation_active"] = 1.0 if tau is not None else 0.0
         if tau is not None:
             data["tau_s"] = float(tau)
+        if self.hotpotato is not None:
+            # Algorithm-1 evaluator health: alpha/beta/peak-memo cache
+            # counters and batch widths (surface as ``sched.alg1.*`` gauges)
+            for key, value in self.hotpotato.calculator.cache_stats().items():
+                data[f"alg1.{key}"] = float(value)
         return data

@@ -96,7 +96,9 @@ class PCMigScheduler(PCGovScheduler):
         ambient = self.ctx.config.thermal.ambient_c
         nodes = model.steady_state(power, ambient)
         nodes[: model.n_cores] = temps_now
-        future = self.ctx.dynamics.step(
+        # one-shot what-if: the eigenbasis step avoids the dense path's
+        # second O(N^3) steady-state solve per prediction
+        future = self.ctx.dynamics.step_spectral(
             nodes, power, ambient, self.prediction_horizon_s
         )
         return model.core_temperatures(future)

@@ -15,7 +15,13 @@ power.  This engine reproduces that loop on top of our substrates:
    allows (after paying migration debt), with barrier-phase semantics;
 6. build the per-core power map from each thread's compute/stall split and
    advance the RC thermal state **exactly** (matrix-exponential step — no
-   integration error regardless of interval length);
+   integration error regardless of interval length).  The state lives in
+   the eigenbasis (:class:`~repro.thermal.spectral_state.SpectralThermalState`):
+   each step is an ``O(N)`` elementwise decay plus an ``O(N n)``
+   steady-coefficient update, and temperatures are projected back only
+   when the scheduler, DTM layer or a trace recorder reads them — no
+   dense ``exp(C tau)`` matrix and no linear solve in the hot loop
+   (``docs/performance.md``);
 7. record traces/metrics, deliver completions, repeat.
 
 The engine steps at the scheduler's preferred interval (so synchronous
@@ -44,6 +50,7 @@ import numpy as np
 from ..config import SystemConfig
 from ..obs.observer import Observer
 from ..sched.base import Scheduler, SchedulerDecision
+from ..thermal.spectral_state import SpectralThermalState
 from ..thermal.trace import ThermalTrace
 from ..workload.task import Task
 from .context import SimContext
@@ -138,8 +145,12 @@ class IntervalSimulator:
             if warm_start_uniform_power_w is None
             else warm_start_uniform_power_w
         )
-        self._temps = self.ctx.thermal_model.steady_state(
-            np.full(self.ctx.n_cores, warm), config.thermal.ambient_c
+        self._state = SpectralThermalState(
+            self.ctx.dynamics,
+            config.thermal.ambient_c,
+            self.ctx.thermal_model.steady_state(
+                np.full(self.ctx.n_cores, warm), config.thermal.ambient_c
+            ),
         )
         self._prev_placements: Dict[str, int] = {}
         self._sched_wall_s = 0.0
@@ -170,7 +181,7 @@ class IntervalSimulator:
     # -- observation hooks -------------------------------------------------------
 
     def _core_temps(self) -> np.ndarray:
-        return self.ctx.thermal_model.core_temperatures(self._temps)
+        return self._state.core_temperatures()
 
     # -- helpers -------------------------------------------------------------------
 
@@ -274,9 +285,7 @@ class IntervalSimulator:
                 next_arrival = self._pending[0].arrival_time_s
                 gap = min(next_arrival, max_time_s) - now
                 idle_vec = np.full(self.ctx.n_cores, idle_power)
-                self._temps = self.ctx.dynamics.step(
-                    self._temps, idle_vec, cfg.thermal.ambient_c, gap
-                )
+                self._state.step(idle_vec, gap)
                 energy_j += idle_power * self.ctx.n_cores * gap
                 now += gap
                 if trace is not None:
@@ -405,12 +414,11 @@ class IntervalSimulator:
             if self._profiler is not None:
                 self._profiler.end("power_map.build", power_token)
 
-            # 7. exact thermal step
+            # 7. exact thermal step (eigenbasis-resident: O(N) decay +
+            # O(N n) steady-coefficient update, no dense matrices)
             if self._profiler is not None:
                 step_token = self._profiler.begin("thermal.step")
-            self._temps = self.ctx.dynamics.step(
-                self._temps, power, cfg.thermal.ambient_c, dt
-            )
+            self._state.step(power, dt)
             if self._profiler is not None:
                 self._profiler.end("thermal.step", step_token)
             energy_j += float(np.sum(power)) * dt

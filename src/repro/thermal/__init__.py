@@ -14,6 +14,7 @@ from .calibrate import (
 from .floorplan import CoreBlock, Floorplan
 from .matex import ThermalDynamics
 from .rc_model import MaterialStack, RCThermalModel, build_rc_model
+from .spectral_state import SpectralThermalState
 from .steady_state import (
     heat_distribution_matrix,
     steady_core_temperatures,
@@ -28,6 +29,7 @@ __all__ = [
     "Floorplan",
     "MaterialStack",
     "RCThermalModel",
+    "SpectralThermalState",
     "ThermalDynamics",
     "ThermalTrace",
     "build_rc_model",

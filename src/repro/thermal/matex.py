@@ -19,12 +19,21 @@ series (Eqs. 8-9) converge.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 import scipy.linalg
 
+from .._lru import LruCache
 from .rc_model import RCThermalModel
+
+#: Bounds of the per-``tau`` auxiliary caches.  A healthy simulation uses a
+#: handful of step sizes; a scheduler that jitters ``tau`` must not grow
+#: these without limit.  Dense ``N x N`` matrices are capped tighter than
+#: the ``O(N)`` decay vectors.
+_EXP_CACHE_SIZE = 64
+_PROP_CACHE_SIZE = 64
+_DECAY_CACHE_SIZE = 256
 
 
 class ThermalDynamics:
@@ -59,14 +68,15 @@ class ThermalDynamics:
         #: inverse eigenvector matrix, V^{-1} = Q^T A^{1/2}
         self.eigenvectors_inv = q.T * sqrt_cap[None, :]
         self._b_inv = np.linalg.inv(b)
-        self._exp_cache: Dict[float, np.ndarray] = {}
-        self._prop_cache: Dict[float, Tuple[np.ndarray, np.ndarray]] = {}
-        # cache-effectiveness counters (observability: the interval engine
-        # publishes these as ``thermal.*_cache.*`` gauges at run end)
-        self._exp_hits = 0
-        self._exp_misses = 0
-        self._prop_hits = 0
-        self._prop_misses = 0
+        #: ``V^{-1} B^{-1}`` restricted to the power-carrying (core) columns:
+        #: the steady-state eigen-coefficients of a core power map are one
+        #: ``(N, n) @ (n,)`` product away (no linear solve at run time).
+        self._vinv_binv_cores = self.eigenvectors_inv @ self._b_inv[:, : model.n_cores]
+        # bounded LRU caches (observability: the interval engine publishes
+        # their hit/miss/eviction counters as ``thermal.*_cache.*`` gauges)
+        self._exp_cache = LruCache(_EXP_CACHE_SIZE)
+        self._prop_cache = LruCache(_PROP_CACHE_SIZE)
+        self._decay_cache = LruCache(_DECAY_CACHE_SIZE)
 
     # -- spectral queries ---------------------------------------------------
 
@@ -86,13 +96,41 @@ class ThermalDynamics:
             raise ValueError("tau must be non-negative")
         cached = self._exp_cache.get(tau_s)
         if cached is None:
-            self._exp_misses += 1
             diag = np.exp(self.eigenvalues * tau_s)
             cached = (self.eigenvectors * diag[None, :]) @ self.eigenvectors_inv
             self._exp_cache[tau_s] = cached
-        else:
-            self._exp_hits += 1
         return cached
+
+    def decay_vector(self, tau_s: float) -> np.ndarray:
+        """``exp(lambda tau)`` per eigenvalue (cached per ``tau``).
+
+        The ``O(N)`` diagonal of ``exp(C tau)`` in the eigenbasis — the only
+        per-step factor the eigenbasis-resident fast path needs (where the
+        dense path needs the full ``N x N`` :meth:`exp_c`).
+        """
+        if tau_s < 0:
+            raise ValueError("tau must be non-negative")
+        cached = self._decay_cache.get(tau_s)
+        if cached is None:
+            cached = np.exp(self.eigenvalues * tau_s)
+            cached.flags.writeable = False
+            self._decay_cache[tau_s] = cached
+        return cached
+
+    def steady_coeffs(self, core_power_w: np.ndarray) -> np.ndarray:
+        """Eigen-coefficients of the ambient-shifted steady state.
+
+        ``V^{-1} B^{-1} P`` for a per-core power map ``P`` — the spectral
+        image of ``steady_state(...) - ambient``, at ``O(N n)`` cost with no
+        linear solve.
+        """
+        core_power_w = np.asarray(core_power_w, dtype=float)
+        if core_power_w.shape != (self.model.n_cores,):
+            raise ValueError(
+                f"expected {self.model.n_cores} core powers, "
+                f"got shape {core_power_w.shape}"
+            )
+        return self._vinv_binv_cores @ core_power_w
 
     def propagator(self, tau_s: float) -> Tuple[np.ndarray, np.ndarray]:
         """The pair ``(E, W)`` with ``E = exp(C tau)``, ``W = (I - E) B^{-1}``.
@@ -103,29 +141,26 @@ class ThermalDynamics:
         """
         cached = self._prop_cache.get(tau_s)
         if cached is None:
-            self._prop_misses += 1
             e = self.exp_c(tau_s)
             w = (np.eye(self.model.n_nodes) - e) @ self._b_inv
             cached = (e, w)
             self._prop_cache[tau_s] = cached
-        else:
-            self._prop_hits += 1
         return cached
 
     def cache_stats(self) -> Dict[str, int]:
-        """Hit/miss counts of the ``exp_c`` and ``propagator`` caches.
+        """Hit/miss/eviction counters of the per-``tau`` auxiliary caches.
 
-        Keys: ``exp_cache.hits``, ``exp_cache.misses``,
-        ``propagator_cache.hits``, ``propagator_cache.misses``.  A healthy
-        interval simulation re-uses a handful of step sizes, so hit rates
-        should approach 1 as the run progresses.
+        Keys: ``{exp_cache, propagator_cache, decay_cache}.{hits, misses,
+        evictions, size}``.  A healthy interval simulation re-uses a handful
+        of step sizes, so hit rates should approach 1 as the run progresses;
+        non-zero eviction counts mean the scheduler is jittering ``tau``
+        across more than the cache capacity.
         """
-        return {
-            "exp_cache.hits": self._exp_hits,
-            "exp_cache.misses": self._exp_misses,
-            "propagator_cache.hits": self._prop_hits,
-            "propagator_cache.misses": self._prop_misses,
-        }
+        stats: Dict[str, int] = {}
+        stats.update(self._exp_cache.stats("exp_cache"))
+        stats.update(self._prop_cache.stats("propagator_cache"))
+        stats.update(self._decay_cache.stats("decay_cache"))
+        return stats
 
     # -- exact transient stepping --------------------------------------------
 
@@ -140,10 +175,39 @@ class ThermalDynamics:
 
         Exact for piecewise-constant power (Eq. 4).  ``temps_c`` is the full
         node temperature vector in absolute degrees Celsius.
+
+        This is the **dense reference path** (one ``O(N^3)`` steady-state
+        solve plus an ``O(N^2)`` matrix-vector product per call); the
+        interval engine's hot loop uses the eigenbasis-resident
+        :class:`repro.thermal.spectral_state.SpectralThermalState` instead
+        and is validated against this method to ``<= 1e-9`` degC.
         """
         t_steady = self.model.steady_state(core_power_w, ambient_c)
         e = self.exp_c(tau_s)
         return t_steady + e @ (np.asarray(temps_c, dtype=float) - t_steady)
+
+    def step_spectral(
+        self,
+        temps_c: np.ndarray,
+        core_power_w: np.ndarray,
+        ambient_c: float,
+        tau_s: float,
+    ) -> np.ndarray:
+        """One exact step evaluated through the eigenbasis (no solve).
+
+        Mathematically identical to :meth:`step` but costs two ``O(N^2)``
+        projections plus ``O(N n)`` work instead of an ``O(N^3)`` linear
+        solve — the right tool for one-shot what-if queries (e.g. PCMig's
+        violation predictor).  Callers that step *repeatedly* should hold a
+        :class:`~repro.thermal.spectral_state.SpectralThermalState` instead,
+        which amortizes both projections away entirely.
+        """
+        coeffs = self.eigenvectors_inv @ (
+            np.asarray(temps_c, dtype=float) - ambient_c
+        )
+        steady = self.steady_coeffs(core_power_w)
+        coeffs = steady + self.decay_vector(tau_s) * (coeffs - steady)
+        return ambient_c + self.eigenvectors @ coeffs
 
     def transient(
         self,
@@ -152,6 +216,7 @@ class ThermalDynamics:
         ambient_c: float,
         duration_s: float,
         n_samples: int,
+        t_steady: Optional[np.ndarray] = None,
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Sample the transient under constant power at ``n_samples`` times.
 
@@ -159,11 +224,17 @@ class ThermalDynamics:
         ``(n_samples,)`` (uniformly spaced in ``(0, duration]``) and
         ``node_temps`` has shape ``(n_samples, N)``.  Each sample is computed
         exactly from the initial condition; there is no error accumulation.
+
+        ``t_steady`` optionally supplies the precomputed steady state of
+        ``(core_power_w, ambient_c)`` so callers that already solved it
+        (e.g. :meth:`peak_during_step` inside a rotation-cycle scan) do not
+        pay the linear solve twice.
         """
         if n_samples < 1:
             raise ValueError("need at least one sample")
         times = np.linspace(duration_s / n_samples, duration_s, n_samples)
-        t_steady = self.model.steady_state(core_power_w, ambient_c)
+        if t_steady is None:
+            t_steady = self.model.steady_state(core_power_w, ambient_c)
         delta = np.asarray(temps_c, dtype=float) - t_steady
         # project the initial offset once, then scale per-sample in the
         # eigenbasis: T(t) = T_ss + V diag(e^{lambda t}) V^{-1} delta
@@ -179,16 +250,19 @@ class ThermalDynamics:
         ambient_c: float,
         tau_s: float,
         n_samples: int = 8,
+        t_steady: Optional[np.ndarray] = None,
     ) -> float:
         """Maximum core temperature reached at any time within one step.
 
         Boundary temperatures alone can miss an intra-epoch overshoot when a
         mode decays non-monotonically in combination; sampling bounds that
         error.  For the exact interior maximum use
-        :meth:`analytic_peak_during_step`.
+        :meth:`analytic_peak_during_step`.  ``t_steady`` threads a
+        precomputed steady state through to :meth:`transient`, avoiding a
+        second identical solve.
         """
         _, temps = self.transient(
-            temps_c, core_power_w, ambient_c, tau_s, n_samples
+            temps_c, core_power_w, ambient_c, tau_s, n_samples, t_steady
         )
         start_peak = float(np.max(self.model.core_temperatures(np.asarray(temps_c))))
         return max(start_peak, float(np.max(self.model.core_temperatures(temps))))

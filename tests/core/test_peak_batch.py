@@ -1,0 +1,133 @@
+"""Batched Algorithm-1 candidate evaluation (``peak_batch``) and its memo.
+
+The scheduler's greedy scans now evaluate all (assignment, tau) candidates
+through one stacked einsum; these tests pin the batched path to the scalar
+formula, exercise the fingerprint memo, and bound the caches.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import PeakTemperatureCalculator
+
+
+def _candidates(rng, n_cores, count=12):
+    """A mixed candidate set: several deltas, several taus, one static."""
+    seqs, taus = [], []
+    for i in range(count):
+        delta = (2, 3, 4)[i % 3]
+        seq = rng.uniform(0.0, 8.0, size=(delta, n_cores))
+        tau = (0.5e-3, 1e-3)[i % 2]
+        seqs.append(seq)
+        taus.append(tau)
+    # a non-rotating candidate (tau = None evaluates the steady peak)
+    seqs.append(rng.uniform(0.0, 8.0, size=(1, n_cores)))
+    taus.append(None)
+    return seqs, taus
+
+
+class TestBatchedEquivalence:
+    def test_matches_scalar_formula_for_every_candidate(
+        self, dynamics16, cfg16, rng
+    ):
+        calc = PeakTemperatureCalculator(dynamics16, cfg16.thermal.ambient_c)
+        seqs, taus = _candidates(rng, dynamics16.model.n_cores)
+        batched = calc.peak_batch(seqs, taus)
+        for value, seq, tau in zip(batched, seqs, taus):
+            if tau is None:
+                scalar = calc.steady_peak(seq[0])
+            else:
+                # the original scalar formula, independent of the memo
+                scalar = float(np.max(calc.boundary_temperatures(seq, tau)))
+            assert value == pytest.approx(scalar, abs=1e-9)
+
+    def test_scalar_peak_delegates_to_batch(self, dynamics16, cfg16, rng):
+        calc = PeakTemperatureCalculator(dynamics16, cfg16.thermal.ambient_c)
+        seq = rng.uniform(0.0, 8.0, size=(3, dynamics16.model.n_cores))
+        assert calc.peak(seq, 1e-3) == calc.peak_batch([seq], [1e-3])[0]
+
+    def test_order_preserved(self, dynamics16, cfg16, rng):
+        calc = PeakTemperatureCalculator(dynamics16, cfg16.thermal.ambient_c)
+        seqs, taus = _candidates(rng, dynamics16.model.n_cores)
+        batched = calc.peak_batch(seqs, taus)
+        singles = [calc.peak_batch([s], [t])[0] for s, t in zip(seqs, taus)]
+        np.testing.assert_array_equal(batched, singles)
+
+
+class TestMemo:
+    def test_repeat_candidates_hit_the_memo(self, dynamics16, cfg16, rng):
+        calc = PeakTemperatureCalculator(dynamics16, cfg16.thermal.ambient_c)
+        seqs, taus = _candidates(rng, dynamics16.model.n_cores)
+        first = calc.peak_batch(seqs, taus)
+        misses_after_first = calc.cache_stats()["peak_cache.misses"]
+        second = calc.peak_batch(seqs, taus)
+        stats = calc.cache_stats()
+        np.testing.assert_array_equal(first, second)
+        assert stats["peak_cache.misses"] == misses_after_first
+        assert stats["peak_cache.hits"] >= len(seqs)
+
+    def test_different_power_same_shape_not_conflated(
+        self, dynamics16, cfg16, rng
+    ):
+        calc = PeakTemperatureCalculator(dynamics16, cfg16.thermal.ambient_c)
+        n = dynamics16.model.n_cores
+        cool = np.full((2, n), 1.0)
+        hot = np.full((2, n), 6.0)
+        peaks = calc.peak_batch([cool, hot], [1e-3, 1e-3])
+        assert peaks[1] > peaks[0] + 1.0
+
+    def test_batch_counters_advance(self, dynamics16, cfg16, rng):
+        calc = PeakTemperatureCalculator(dynamics16, cfg16.thermal.ambient_c)
+        seqs, taus = _candidates(rng, dynamics16.model.n_cores, count=6)
+        calc.peak_batch(seqs, taus)
+        stats = calc.cache_stats()
+        assert stats["batch.calls"] == 1
+        assert stats["batch.candidates"] == len(seqs)
+
+
+class TestValidation:
+    def test_length_mismatch_rejected(self, dynamics16, cfg16):
+        calc = PeakTemperatureCalculator(dynamics16, cfg16.thermal.ambient_c)
+        seq = np.ones((2, dynamics16.model.n_cores))
+        with pytest.raises(ValueError, match="one tau"):
+            calc.peak_batch([seq], [1e-3, 2e-3])
+
+    def test_nonpositive_tau_rejected(self, dynamics16, cfg16):
+        calc = PeakTemperatureCalculator(dynamics16, cfg16.thermal.ambient_c)
+        seq = np.ones((2, dynamics16.model.n_cores))
+        with pytest.raises(ValueError, match="positive"):
+            calc.peak_batch([seq], [0.0])
+
+    def test_cache_stats_keys(self, dynamics16, cfg16):
+        calc = PeakTemperatureCalculator(dynamics16, cfg16.thermal.ambient_c)
+        stats = calc.cache_stats()
+        for prefix in ("alpha_cache", "beta_cache", "peak_cache"):
+            for suffix in ("hits", "misses", "evictions", "size"):
+                assert f"{prefix}.{suffix}" in stats
+
+
+class TestCacheBounds:
+    def test_peak_memo_evicts_beyond_capacity(self, dynamics16, cfg16, rng):
+        from repro.core import peak_temperature as mod
+
+        calc = PeakTemperatureCalculator(dynamics16, cfg16.thermal.ambient_c)
+        n = dynamics16.model.n_cores
+        extra = 5
+        for i in range(mod._PEAK_CACHE_SIZE + extra):
+            seq = np.full((1, n), 1.0 + i * 1e-6)
+            calc.peak_batch([seq], [1e-3])
+        stats = calc.cache_stats()
+        assert stats["peak_cache.size"] == mod._PEAK_CACHE_SIZE
+        assert stats["peak_cache.evictions"] == extra
+
+    def test_alpha_cache_bounded(self, dynamics16, cfg16):
+        from repro.core import peak_temperature as mod
+
+        calc = PeakTemperatureCalculator(dynamics16, cfg16.thermal.ambient_c)
+        n = dynamics16.model.n_cores
+        seq = np.ones((2, n))
+        for i in range(mod._ALPHA_CACHE_SIZE + 3):
+            calc.boundary_temperatures(seq, 1e-4 * (i + 1))
+        stats = calc.cache_stats()
+        assert stats["alpha_cache.size"] <= mod._ALPHA_CACHE_SIZE
+        assert stats["alpha_cache.evictions"] >= 3

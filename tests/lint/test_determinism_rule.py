@@ -120,3 +120,52 @@ class TestWallClock:
             )
             == []
         )
+
+
+class TestTopLevelDeterministicModules:
+    """repro/parallel.py is held to the determinism rules despite living
+    at the package top level (its serial/parallel equivalence depends on
+    never consulting the wall clock or global RNG state)."""
+
+    def test_wallclock_in_parallel_module_fires(self, lint_files):
+        code = DOC + "import time\nseed = int(time.time())\n"
+        findings = lint_files(
+            {"repro/parallel.py": code}, select="det-wallclock"
+        )
+        assert rule_ids(findings) == ["det-wallclock"]
+
+    def test_global_random_in_parallel_module_fires(self, lint_files):
+        code = DOC + "import random\nseed = random.randint(0, 99)\n"
+        findings = lint_files(
+            {"repro/parallel.py": code}, select="det-global-random"
+        )
+        assert rule_ids(findings) == ["det-global-random"]
+
+    def test_perf_counter_in_parallel_module_is_clean(self, lint_files):
+        code = DOC + "import time as _time\nstart = _time.perf_counter()\n"
+        assert (
+            lint_files({"repro/parallel.py": code}, select="determinism")
+            == []
+        )
+
+    def test_other_top_level_modules_stay_unscoped(self, lint_files):
+        code = DOC + "import time\nstamp = time.time()\n"
+        assert (
+            lint_files({"repro/units.py": code}, select="determinism") == []
+        )
+
+    def test_committed_parallel_module_is_clean(self):
+        from pathlib import Path
+
+        from repro.lint import run_lint
+
+        src = (
+            Path(__file__).resolve().parent.parent.parent
+            / "src"
+            / "repro"
+            / "parallel.py"
+        )
+        determinism = [
+            f for f in run_lint([src]) if f.family == "determinism"
+        ]
+        assert determinism == []

@@ -145,6 +145,61 @@ class ObservabilityConfig:
 
 
 @dataclass(frozen=True)
+class FaultsConfig:
+    """Deterministic fault-injection configuration (all off by default).
+
+    When ``enabled`` the engine builds a
+    :class:`~repro.faults.FaultInjector` seeded with ``seed`` and applies
+    the configured fault models each interval (``docs/faults.md``):
+
+    - **sensor faults** perturb the temperature readings *schedulers* see
+      (through :meth:`repro.sched.base.Scheduler.observed_temperatures`),
+      never the ground-truth thermal state or the hardware DTM input;
+    - **power spikes** add transient ground-truth power on random cores;
+    - **core stuck-throttled faults** force cores to ``f_min`` for a while
+      regardless of temperature;
+    - **migration failures** abort individual placement hops, leaving the
+      thread on its source core (the scheduler must re-plan).
+
+    The staleness thresholds drive the graceful-degradation ladder
+    (``normal`` -> ``degraded`` -> ``safe-park``); see
+    :meth:`repro.sched.base.Scheduler.finalize_decision`.
+    """
+
+    enabled: bool = False
+    #: base seed of the injector's RNG streams (one stream per fault class).
+    seed: int = 0
+    #: Gaussian sensor noise sigma [degC] added to every reading.
+    sensor_noise_sigma_c: float = 0.0
+    #: constant sensor bias [degC] added to every reading.
+    sensor_bias_c: float = 0.0
+    #: per-core per-interval probability that a sensor drops out (NaN).
+    sensor_dropout_prob: float = 0.0
+    #: duration of one dropout episode.
+    sensor_dropout_duration_s: float = units.ms(2.0)
+    #: per-core per-interval probability that a sensor latches (stuck-at).
+    sensor_stuck_prob: float = 0.0
+    #: duration of one stuck-at episode.
+    sensor_stuck_duration_s: float = units.ms(5.0)
+    #: per-core per-interval probability of a transient power spike.
+    power_spike_prob: float = 0.0
+    #: extra ground-truth power [W] a spiking core draws.
+    power_spike_w: float = 0.0
+    #: duration of one power spike.
+    power_spike_duration_s: float = units.ms(1.0)
+    #: per-core per-interval probability of a stuck-throttled fault.
+    core_stuck_prob: float = 0.0
+    #: duration the faulty core stays pinned at ``f_min``.
+    core_stuck_duration_s: float = units.ms(5.0)
+    #: per-hop probability that a planned thread migration aborts.
+    migration_failure_prob: float = 0.0
+    #: sensor staleness beyond which schedulers enter ``degraded`` mode.
+    degraded_staleness_s: float = units.ms(2.0)
+    #: sensor staleness beyond which schedulers park at ``f_min``.
+    park_staleness_s: float = units.ms(10.0)
+
+
+@dataclass(frozen=True)
 class SystemConfig:
     """Complete configuration of a simulated S-NUCA many-core."""
 
@@ -156,6 +211,7 @@ class SystemConfig:
     dvfs: DvfsConfig = field(default_factory=DvfsConfig)
     thermal: ThermalConfig = field(default_factory=ThermalConfig)
     obs: ObservabilityConfig = field(default_factory=ObservabilityConfig)
+    faults: FaultsConfig = field(default_factory=FaultsConfig)
     #: Initial synchronous rotation interval tau (Section VI: 0.5 ms).
     rotation_interval_s: float = units.ms(0.5)
     #: Simulator interval length (HotSniper-style interval simulation).
@@ -197,6 +253,17 @@ class SystemConfig:
                 trace_path=trace_path,
             )
         )
+
+    def with_faults(self, **parameters) -> "SystemConfig":
+        """Copy of this configuration with fault injection enabled.
+
+        Keyword arguments are :class:`FaultsConfig` fields (fault
+        probabilities, amplitudes, durations, staleness thresholds); the
+        resulting configuration has ``faults.enabled`` set.  Mirrors
+        :meth:`with_observability` — the default configuration keeps every
+        fault model off and the engine's fault path entirely dormant.
+        """
+        return self.replace(faults=FaultsConfig(enabled=True, **parameters))
 
 
 def table1() -> SystemConfig:

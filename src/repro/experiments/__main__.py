@@ -39,18 +39,43 @@ def main(argv=None) -> int:
         help="worker processes for the sweep experiments (fig4a/fig4b); "
         "results are identical to a serial run (default: 1)",
     )
+    parser.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        help="JSONL checkpoint file for the sweep experiments "
+        "(fig4a/fig4b): each finished cell is persisted as it completes",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="with --checkpoint, skip cells already recorded there; the "
+        "resumed sweep is byte-identical to an uninterrupted one",
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if args.resume and not args.checkpoint:
+        parser.error("--resume requires --checkpoint")
+    if args.checkpoint and args.experiment not in ("fig4a", "fig4b"):
+        parser.error("--checkpoint only applies to fig4a / fig4b")
 
     selected = _EXPERIMENTS[:-1] if args.experiment == "all" else (args.experiment,)
     for name in selected:
         print(f"\n{'=' * 72}\n{name}\n{'=' * 72}")
-        print(_run_one(name, args.quick, args.jobs).render())
+        result = _run_one(
+            name, args.quick, args.jobs, args.checkpoint, args.resume
+        )
+        print(result.render())
     return 0
 
 
-def _run_one(name: str, quick: bool, jobs: int = 1):
+def _run_one(
+    name: str,
+    quick: bool,
+    jobs: int = 1,
+    checkpoint: str = None,
+    resume: bool = False,
+):
     if name == "table1":
         return table1.run()
     if name == "fig1":
@@ -61,11 +86,22 @@ def _run_one(name: str, quick: bool, jobs: int = 1):
         return fig3.run()
     if name == "fig4a":
         benchmarks = ("blackscholes", "canneal") if quick else None
-        return fig4a.run(benchmarks=benchmarks, jobs=jobs)
+        return fig4a.run(
+            benchmarks=benchmarks,
+            jobs=jobs,
+            checkpoint_path=checkpoint,
+            resume=resume,
+        )
     if name == "fig4b":
         rates = (10.0, 60.0, 400.0) if quick else fig4b.DEFAULT_ARRIVAL_RATES
         n_tasks = 20 if quick else 40
-        return fig4b.run(arrival_rates_per_s=rates, n_tasks=n_tasks, jobs=jobs)
+        return fig4b.run(
+            arrival_rates_per_s=rates,
+            n_tasks=n_tasks,
+            jobs=jobs,
+            checkpoint_path=checkpoint,
+            resume=resume,
+        )
     if name == "overhead":
         return overhead.run(n_repetitions=50 if quick else 200)
     if name == "stacked3d":

@@ -15,6 +15,7 @@ from typing import Dict, Optional, Sequence
 import numpy as np
 
 from ..config import SystemConfig, table1
+from ..io import result_from_dict, result_to_dict
 from ..parallel import Cell, run_cells
 from ..sched.hotpotato_runtime import HotPotatoScheduler
 from ..sched.pcmig import PCMigScheduler
@@ -135,6 +136,8 @@ def run(
     work_scale: float = 2.5,
     max_time_s: float = 5.0,
     jobs: int = 1,
+    checkpoint_path=None,
+    resume: bool = False,
 ) -> Fig4aResult:
     """Regenerate Fig. 4(a).
 
@@ -142,6 +145,11 @@ def run(
     default runs all eight evaluated PARSEC benchmarks.  ``jobs > 1``
     fans the (benchmark, scheduler) cells out over worker processes; the
     results are identical to a serial run.
+
+    ``checkpoint_path`` persists each finished cell to a JSONL
+    :class:`~repro.parallel.SweepCheckpoint`; with ``resume`` a killed
+    sweep restarts only its incomplete cells and produces byte-identical
+    results (``docs/faults.md``).
     """
     cfg = config if config is not None else table1()
     names = list(benchmarks) if benchmarks is not None else list(PARSEC)
@@ -164,7 +172,14 @@ def run(
         for name in names
         for scheduler in ("pcmig", "hotpotato")
     ]
-    outcomes = run_cells(cells, jobs=jobs)
+    outcomes = run_cells(
+        cells,
+        jobs=jobs,
+        checkpoint_path=checkpoint_path,
+        resume=resume,
+        encode=result_to_dict,
+        decode=result_from_dict,
+    )
     comparisons = {
         name: BenchmarkComparison(
             benchmark=name,

@@ -16,6 +16,7 @@ from typing import Dict, Optional, Sequence, Tuple
 import numpy as np
 
 from ..config import SystemConfig, table1
+from ..io import result_from_dict, result_to_dict
 from ..parallel import Cell, run_cells
 from ..sched.hotpotato_runtime import HotPotatoScheduler
 from ..sched.pcmig import PCMigScheduler
@@ -155,11 +156,16 @@ def run(
     work_scale: float = 2.0,
     max_time_s: float = 60.0,
     jobs: int = 1,
+    checkpoint_path=None,
+    resume: bool = False,
 ) -> Fig4bResult:
     """Regenerate Fig. 4(b) over the given arrival-rate sweep.
 
     ``jobs > 1`` distributes the (rate, scheduler) cells over worker
     processes; results are identical to a serial run.
+
+    ``checkpoint_path``/``resume`` enable crash-tolerant sweeps exactly
+    as in :func:`repro.experiments.fig4a.run` (``docs/faults.md``).
     """
     cfg = config if config is not None else table1()
     shared = SimContext(cfg, model)
@@ -182,7 +188,14 @@ def run(
         for rate in arrival_rates_per_s
         for scheduler in ("pcmig", "hotpotato")
     ]
-    outcomes = run_cells(cells, jobs=jobs)
+    outcomes = run_cells(
+        cells,
+        jobs=jobs,
+        checkpoint_path=checkpoint_path,
+        resume=resume,
+        encode=result_to_dict,
+        decode=result_from_dict,
+    )
     points = tuple(
         LoadPoint(
             arrival_rate_per_s=rate,

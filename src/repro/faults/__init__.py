@@ -1,0 +1,29 @@
+"""Fault injection and graceful degradation (``docs/faults.md``).
+
+Deterministic, seeded fault models layered onto the interval simulator —
+off by default, enabled per run via
+:meth:`repro.config.SystemConfig.with_faults`:
+
+- **sensor faults** (:class:`SensorShim`) — noise, bias, dropout and
+  stuck-at on the temperature readings *schedulers* see; ground truth,
+  hardware DTM and the thermal trace are never perturbed;
+- **power spikes** — transient extra ground-truth power on random cores;
+- **stuck-throttled cores** — cores pinned at ``f_min`` regardless of
+  temperature (fed into :meth:`repro.sim.dtm.DtmController.set_stuck`);
+- **migration failures** — planned placement hops abort, the thread stays
+  on its source core and the scheduler re-plans
+  (:meth:`repro.sched.base.Scheduler.repair_decision`).
+
+The :class:`FaultInjector` bundles them all; every fault class draws from
+its own seeded RNG stream, and the engine advances the injector exactly
+once per interval, so runs are bit-reproducible under
+``FaultsConfig.seed``.  Injected faults surface as structured events
+(:class:`~repro.sim.events.SensorFaultInjected` & friends) and as
+``faults.*`` metrics gauges; scheduler responses follow the
+graceful-degradation ladder in :mod:`repro.sched.base`.
+"""
+
+from .injector import FaultInjector
+from .sensors import SensorShim
+
+__all__ = ["FaultInjector", "SensorShim"]

@@ -1,0 +1,156 @@
+"""The seeded fault injector the engine drives once per interval.
+
+One :class:`FaultInjector` owns every fault model of a run
+(:class:`~repro.config.FaultsConfig`): the sensor shim, transient power
+spikes, stuck-throttled cores and migration-hop failures.  Each fault
+class draws from its own ``np.random.Generator`` stream (seeded from
+``faults.seed`` plus a fixed stream index), so enabling or re-tuning one
+fault model never shifts the random schedule of another.
+
+Determinism contract: the engine calls :meth:`advance` exactly once per
+simulated interval, and every stream's draw count per interval is a pure
+function of the configuration — never of scheduler behaviour.  The single
+exception is :meth:`migration_failures`, whose draw count follows the
+number of attempted hops; it therefore has its own stream, and hops are
+drawn in sorted order so a run is reproducible under its seed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..config import SystemConfig
+from ..sim.events import CoreStuckFault, Event, PowerSpikeInjected
+from .sensors import SensorShim
+
+__all__ = ["FaultInjector"]
+
+#: Fixed RNG stream indices, one per fault class.
+_STREAM_SENSOR = 1
+_STREAM_POWER = 2
+_STREAM_CORE = 3
+_STREAM_MIGRATION = 4
+
+
+class FaultInjector:
+    """All fault models of one run, seeded and advanced per interval."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        faults = config.faults
+        if not faults.enabled:
+            raise ValueError("fault injection is disabled in this config")
+        self.faults = faults
+        self.n_cores = config.n_cores
+        seed = int(faults.seed)
+        self._rng_power = np.random.default_rng([seed, _STREAM_POWER])
+        self._rng_core = np.random.default_rng([seed, _STREAM_CORE])
+        self._rng_migration = np.random.default_rng([seed, _STREAM_MIGRATION])
+        #: scheduler-visible sensor bus (attached to the SimContext)
+        self.sensors = SensorShim(
+            self.n_cores,
+            faults,
+            np.random.default_rng([seed, _STREAM_SENSOR]),
+            config.thermal.ambient_c,
+        )
+        self._now_s = 0.0
+        self._spike_until_s = np.full(self.n_cores, -np.inf)
+        self._core_stuck_until_s = np.full(self.n_cores, -np.inf)
+        self.power_spike_count = 0
+        self.core_stuck_count = 0
+        self.migration_failure_count = 0
+
+    # -- per-interval drive ----------------------------------------------------
+
+    def advance(self, now_s: float, truth_c: np.ndarray) -> List[Event]:
+        """Start this interval's fault episodes; returns their events.
+
+        ``truth_c`` is the ground-truth core temperature vector at the
+        interval start (the sensor shim perturbs a copy of it).  Episode
+        probabilities are per core, per interval.
+        """
+        self._now_s = now_s
+        events = self.sensors.advance(now_s, truth_c)
+        faults = self.faults
+        if faults.power_spike_prob > 0.0:
+            starts = self._rng_power.random(self.n_cores) < faults.power_spike_prob
+            for core in np.nonzero(starts)[0]:
+                core = int(core)
+                if now_s < self._spike_until_s[core]:
+                    continue
+                self._spike_until_s[core] = now_s + faults.power_spike_duration_s
+                self.power_spike_count += 1
+                events.append(
+                    PowerSpikeInjected(
+                        now_s,
+                        core,
+                        faults.power_spike_w,
+                        faults.power_spike_duration_s,
+                    )
+                )
+        if faults.core_stuck_prob > 0.0:
+            starts = self._rng_core.random(self.n_cores) < faults.core_stuck_prob
+            for core in np.nonzero(starts)[0]:
+                core = int(core)
+                if now_s < self._core_stuck_until_s[core]:
+                    continue
+                self._core_stuck_until_s[core] = (
+                    now_s + faults.core_stuck_duration_s
+                )
+                self.core_stuck_count += 1
+                events.append(
+                    CoreStuckFault(now_s, core, faults.core_stuck_duration_s)
+                )
+        return events
+
+    # -- fault-model queries ---------------------------------------------------
+
+    def stuck_mask(self) -> np.ndarray:
+        """Cores currently stuck throttled (fed into the DTM controller)."""
+        return self._now_s < self._core_stuck_until_s
+
+    def perturb_power(self, power_w: np.ndarray) -> np.ndarray:
+        """Ground-truth power map with active spikes added.
+
+        Spikes are real electrical transients: they heat the silicon, show
+        up in the energy account and in what hardware DTM reacts to — they
+        are *not* a sensor artifact.
+        """
+        if self.faults.power_spike_w == 0.0:
+            return power_w
+        spiking = self._now_s < self._spike_until_s
+        if not np.any(spiking):
+            return power_w
+        out = np.asarray(power_w, dtype=float).copy()
+        out[spiking] += self.faults.power_spike_w
+        return out
+
+    def migration_failures(
+        self, moves: Sequence[Tuple[str, int, int]]
+    ) -> List[Tuple[str, int, int]]:
+        """Subset of planned ``(thread, src, dst)`` hops that abort.
+
+        Hops are drawn in sorted order so the failure schedule is a pure
+        function of the seed and the attempted moves.
+        """
+        prob = self.faults.migration_failure_prob
+        if prob <= 0.0 or not moves:
+            return []
+        failed = [
+            move
+            for move in sorted(moves)
+            if self._rng_migration.random() < prob
+        ]
+        self.migration_failure_count += len(failed)
+        return failed
+
+    def metrics(self) -> Dict[str, float]:
+        """Injection counters (surfaced as ``faults.*`` metrics gauges)."""
+        return {
+            "sensor_dropouts": float(self.sensors.dropout_count),
+            "sensor_stuck": float(self.sensors.stuck_count),
+            "power_spikes": float(self.power_spike_count),
+            "core_stuck": float(self.core_stuck_count),
+            "migration_failures": float(self.migration_failure_count),
+        }

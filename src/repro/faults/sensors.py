@@ -1,0 +1,157 @@
+"""The thermal-sensor shim: what schedulers see when sensors misbehave.
+
+Real platforms read temperatures from an on-die sensor bus that is *not*
+the physical silicon temperature: readings carry noise and bias, sensors
+drop out (the controller reads garbage / a sentinel) and occasionally latch
+a stale value ("stuck-at").  The shim models exactly that separation:
+
+- **ground truth** stays the engine's :class:`~repro.thermal.spectral_state.
+  SpectralThermalState` — hardware DTM and the thermal trace keep reading
+  it, as a thermal diode wired straight into the throttling logic would;
+- **scheduler-visible readings** come from this shim
+  (:meth:`Scheduler.observed_temperatures
+  <repro.sched.base.Scheduler.observed_temperatures>`), perturbed by the
+  configured fault models.
+
+Per-interval perturbations are drawn once, up front, in
+:meth:`SensorShim.advance` — reading the bus twice in one interval returns
+the same values, and the RNG draw count never depends on how often (or
+whether) a scheduler looks at the sensors.
+
+A dropped-out sensor reads NaN.  :meth:`SensorShim.observed` substitutes
+the last-known-good reading per core; :meth:`SensorShim.max_staleness_s`
+reports how old the oldest such substitute is, which drives the
+graceful-degradation ladder (``docs/faults.md``).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..config import FaultsConfig
+from ..sim.events import Event, SensorFaultInjected
+
+__all__ = ["SensorShim"]
+
+
+class SensorShim:
+    """Per-core temperature sensor bus with injectable faults."""
+
+    def __init__(
+        self,
+        n_cores: int,
+        faults: FaultsConfig,
+        rng: np.random.Generator,
+        ambient_c: float,
+    ) -> None:
+        self.n_cores = n_cores
+        self._faults = faults
+        self._rng = rng
+        self._now_s = 0.0
+        self._initialized = False
+        self._readings = np.full(n_cores, ambient_c)
+        self._last_good = np.full(n_cores, ambient_c)
+        self._last_good_time_s = np.zeros(n_cores)
+        self._dropout_until_s = np.full(n_cores, -np.inf)
+        self._stuck_until_s = np.full(n_cores, -np.inf)
+        self._stuck_value_c = np.full(n_cores, ambient_c)
+        #: episode counters (surfaced via the injector's metrics)
+        self.dropout_count = 0
+        self.stuck_count = 0
+
+    # -- engine side -----------------------------------------------------------
+
+    def advance(self, now_s: float, truth_c: np.ndarray) -> List[Event]:
+        """Draw this interval's perturbations against ground truth.
+
+        Called once per simulated interval by the
+        :class:`~repro.faults.injector.FaultInjector`; returns the fault
+        events whose episodes started this interval.
+        """
+        faults = self._faults
+        truth = np.asarray(truth_c, dtype=float)
+        if not self._initialized:
+            # sensors were healthy at power-on: seed last-known-good with
+            # the initial ground truth so a dropout in the very first
+            # interval still has a sane fallback
+            self._last_good = truth.copy()
+            self._last_good_time_s = np.full(self.n_cores, now_s)
+            self._initialized = True
+        events: List[Event] = []
+        perturbed = truth.copy()
+        if faults.sensor_noise_sigma_c > 0.0:
+            perturbed = perturbed + self._rng.normal(
+                0.0, faults.sensor_noise_sigma_c, self.n_cores
+            )
+        if faults.sensor_bias_c != 0.0:
+            perturbed = perturbed + faults.sensor_bias_c
+        if faults.sensor_stuck_prob > 0.0:
+            starts = self._rng.random(self.n_cores) < faults.sensor_stuck_prob
+            for core in np.nonzero(starts)[0]:
+                core = int(core)
+                if now_s < self._stuck_until_s[core]:
+                    continue  # episode already running; don't re-latch
+                self._stuck_until_s[core] = (
+                    now_s + faults.sensor_stuck_duration_s
+                )
+                self._stuck_value_c[core] = perturbed[core]
+                self.stuck_count += 1
+                events.append(
+                    SensorFaultInjected(
+                        now_s, core, "stuck", faults.sensor_stuck_duration_s
+                    )
+                )
+        if faults.sensor_dropout_prob > 0.0:
+            starts = self._rng.random(self.n_cores) < faults.sensor_dropout_prob
+            for core in np.nonzero(starts)[0]:
+                core = int(core)
+                if now_s < self._dropout_until_s[core]:
+                    continue
+                self._dropout_until_s[core] = (
+                    now_s + faults.sensor_dropout_duration_s
+                )
+                self.dropout_count += 1
+                events.append(
+                    SensorFaultInjected(
+                        now_s, core, "dropout", faults.sensor_dropout_duration_s
+                    )
+                )
+        readings = perturbed
+        stuck = now_s < self._stuck_until_s
+        readings[stuck] = self._stuck_value_c[stuck]
+        dropped = now_s < self._dropout_until_s
+        readings[dropped] = np.nan
+        good = ~dropped
+        self._last_good[good] = readings[good]
+        self._last_good_time_s[good] = now_s
+        self._now_s = now_s
+        self._readings = readings
+        return events
+
+    # -- scheduler side --------------------------------------------------------
+
+    def readings(self) -> np.ndarray:
+        """Raw scheduler-visible readings (NaN where a sensor dropped out)."""
+        return self._readings.copy()
+
+    def observed(self) -> np.ndarray:
+        """Readings with dropouts replaced by last-known-good values.
+
+        This is what :meth:`repro.sched.base.Scheduler.observed_temperatures`
+        returns — always finite, possibly stale.
+        """
+        out = self._readings.copy()
+        bad = ~np.isfinite(out)
+        if np.any(bad):
+            out[bad] = self._last_good[bad]
+        return out
+
+    def staleness_s(self, now_s: float) -> np.ndarray:
+        """Per-core age of the value :meth:`observed` would return."""
+        return np.maximum(now_s - self._last_good_time_s, 0.0)
+
+    def max_staleness_s(self, now_s: float) -> float:
+        """Age of the stalest core reading (drives the degradation ladder)."""
+        return float(np.max(self.staleness_s(now_s)))

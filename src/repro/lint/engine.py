@@ -29,11 +29,13 @@ from .findings import Finding
 #: Subpackages of ``repro`` that must be bit-deterministic under a seed.
 DETERMINISTIC_SUBPACKAGES = ("sim", "sched", "thermal", "core")
 
-#: Top-level ``repro`` modules held to the same determinism rules.  The
-#: parallel runner's whole contract is that a sweep's results are a pure
-#: function of its seeds — a wall-clock or global-RNG read there would
-#: silently break serial/parallel equivalence.
-DETERMINISTIC_MODULES = ("parallel.py",)
+#: Top-level ``repro`` modules held to the same determinism rules; an
+#: entry with a trailing slash covers a whole package.  The parallel
+#: runner's contract is that a sweep's results (and now its retry/backoff
+#: schedule) are a pure function of its seeds, and the fault injector's
+#: is that a fault schedule replays bit-exactly from ``FaultsConfig.seed``
+#: — a wall-clock or global-RNG read in either silently breaks that.
+DETERMINISTIC_MODULES = ("parallel.py", "faults/")
 
 #: Rule id reported for files the engine cannot parse.
 PARSE_ERROR_RULE = "parse-error"

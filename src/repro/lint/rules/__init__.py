@@ -2,7 +2,7 @@
 
 Importing this package registers every rule with the engine registry
 (:func:`repro.lint.engine.register`); :func:`repro.lint.engine.default_rules`
-does so lazily.  The five families:
+does so lazily.  The six families:
 
 - ``unit-safety`` (:mod:`.units`) — constants go through ``repro.units``;
 - ``determinism`` (:mod:`.determinism`) — no global RNG / wall clock in
@@ -11,9 +11,11 @@ does so lazily.  The five families:
 - ``scheduler-contract`` (:mod:`.contract`) — subclasses honor
   ``sched.base.Scheduler`` and are exported;
 - ``public-api`` (:mod:`.api`) — ``__all__`` resolves, modules are
-  documented.
+  documented;
+- ``faults`` (:mod:`.faults`) — schedulers observe temperatures through
+  the sensor shim, never ground truth.
 """
 
-from . import api, contract, determinism, frozen, units
+from . import api, contract, determinism, faults, frozen, units
 
-__all__ = ["api", "contract", "determinism", "frozen", "units"]
+__all__ = ["api", "contract", "determinism", "faults", "frozen", "units"]

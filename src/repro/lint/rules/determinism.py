@@ -5,9 +5,10 @@ benchmarks, the ``repro.obs diff`` regression gate and every recorded
 campaign depend on it.  Global-state randomness (``random.*``,
 ``np.random.rand`` & friends), unseeded generators and wall-clock reads
 inside the simulation packages (``repro.sim``/``sched``/``thermal``/
-``core``) — or inside the parallel sweep runner (``repro/parallel.py``),
-whose serial/parallel equivalence rests on seeds being pure functions of
-cell identity — break that silently: two identical runs stop agreeing,
+``core``) — or inside the parallel sweep runner (``repro/parallel.py``)
+and the fault injector (``repro/faults/``), whose contracts rest on seeds
+being pure functions of cell/fault identity — break that silently: two
+identical runs stop agreeing,
 which poisons trace diffs long before anyone notices a physics bug.
 
 Wall-clock *measurement* via the monotonic profiling clocks
@@ -55,10 +56,16 @@ class _DeterminismRule(Rule):
     def applies_to(self, module: Module) -> bool:
         if module.subpackage in DETERMINISTIC_SUBPACKAGES:
             return True
-        # top-level deterministic modules, e.g. repro/parallel.py
-        return module.repro_parts[1:] in {
-            (name,) for name in DETERMINISTIC_MODULES
-        }
+        rel = module.repro_parts[1:]
+        for entry in DETERMINISTIC_MODULES:
+            if entry.endswith("/"):
+                # package entry, e.g. "faults/" covers repro/faults/**
+                if rel[:1] == (entry[:-1],):
+                    return True
+            elif rel == (entry,):
+                # top-level module entry, e.g. repro/parallel.py
+                return True
+        return False
 
 
 def _np_random_member(target: str) -> Optional[str]:

@@ -1,0 +1,61 @@
+"""Fault-robustness rules.
+
+Under fault injection (``docs/faults.md``) schedulers must observe the
+chip through the sensor shim — :meth:`repro.sched.base.Scheduler.
+observed_temperatures` — never through the ground-truth
+``SimContext.core_temperatures_c``.  A scheduler that reads ground truth
+directly is silently immune to sensor noise, bias, dropouts and stuck-at
+faults, so every robustness result measured for it is fiction; worse, it
+works fine in every fault-free test, which is exactly why a human
+reviewer will not catch it.  Ground truth stays legal in the engine (it
+feeds the hardware DTM and the trace, modelling the thermal diode) and in
+``sched/base.py`` itself (the fault-free fallback inside
+``observed_temperatures``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from ..engine import Module, Rule, register
+from ..findings import Finding
+
+
+@register
+class UnguardedReadingRule(Rule):
+    """Raw ground-truth temperature access in scheduler code."""
+
+    id = "fault-unguarded-reading"
+    family = "faults"
+    description = (
+        "schedulers must read temperatures via observed_temperatures() "
+        "(the sensor shim under fault injection), not the ground-truth "
+        "core_temperatures_c()"
+    )
+
+    def applies_to(self, module: Module) -> bool:
+        parts = module.repro_parts
+        return (
+            len(parts) >= 3
+            and parts[1] == "sched"
+            and module.name != "base.py"
+        )
+
+    def check_module(self, module: Module) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Attribute)
+                and node.attr == "core_temperatures_c"
+            ):
+                findings.append(
+                    module.finding(
+                        self,
+                        node,
+                        "ground-truth core_temperatures_c accessed from a "
+                        "scheduler; use self.observed_temperatures() so the "
+                        "sensor shim applies under fault injection",
+                    )
+                )
+        return findings

@@ -63,6 +63,7 @@ from .detect import (
     PowerMapDetector,
     RotationStallDetector,
     ThresholdDetector,
+    UnsafeDegradationDetector,
     Violation,
     default_detectors,
     event_callback,
@@ -117,6 +118,7 @@ __all__ = [
     "ThresholdDetector",
     "TraceRecord",
     "TraceRecorder",
+    "UnsafeDegradationDetector",
     "Violation",
     "analysis_to_flat",
     "analyze",

@@ -23,6 +23,11 @@ Shipped detectors (create a standard set with :func:`default_detectors`):
 :class:`PowerMapDetector`     power-map/placement inconsistency: an idle core
                               drawing active power or a placed core drawing
                               less than idle power
+:class:`UnsafeDegradationDetector`  the graceful-degradation contract of
+                              ``repro.faults`` was not honoured: a sensor
+                              dropout left the scheduler in ``normal`` mode
+                              past the grace window, or temperatures crossed
+                              ``T_DTM`` while already degraded
 ===========================  ==================================================
 
 Exceedance detectors emit one violation per *episode* (entering the bad
@@ -333,6 +338,90 @@ class PowerMapDetector(Detector):
                 )
 
 
+class UnsafeDegradationDetector(_ExceedanceDetector):
+    """The graceful-degradation contract was not honoured under faults.
+
+    Watches the fault/degradation events of ``repro.faults``
+    (``docs/faults.md``) and fires in two situations:
+
+    - **warning** — a ``SensorFaultInjected`` dropout occurred while the
+      scheduler reported ``normal`` mode, and no ``DegradationChanged``
+      to ``degraded``/``safe-park`` followed within ``grace_s``: the
+      scheduler kept trusting stale readings;
+    - **critical** — an interval's ground-truth temperature exceeded
+      ``dtm_threshold_c + tolerance_c`` *while* the scheduler was already
+      in a degraded mode: degradation fired but did not keep the chip
+      safe (episode-based, once per excursion).
+
+    On a fault-free trace neither pattern can occur and the detector is
+    silent, so :func:`default_detectors` includes it unconditionally.
+    """
+
+    name = "faults-unsafe-degradation"
+
+    def __init__(
+        self,
+        dtm_threshold_c: float = 70.0,
+        tolerance_c: float = 0.5,
+        grace_s: float = units.ms(3.0),
+    ) -> None:
+        super().__init__()
+        self.dtm_threshold_c = float(dtm_threshold_c)
+        self.tolerance_c = float(tolerance_c)
+        if grace_s <= 0:
+            raise ValueError("grace window must be positive")
+        self.grace_s = float(grace_s)
+        self._mode = "normal"
+        self._pending_dropout_s: Optional[float] = None
+
+    def _check_grace(self, now_s: float) -> None:
+        if (
+            self._pending_dropout_s is not None
+            and self._mode == "normal"
+            and now_s > self._pending_dropout_s + self.grace_s + _TIME_EPS
+        ):
+            self.emit(
+                self._pending_dropout_s,
+                f"sensor dropout at {self._pending_dropout_s * 1e3:.2f} ms "
+                f"not followed by degradation within "
+                f"{self.grace_s * 1e3:.1f} ms",
+                severity="warning",
+                value=now_s - self._pending_dropout_s,
+                limit=self.grace_s,
+            )
+            self._pending_dropout_s = None
+
+    def on_event(self, record: EventRecord) -> None:
+        self._check_grace(record.time_s)
+        if record.event == "SensorFaultInjected":
+            if (
+                record.data.get("kind") == "dropout"
+                and self._mode == "normal"
+                and self._pending_dropout_s is None
+            ):
+                self._pending_dropout_s = record.time_s
+        elif record.event == "DegradationChanged":
+            self._mode = str(record.data["new_mode"])
+            if self._mode != "normal":
+                self._pending_dropout_s = None
+
+    def on_interval(self, record: IntervalRecord) -> None:
+        self._check_grace(record.time_s)
+        if self._mode == "normal":
+            # reset episode state so a later degraded excursion re-fires
+            self._in_episode.clear()
+            return
+        self._check_cores(
+            record,
+            record.temps_c,
+            self.dtm_threshold_c + self.tolerance_c,
+            f"exceeded T_DTM while scheduler was {self._mode}",
+        )
+
+    def finish(self, end_time_s: float) -> None:
+        self._check_grace(end_time_s)
+
+
 def default_detectors(
     dtm_threshold_c: float = 70.0,
     idle_power_w: Optional[float] = None,
@@ -342,12 +431,22 @@ def default_detectors(
     thrash_window_s: float = units.ms(10.0),
     thrash_max_transitions: int = 6,
     stall_factor: float = 3.0,
+    degradation_grace_s: float = units.ms(3.0),
+    degradation_tolerance_c: float = 0.5,
 ) -> List[Detector]:
-    """The standard detector set; ``None`` parameters skip their detector."""
+    """The standard detector set; ``None`` parameters skip their detector.
+
+    :class:`UnsafeDegradationDetector` is always included — it is silent
+    on fault-free traces, so it costs nothing outside fault-injection
+    runs.
+    """
     detectors: List[Detector] = [
         ThresholdDetector(dtm_threshold_c, threshold_tolerance_c),
         DtmThrashDetector(thrash_window_s, thrash_max_transitions),
         RotationStallDetector(stall_factor),
+        UnsafeDegradationDetector(
+            dtm_threshold_c, degradation_tolerance_c, degradation_grace_s
+        ),
     ]
     if bound_c is not None:
         detectors.append(BoundDetector(bound_c, bound_tolerance_c))

@@ -65,7 +65,7 @@ class AsyncMigrationScheduler(Scheduler):
 
     def _predicted_core_temps(self) -> Optional[np.ndarray]:
         try:
-            temps_now = self.ctx.core_temperatures_c()
+            temps_now = self.observed_temperatures()
         except RuntimeError:
             return None
         idle = self.ctx.power_model.idle_power_w()
@@ -110,6 +110,10 @@ class AsyncMigrationScheduler(Scheduler):
             free.remove(target)
             free.append(core)
             self.migration_decisions += 1
+
+    def on_migration_failure(self, failures, placements, now_s: float) -> None:
+        """Sync the placer with the repaired map after aborted hops."""
+        self._placer.sync(placements)
 
     def decide(self, now_s: float) -> SchedulerDecision:
         self._maybe_migrate()

@@ -56,6 +56,10 @@ from .base import Scheduler, SchedulerDecision
 _POWER_DRIFT_TRIGGER_W = 1.0
 #: Minimum spacing between drift-triggered refreshes [epochs].
 _REFRESH_SPACING = 8
+#: Widening factor applied to the Algorithm-1 margin ``delta`` while the
+#: sensor bus is degraded: stale power/temperature inputs mean the analytic
+#: peak is computed against yesterday's chip, so the safety margin grows.
+_DEGRADED_HEADROOM_FACTOR = 3.0
 
 
 class HotPotatoScheduler(Scheduler):
@@ -89,15 +93,16 @@ class HotPotatoScheduler(Scheduler):
     def attach(self, ctx) -> None:
         super().attach(ctx)
         thermal = ctx.config.thermal
+        self._nominal_headroom_c = (
+            self._headroom_override
+            if self._headroom_override is not None
+            else thermal.headroom_delta_c
+        )
         self.hotpotato = HotPotato(
             ctx.rings,
             ctx.calculator,
             t_dtm_c=thermal.dtm_threshold_c,
-            headroom_delta_c=(
-                self._headroom_override
-                if self._headroom_override is not None
-                else thermal.headroom_delta_c
-            ),
+            headroom_delta_c=self._nominal_headroom_c,
             idle_power_w=thermal.idle_power_w,
             initial_tau_s=(
                 self._tau_override
@@ -219,6 +224,43 @@ class HotPotatoScheduler(Scheduler):
             waiting=self.waiting_threads(),
             tau_s=self.hotpotato.tau_s,
         )
+
+    # -- graceful degradation --------------------------------------------------
+
+    def on_degradation_change(
+        self, old_mode: str, new_mode: str, now_s: float
+    ) -> None:
+        """Widen the Algorithm-1 margin ``delta`` while sensors are stale.
+
+        In ``degraded`` (and ``safe-park``) mode the 10 ms power window
+        and the temperature feedback HotPotato plans against are
+        last-known-good values; multiplying the headroom by
+        ``_DEGRADED_HEADROOM_FACTOR`` makes the analytic ``T_peak + delta
+        < T_DTM`` admission test conservative against that staleness.  The
+        nominal margin is restored as soon as readings are fresh again,
+        and either way the very next interval re-optimizes.
+        """
+        if self.hotpotato is None:
+            return
+        if new_mode == "normal":
+            self.hotpotato.headroom_delta_c = self._nominal_headroom_c
+        else:
+            self.hotpotato.headroom_delta_c = (
+                self._nominal_headroom_c * _DEGRADED_HEADROOM_FACTOR
+            )
+        # force a prompt re-optimization under the new margin
+        self._settled = False
+        self._intervals_since_refresh = _REFRESH_SPACING
+
+    def on_migration_failure(self, failures, placements, now_s: float) -> None:
+        """An aborted hop left reality out of step with the rotation.
+
+        The rotation schedule itself stays valid (it re-issues the
+        intended slot assignment next epoch, so the thread simply retries
+        the hop); marking the state unsettled makes the next routine
+        refresh re-check sustainability against what actually happened.
+        """
+        self._settled = False
 
     def metrics(self) -> Mapping[str, float]:
         """Rotation/refresh counters for the observability snapshot."""

@@ -76,6 +76,20 @@ class StaticPlacer:
                 return core
         raise KeyError(thread_id)
 
+    def sync(self, placements: Dict[str, int]) -> None:
+        """Overwrite the assignment wholesale (migration-failure repair).
+
+        The engine's repaired placement map is authoritative after an
+        aborted hop; rebuilding beats replaying individual moves, which
+        could transiently collide.
+        """
+        occupant: Dict[int, str] = {}
+        for thread, core in placements.items():
+            if core in occupant:
+                raise ValueError(f"core {core} assigned twice in sync")
+            occupant[core] = thread
+        self._occupant = occupant
+
 
 class PeakFrequencyScheduler(Scheduler):
     """Everything at f_max, static lowest-AMD placement, DTM-only safety."""

@@ -84,6 +84,16 @@ class PCGovScheduler(Scheduler):
         else:
             self._budget_w = self.ctx.tsp.budget_for_mapping(active)
 
+    def on_migration_failure(self, failures, placements, now_s: float) -> None:
+        """Bring the placer back in line with the repaired placement map.
+
+        An aborted hop means the thread never left its source core; the
+        TSP budget is mapping-aware, so it is recomputed for the actual
+        mapping.
+        """
+        self._placer.sync(placements)
+        self._recompute_budget()
+
     # -- DVFS governor ----------------------------------------------------------
 
     def _power_at(self, measured_w: float, f_from: float, f_to: float) -> float:

@@ -77,9 +77,15 @@ class PCMigScheduler(PCGovScheduler):
     # -- prediction ---------------------------------------------------------------
 
     def _predicted_core_temps(self) -> Optional[np.ndarray]:
-        """Core temperatures ``horizon`` ahead under the current power map."""
+        """Core temperatures ``horizon`` ahead under the current power map.
+
+        Reads the *observed* temperatures (the sensor shim under fault
+        injection, ground truth otherwise), so the predictor degrades the
+        way a real platform's would: it extrapolates from what its
+        sensors report, never from physically inaccessible state.
+        """
         try:
-            temps_now = self.ctx.core_temperatures_c()
+            temps_now = self.observed_temperatures()
         except RuntimeError:
             return None
         idle = self.ctx.power_model.idle_power_w()

@@ -56,6 +56,9 @@ class SimContext:
         self._power_history_fn: Optional[Callable[[str], float]] = None
         self._core_temps_fn: Optional[Callable[[], np.ndarray]] = None
         self._power_recent_fn: Optional[Callable[[str], float]] = None
+        #: scheduler-visible sensor bus; ``None`` means perfect sensors
+        #: (attached by the engine when fault injection is enabled)
+        self.sensors = None
 
     @property
     def n_cores(self) -> int:
@@ -87,8 +90,23 @@ class SimContext:
             raise RuntimeError("observations not wired; is the engine running?")
         return self._power_recent_fn(thread_id)
 
+    def attach_sensors(self, sensors) -> None:
+        """Engine hook: install the faulty sensor bus schedulers read.
+
+        ``sensors`` is a :class:`~repro.faults.SensorShim`; once attached,
+        :meth:`repro.sched.base.Scheduler.observed_temperatures` routes
+        through it instead of the ground-truth temperatures.
+        """
+        self.sensors = sensors
+
     def core_temperatures_c(self) -> np.ndarray:
-        """Instantaneous core temperatures."""
+        """Instantaneous ground-truth core temperatures.
+
+        Schedulers must not call this directly — they read
+        :meth:`repro.sched.base.Scheduler.observed_temperatures`, which
+        honours the sensor shim when fault injection is active (enforced
+        by the ``fault-unguarded-reading`` lint rule).
+        """
         if self._core_temps_fn is None:
             raise RuntimeError("observations not wired; is the engine running?")
         return self._core_temps_fn()

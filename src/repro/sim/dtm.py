@@ -34,6 +34,7 @@ class DtmController:
         self.hysteresis_c = hysteresis_c
         self.f_min_hz = f_min_hz
         self._throttled = np.zeros(n_cores, dtype=bool)
+        self._stuck = np.zeros(n_cores, dtype=bool)
         #: number of cool->throttled transitions observed
         self.trigger_count = 0
         #: accumulated core-seconds spent throttled
@@ -41,10 +42,23 @@ class DtmController:
 
     @property
     def throttled(self) -> np.ndarray:
-        """Current per-core throttle mask (read-only view)."""
-        view = self._throttled.view()
+        """Current per-core throttle mask (read-only, includes stuck cores)."""
+        view = (self._throttled | self._stuck).view()
         view.flags.writeable = False
         return view
+
+    def set_stuck(self, stuck_mask: np.ndarray) -> None:
+        """Pin cores at ``f_min`` regardless of temperature (fault model).
+
+        A stuck-throttled fault clamps the core exactly like a thermal
+        throttle but bypasses the hysteresis state machine: it neither
+        counts as a DTM trigger nor needs the core to cool down to clear —
+        the mask is simply replaced each interval by the fault injector.
+        """
+        mask = np.asarray(stuck_mask, dtype=bool)
+        if mask.shape != (self.n_cores,):
+            raise ValueError("stuck mask has wrong shape")
+        self._stuck = mask.copy()
 
     def update(self, core_temps_c: np.ndarray) -> np.ndarray:
         """Advance the hysteresis state machine; returns the throttle mask."""
@@ -62,8 +76,7 @@ class DtmController:
     def apply(self, frequencies_hz: np.ndarray, interval_s: float) -> np.ndarray:
         """Clamp throttled cores to ``f_min`` and account throttled time."""
         freqs = np.asarray(frequencies_hz, dtype=float).copy()
-        freqs[self._throttled] = np.minimum(
-            freqs[self._throttled], self.f_min_hz
-        )
-        self.throttled_core_time_s += float(np.sum(self._throttled)) * interval_s
+        clamped = self._throttled | self._stuck
+        freqs[clamped] = np.minimum(freqs[clamped], self.f_min_hz)
+        self.throttled_core_time_s += float(np.sum(clamped)) * interval_s
         return freqs

@@ -49,16 +49,18 @@ import numpy as np
 
 from ..config import SystemConfig
 from ..obs.observer import Observer
-from ..sched.base import Scheduler, SchedulerDecision
+from ..sched.base import MigrationFailure, Scheduler, SchedulerDecision
 from ..thermal.spectral_state import SpectralThermalState
 from ..thermal.trace import ThermalTrace
 from ..workload.task import Task
 from .context import SimContext
 from .dtm import DtmController
 from .events import (
+    DegradationChanged,
     DtmEngaged,
     DtmReleased,
     EventLog,
+    MigrationFailed,
     TaskArrived,
     TaskCompleted,
     ThreadMigrated,
@@ -155,6 +157,17 @@ class IntervalSimulator:
         self._prev_placements: Dict[str, int] = {}
         self._sched_wall_s = 0.0
         self._sched_calls = 0
+        #: fault injector (None on the fault-free fast path: every fault
+        #: hook below is guarded so disabled runs stay byte-identical).
+        #: Imported lazily: ``repro.faults`` consumes ``repro.sim.events``,
+        #: so a module-level import here would be circular.
+        if config.faults.enabled:
+            from ..faults import FaultInjector
+
+            self._injector: Optional["FaultInjector"] = FaultInjector(config)
+        else:
+            self._injector = None
+        self._prev_degradation: Optional[str] = None
         #: observability bundle (explicit argument wins over ``config.obs``)
         self.observer: Optional[Observer] = (
             observer if observer is not None else Observer.from_config(config.obs)
@@ -176,6 +189,8 @@ class IntervalSimulator:
         self.ctx.wire_observations(
             self._history.average, self._core_temps, self._history.recent
         )
+        if self._injector is not None:
+            self.ctx.attach_sensors(self._injector.sensors)
         self.scheduler.attach(self.ctx)
 
     # -- observation hooks -------------------------------------------------------
@@ -248,6 +263,69 @@ class IntervalSimulator:
             raise ValueError("scheduler placed two threads on one core")
         if decision.frequencies.shape != (self.ctx.n_cores,):
             raise ValueError("frequency vector has wrong shape")
+        if not np.all(np.isfinite(np.asarray(decision.frequencies, dtype=float))):
+            # a NaN sensor reading that leaked through scheduler arithmetic
+            # would otherwise silently poison power, energy and temperatures
+            raise ValueError("scheduler produced non-finite frequencies")
+
+    def _apply_faults(
+        self, decision: SchedulerDecision, now_s: float
+    ) -> SchedulerDecision:
+        """Migration-failure repair and the graceful-degradation contract.
+
+        Only ever called when fault injection is active.  Draws which of
+        the decision's planned hops abort, lets the scheduler re-plan
+        around them (:meth:`~repro.sched.base.Scheduler.repair_decision`),
+        then finalizes the decision through the degradation ladder and
+        emits a :class:`DegradationChanged` event on every transition.
+        """
+        planned = []
+        for thread_id, dst in decision.placements.items():
+            src = self._prev_placements.get(thread_id)
+            if src is not None and src != dst:
+                planned.append((thread_id, src, dst))
+        failed = self._injector.migration_failures(planned)
+        if failed:
+            failures = [MigrationFailure(t, s, d) for t, s, d in failed]
+            decision = self._timed_scheduler_call(
+                self.scheduler.repair_decision,
+                decision,
+                failures,
+                now_s,
+                metric="repair",
+            )
+            self._validate(decision)
+            if self.events is not None:
+                for failure in failures:
+                    self.events.record(
+                        MigrationFailed(
+                            now_s,
+                            failure.thread_id,
+                            failure.src_core,
+                            failure.dst_core,
+                        )
+                    )
+            if self._metrics is not None:
+                self._metrics.counter("engine.migration_failures").inc(
+                    len(failures)
+                )
+        decision = self.scheduler.finalize_decision(decision, now_s)
+        mode = decision.degradation
+        if mode is not None and mode != self._prev_degradation:
+            if self.events is not None:
+                self.events.record(
+                    DegradationChanged(
+                        now_s,
+                        self.scheduler.name,
+                        self._prev_degradation or "normal",
+                        mode,
+                        self._injector.sensors.max_staleness_s(now_s),
+                    )
+                )
+            if self._metrics is not None:
+                self._metrics.counter(f"engine.degradation.{mode}").inc()
+            self._prev_degradation = mode
+        return decision
 
     # -- main loop --------------------------------------------------------------------
 
@@ -314,6 +392,14 @@ class IntervalSimulator:
                 if _TIME_EPS < until_arrival < dt:
                     dt = until_arrival
 
+            # 2b. fault injection: draw this interval's fault episodes
+            # against ground truth before the scheduler looks at anything
+            if self._injector is not None:
+                for event in self._injector.advance(now, self._core_temps()):
+                    if self.events is not None:
+                        self.events.record(event)
+                self._dtm.set_stuck(self._injector.stuck_mask())
+
             # 3. scheduler decision
             if self._profiler is not None:
                 token = self._profiler.begin("scheduler.decide")
@@ -326,6 +412,8 @@ class IntervalSimulator:
                     self.scheduler.decide, now, metric="decision"
                 )
             self._validate(decision)
+            if self._injector is not None:
+                decision = self._apply_faults(decision, now)
             if self._recorder is not None:
                 self._track_epoch(now, decision.tau_s)
             moves = self._accountant.charge_moves(
@@ -413,6 +501,10 @@ class IntervalSimulator:
                 stack.queued_s += dt
             if self._profiler is not None:
                 self._profiler.end("power_map.build", power_token)
+            if self._injector is not None:
+                # transient power spikes are ground truth: they heat the
+                # silicon and count toward the energy budget
+                power = self._injector.perturb_power(power)
 
             # 7. exact thermal step (eigenbasis-resident: O(N) decay +
             # O(N n) steady-coefficient update, no dense matrices)
@@ -480,6 +572,9 @@ class IntervalSimulator:
                 self._metrics.gauge(f"thermal.{key}").set(value)
             for key, value in self.scheduler.metrics().items():
                 self._metrics.gauge(f"sched.{key}").set(value)
+            if self._injector is not None:
+                for key, value in self._injector.metrics().items():
+                    self._metrics.gauge(f"faults.{key}").set(value)
         if self._recorder is not None:
             # streaming sinks persist everything recorded so far; the
             # in-memory recorder's flush is a no-op

@@ -59,12 +59,72 @@ class DtmReleased(Event):
     temperature_c: float
 
 
+@dataclass(frozen=True)
+class SensorFaultInjected(Event):
+    """A thermal-sensor fault episode started on one core.
+
+    ``kind`` is ``"dropout"`` (readings become NaN) or ``"stuck"`` (the
+    reading latches its current value); ground truth is never affected.
+    """
+
+    core: int
+    kind: str
+    duration_s: float
+
+
+@dataclass(frozen=True)
+class PowerSpikeInjected(Event):
+    """A transient ground-truth power spike started on one core."""
+
+    core: int
+    extra_power_w: float
+    duration_s: float
+
+
+@dataclass(frozen=True)
+class CoreStuckFault(Event):
+    """A core got stuck throttled at ``f_min`` regardless of temperature."""
+
+    core: int
+    duration_s: float
+
+
+@dataclass(frozen=True)
+class MigrationFailed(Event):
+    """A planned migration hop aborted; the thread stays on ``src_core``."""
+
+    thread_id: str
+    src_core: int
+    dst_core: int
+
+
+@dataclass(frozen=True)
+class DegradationChanged(Event):
+    """A scheduler moved along the graceful-degradation ladder."""
+
+    scheduler: str
+    old_mode: str
+    new_mode: str
+    staleness_s: float
+
+
 _E = TypeVar("_E", bound=Event)
 
 #: Every concrete event class, by name (the serialization registry).
 EVENT_TYPES: Dict[str, Type[Event]] = {
     cls.__name__: cls
-    for cls in (TaskArrived, TaskCompleted, ThreadMigrated, DtmEngaged, DtmReleased)
+    for cls in (
+        TaskArrived,
+        TaskCompleted,
+        ThreadMigrated,
+        DtmEngaged,
+        DtmReleased,
+        SensorFaultInjected,
+        PowerSpikeInjected,
+        CoreStuckFault,
+        MigrationFailed,
+        DegradationChanged,
+    )
 }
 
 

@@ -1,0 +1,44 @@
+"""Shared fixtures for the fault-injection tests.
+
+Everything runs on the 2x2 ``small_test`` platform with a module-shared
+calibrated thermal model — fault tests need many short simulations, not
+big ones.
+"""
+
+import pytest
+
+from repro import config
+from repro.sim.context import SimContext
+from repro.sim.engine import IntervalSimulator
+
+
+@pytest.fixture(scope="session")
+def fcfg():
+    return config.small_test()
+
+
+@pytest.fixture(scope="session")
+def fmodel(fcfg):
+    return SimContext(fcfg).thermal_model
+
+
+@pytest.fixture(scope="session")
+def run_sim(fmodel):
+    """Run one simulation on the shared small platform and return it.
+
+    ``run_sim(cfg, scheduler, tasks, ...)`` builds a fresh context per
+    call (mandatory: contexts carry run state) over the shared model.
+    """
+
+    def _run(cfg, scheduler, tasks, max_time_s=0.3, **kwargs):
+        sim = IntervalSimulator(
+            cfg,
+            scheduler,
+            tasks,
+            ctx=SimContext(cfg, fmodel),
+            **kwargs,
+        )
+        result = sim.run(max_time_s=max_time_s)
+        return sim, result
+
+    return _run

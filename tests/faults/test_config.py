@@ -1,0 +1,68 @@
+"""FaultsConfig semantics: off by default, frozen, with_faults mirror."""
+
+import dataclasses
+
+import pytest
+
+from repro import config, units
+from repro.config import FaultsConfig, SystemConfig
+from repro.faults import FaultInjector
+
+
+class TestDefaults:
+    def test_disabled_by_default(self):
+        assert SystemConfig().faults.enabled is False
+
+    def test_every_fault_model_off_by_default(self):
+        faults = SystemConfig().faults
+        assert faults.sensor_noise_sigma_c == 0.0
+        assert faults.sensor_bias_c == 0.0
+        assert faults.sensor_dropout_prob == 0.0
+        assert faults.sensor_stuck_prob == 0.0
+        assert faults.power_spike_prob == 0.0
+        assert faults.core_stuck_prob == 0.0
+        assert faults.migration_failure_prob == 0.0
+
+    def test_presets_are_fault_free(self):
+        for preset in (config.small_test, config.motivational, config.table1):
+            assert preset().faults.enabled is False
+
+
+class TestWithFaults:
+    def test_enables_and_sets_parameters(self):
+        cfg = config.small_test().with_faults(
+            seed=9, sensor_dropout_prob=0.25
+        )
+        assert cfg.faults.enabled is True
+        assert cfg.faults.seed == 9
+        assert cfg.faults.sensor_dropout_prob == 0.25
+
+    def test_original_config_untouched(self):
+        base = config.small_test()
+        base.with_faults(sensor_noise_sigma_c=1.0)
+        assert base.faults.enabled is False
+        assert base.faults.sensor_noise_sigma_c == 0.0
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(TypeError):
+            config.small_test().with_faults(made_up_knob=1.0)
+
+    def test_frozen(self):
+        cfg = config.small_test().with_faults()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            cfg.faults.sensor_bias_c = 1.0
+
+    def test_staleness_ladder_defaults_ordered(self):
+        faults = FaultsConfig()
+        assert 0 < faults.degraded_staleness_s < faults.park_staleness_s
+        assert faults.degraded_staleness_s == units.ms(2.0)
+
+
+class TestInjectorConstruction:
+    def test_requires_enabled_config(self):
+        with pytest.raises(ValueError, match="disabled"):
+            FaultInjector(config.small_test())
+
+    def test_constructs_from_enabled_config(self):
+        injector = FaultInjector(config.small_test().with_faults(seed=1))
+        assert injector.sensors is not None

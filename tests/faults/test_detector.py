@@ -1,0 +1,170 @@
+"""Known-answer mini-traces for :class:`UnsafeDegradationDetector`.
+
+Each test hand-builds a tiny record sequence with a known verdict, so a
+behaviour change in the detector shows up as a concrete wrong answer —
+no simulation in the loop.
+"""
+
+import pytest
+
+from repro import units
+from repro.obs import UnsafeDegradationDetector
+from repro.obs.detect import default_detectors
+from repro.obs.trace import EventRecord, IntervalRecord
+
+_MS = units.ms(1.0)
+
+
+def _interval(time_s, temps_c, mode_agnostic_core_count=4):
+    cores = len(temps_c)
+    return IntervalRecord(
+        time_s=time_s,
+        dt_s=_MS,
+        placements={},
+        power_w=(1.0,) * cores,
+        temps_c=tuple(temps_c),
+        frequencies_hz=(1e9,) * cores,
+    )
+
+
+def _dropout(time_s, core=0):
+    return EventRecord(
+        time_s=time_s,
+        event="SensorFaultInjected",
+        data={"core": core, "kind": "dropout", "duration_s": 0.01},
+    )
+
+
+def _degradation(time_s, new_mode, old_mode="normal"):
+    return EventRecord(
+        time_s=time_s,
+        event="DegradationChanged",
+        data={
+            "scheduler": "hot-potato",
+            "old_mode": old_mode,
+            "new_mode": new_mode,
+            "staleness_s": 0.004,
+        },
+    )
+
+
+def _run(detector, records, end_time_s):
+    for record in records:
+        detector.observe(record)
+    detector.finish(end_time_s)
+    return detector.violations
+
+
+class TestGraceWarning:
+    def test_dropout_without_degradation_warns(self):
+        det = UnsafeDegradationDetector(grace_s=3 * _MS)
+        violations = _run(det, [_dropout(1 * _MS)], end_time_s=10 * _MS)
+        assert len(violations) == 1
+        assert violations[0].severity == "warning"
+        assert violations[0].detector == "faults-unsafe-degradation"
+        assert violations[0].time_s == pytest.approx(1 * _MS)
+
+    def test_dropout_with_timely_degradation_is_silent(self):
+        det = UnsafeDegradationDetector(grace_s=3 * _MS)
+        records = [
+            _dropout(1 * _MS),
+            _degradation(2 * _MS, "degraded"),
+        ]
+        assert _run(det, records, end_time_s=10 * _MS) == []
+
+    def test_degradation_after_grace_still_warns(self):
+        det = UnsafeDegradationDetector(grace_s=3 * _MS)
+        records = [
+            _dropout(1 * _MS),
+            _degradation(8 * _MS, "degraded"),  # too late
+        ]
+        violations = _run(det, records, end_time_s=10 * _MS)
+        assert [v.severity for v in violations] == ["warning"]
+
+    def test_burst_within_grace_warns_once(self):
+        det = UnsafeDegradationDetector(grace_s=3 * _MS)
+        # a burst of dropouts inside one grace window: one pending, one warning
+        records = [_dropout(t * _MS) for t in (0.0, 0.5, 1.0, 2.0)]
+        violations = _run(det, records, end_time_s=20 * _MS)
+        assert len(violations) == 1
+
+    def test_rearms_after_each_expired_grace(self):
+        det = UnsafeDegradationDetector(grace_s=3 * _MS)
+        # two dropouts more than a grace window apart, never answered:
+        # two separate contract breaches, two warnings
+        records = [_dropout(0.0), _dropout(5 * _MS)]
+        violations = _run(det, records, end_time_s=20 * _MS)
+        assert [v.severity for v in violations] == ["warning", "warning"]
+
+    def test_finish_flushes_pending_grace(self):
+        det = UnsafeDegradationDetector(grace_s=3 * _MS)
+        for record in [_dropout(1 * _MS)]:
+            det.observe(record)
+        assert det.violations == []  # not yet — grace still open
+        det.finish(10 * _MS)
+        assert len(det.violations) == 1
+
+
+class TestDegradedOverheat:
+    def test_overheat_while_degraded_is_critical(self):
+        det = UnsafeDegradationDetector(dtm_threshold_c=70.0, tolerance_c=0.5)
+        records = [
+            _degradation(1 * _MS, "safe-park"),
+            _interval(2 * _MS, (72.0, 60.0, 60.0, 60.0)),
+        ]
+        violations = _run(det, records, end_time_s=10 * _MS)
+        assert len(violations) == 1
+        assert violations[0].severity == "critical"
+        assert violations[0].core == 0
+        assert violations[0].value == pytest.approx(72.0)
+
+    def test_overheat_while_normal_is_not_this_detectors_problem(self):
+        # the plain DTM-threshold detector owns that case
+        det = UnsafeDegradationDetector(dtm_threshold_c=70.0)
+        records = [_interval(1 * _MS, (75.0, 60.0, 60.0, 60.0))]
+        assert _run(det, records, end_time_s=10 * _MS) == []
+
+    def test_episode_fires_once_per_excursion(self):
+        det = UnsafeDegradationDetector(dtm_threshold_c=70.0, tolerance_c=0.5)
+        hot = (72.0, 60.0, 60.0, 60.0)
+        cool = (65.0, 60.0, 60.0, 60.0)
+        records = [
+            _degradation(1 * _MS, "degraded"),
+            _interval(2 * _MS, hot),
+            _interval(3 * _MS, hot),  # same excursion: no second violation
+            _interval(4 * _MS, cool),
+            _interval(5 * _MS, hot),  # new excursion
+        ]
+        violations = _run(det, records, end_time_s=10 * _MS)
+        assert len(violations) == 2
+
+    def test_recovery_to_normal_clears_episode(self):
+        det = UnsafeDegradationDetector(dtm_threshold_c=70.0, tolerance_c=0.5)
+        hot = (72.0, 60.0, 60.0, 60.0)
+        records = [
+            _degradation(1 * _MS, "degraded"),
+            _interval(2 * _MS, hot),
+            _degradation(3 * _MS, "normal", old_mode="degraded"),
+            _interval(4 * _MS, hot),  # normal mode: silent here
+            _degradation(5 * _MS, "degraded"),
+            _interval(6 * _MS, hot),  # fresh degraded excursion
+        ]
+        violations = _run(det, records, end_time_s=10 * _MS)
+        assert len(violations) == 2
+
+
+class TestFaultFreeSilence:
+    def test_silent_on_plain_thermal_trace(self):
+        det = UnsafeDegradationDetector()
+        records = [
+            _interval(i * _MS, (55.0 + i, 54.0, 53.0, 52.0)) for i in range(8)
+        ]
+        assert _run(det, records, end_time_s=20 * _MS) == []
+
+    def test_constructor_rejects_nonpositive_grace(self):
+        with pytest.raises(ValueError):
+            UnsafeDegradationDetector(grace_s=0.0)
+
+    def test_included_in_default_detectors(self):
+        names = [d.name for d in default_detectors()]
+        assert "faults-unsafe-degradation" in names

@@ -1,0 +1,165 @@
+"""Fault-model x scheduler matrix: every combination degrades gracefully.
+
+For each fault model and each evaluated scheduler the run must finish
+without an exception, produce a finite makespan, emit the model's events,
+and trip the documented degradation contract where one applies.
+"""
+
+import math
+
+import pytest
+
+from repro import units
+from repro.sched.fixed_rotation import FixedRotationScheduler
+from repro.sched.hotpotato_runtime import HotPotatoScheduler
+from repro.sched.pcmig import PCMigScheduler
+from repro.sim.events import (
+    CoreStuckFault,
+    DegradationChanged,
+    MigrationFailed,
+    PowerSpikeInjected,
+    SensorFaultInjected,
+)
+from repro.workload.benchmarks import PARSEC
+from repro.workload.task import Task
+
+#: fault model -> (config overrides, event type the model must emit)
+FAULT_MODELS = {
+    "sensor_noise": (dict(sensor_noise_sigma_c=1.0), None),
+    "sensor_bias": (dict(sensor_bias_c=-2.0), None),
+    "sensor_dropout": (
+        dict(sensor_dropout_prob=0.3, sensor_dropout_duration_s=units.ms(5.0)),
+        SensorFaultInjected,
+    ),
+    "sensor_stuck": (
+        dict(sensor_stuck_prob=0.2, sensor_stuck_duration_s=units.ms(5.0)),
+        SensorFaultInjected,
+    ),
+    "power_spike": (
+        dict(power_spike_prob=0.2, power_spike_w=1.5),
+        PowerSpikeInjected,
+    ),
+    "core_stuck": (dict(core_stuck_prob=0.1), CoreStuckFault),
+}
+
+SCHEDULERS = {
+    "hotpotato": HotPotatoScheduler,
+    "pcmig": PCMigScheduler,
+}
+
+
+def _tasks():
+    return [Task(0, PARSEC["x264"], 2, seed=4), Task(1, PARSEC["swaptions"], 2, seed=5)]
+
+
+@pytest.mark.parametrize("fault_name", sorted(FAULT_MODELS))
+@pytest.mark.parametrize("sched_name", sorted(SCHEDULERS))
+def test_model_x_scheduler(fcfg, run_sim, fault_name, sched_name):
+    overrides, expected_event = FAULT_MODELS[fault_name]
+    cfg = fcfg.with_faults(seed=21, **overrides)
+    sim, result = run_sim(
+        cfg, SCHEDULERS[sched_name](), _tasks(), record_events=True
+    )
+    assert math.isfinite(result.makespan_s) and result.makespan_s > 0
+    assert len(result.tasks) == 2
+    if expected_event is not None:
+        emitted = [e for e in sim.events if isinstance(e, expected_event)]
+        assert emitted, f"{fault_name} produced no {expected_event.__name__}"
+
+
+class TestDegradationContract:
+    def test_dropout_triggers_degradation_ladder(self, fcfg, run_sim):
+        cfg = fcfg.with_faults(
+            seed=8,
+            sensor_dropout_prob=0.5,
+            sensor_dropout_duration_s=units.ms(20.0),
+        )
+        sim, _ = run_sim(
+            cfg, HotPotatoScheduler(), _tasks(), record_events=True
+        )
+        changes = [e for e in sim.events if isinstance(e, DegradationChanged)]
+        assert changes, "long dropouts must move the degradation ladder"
+        modes = {e.new_mode for e in changes}
+        assert "degraded" in modes or "safe-park" in modes
+
+    def test_safe_park_clamps_to_f_min(self, fcfg, run_sim):
+        # dropouts so long the scheduler must park
+        cfg = fcfg.with_faults(
+            seed=8,
+            sensor_dropout_prob=1.0,
+            sensor_dropout_duration_s=1.0,
+        )
+        sim, result = run_sim(
+            cfg, HotPotatoScheduler(), _tasks(), record_events=True
+        )
+        changes = [e for e in sim.events if isinstance(e, DegradationChanged)]
+        assert any(e.new_mode == "safe-park" for e in changes)
+        assert sim.scheduler.degradation_mode == "safe-park"
+        assert math.isfinite(result.makespan_s)
+
+    def test_hotpotato_widens_headroom_when_degraded(self, fcfg, run_sim):
+        cfg = fcfg.with_faults(
+            seed=8,
+            sensor_dropout_prob=0.8,
+            sensor_dropout_duration_s=units.ms(4.0),
+        )
+        sim, _ = run_sim(cfg, HotPotatoScheduler(), _tasks())
+        runtime = sim.scheduler
+        nominal = runtime._nominal_headroom_c
+        if runtime.degradation_mode in ("degraded", "safe-park"):
+            assert runtime.hotpotato.headroom_delta_c > nominal
+        else:
+            assert runtime.hotpotato.headroom_delta_c == nominal
+
+
+class TestMigrationFailures:
+    def test_aborted_hops_on_a_rotating_scheduler(self, fcfg, run_sim):
+        """FixedRotation migrates every epoch, so failures must surface."""
+        cfg = fcfg.with_faults(seed=13, migration_failure_prob=0.5)
+        sim, result = run_sim(
+            cfg,
+            FixedRotationScheduler(tau_s=units.ms(0.5)),
+            _tasks(),
+            record_events=True,
+        )
+        failed = [e for e in sim.events if isinstance(e, MigrationFailed)]
+        assert failed, "a rotating scheduler under p=0.5 must lose hops"
+        assert math.isfinite(result.makespan_s)
+        # every failure names a real planned hop
+        for event in failed:
+            assert event.src_core != event.dst_core
+
+    def test_all_hops_fail_still_finishes(self, fcfg, run_sim):
+        cfg = fcfg.with_faults(seed=13, migration_failure_prob=1.0)
+        _, result = run_sim(
+            cfg, FixedRotationScheduler(tau_s=units.ms(0.5)), _tasks()
+        )
+        # threads simply never move; work still completes on source cores
+        assert len(result.tasks) == 2
+        assert math.isfinite(result.makespan_s)
+
+    def test_repaired_decisions_pass_engine_validation(self, fcfg, run_sim):
+        """The engine validates every decision (no shared cores, finite
+        frequencies) each interval — a repaired decision that left two
+        threads on one core would raise, so completing is the assertion."""
+        cfg = fcfg.with_faults(seed=13, migration_failure_prob=0.7)
+        _, result = run_sim(
+            cfg, FixedRotationScheduler(tau_s=units.ms(0.5)), _tasks()
+        )
+        assert math.isfinite(result.makespan_s)
+        assert len(result.tasks) == 2
+
+    def test_pcmig_under_migration_faults(self, fcfg, run_sim):
+        cfg = fcfg.with_faults(seed=13, migration_failure_prob=0.8)
+        _, result = run_sim(cfg, PCMigScheduler(), _tasks())
+        assert math.isfinite(result.makespan_s)
+        assert len(result.tasks) == 2
+
+
+def test_faults_metrics_surface_when_observability_on(fcfg, run_sim):
+    cfg = fcfg.with_faults(
+        seed=2, sensor_dropout_prob=0.5
+    ).with_observability(metrics=True)
+    _, result = run_sim(cfg, HotPotatoScheduler(), _tasks())
+    snapshot = result.metrics_snapshot
+    assert snapshot.get("faults.sensor_dropouts", 0.0) > 0

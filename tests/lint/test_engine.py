@@ -40,7 +40,7 @@ class TestFinding:
 
 
 class TestRegistry:
-    def test_default_rules_cover_the_five_families(self):
+    def test_default_rules_cover_the_six_families(self):
         families = {rule.family for rule in default_rules()}
         assert families == {
             "unit-safety",
@@ -48,6 +48,7 @@ class TestRegistry:
             "frozen-config",
             "scheduler-contract",
             "public-api",
+            "faults",
         }
 
     def test_rule_ids_unique_and_sorted(self):

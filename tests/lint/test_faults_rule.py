@@ -1,0 +1,86 @@
+"""Family ``faults``: fault-robustness conventions in scheduler code."""
+
+from .conftest import rule_ids
+
+SELECT = "fault-unguarded-reading"
+
+
+class TestUnguardedReading:
+    def test_flags_ground_truth_read_in_a_scheduler(self, lint_files):
+        findings = lint_files(
+            {
+                "repro/sched/greedy.py": '''
+                """doc."""
+                class GreedyScheduler:
+                    def decide(self):
+                        temps = self.ctx.core_temperatures_c()
+                        return temps.argmin()
+                ''',
+            },
+            select=SELECT,
+        )
+        assert rule_ids(findings) == [SELECT]
+        assert "observed_temperatures" in findings[0].message
+
+    def test_flags_every_occurrence(self, lint_files):
+        findings = lint_files(
+            {
+                "repro/sched/greedy.py": '''
+                """doc."""
+                def a(ctx):
+                    return ctx.core_temperatures_c()
+                def b(ctx):
+                    return ctx.core_temperatures_c()
+                ''',
+            },
+            select=SELECT,
+        )
+        assert rule_ids(findings) == [SELECT, SELECT]
+
+    def test_observed_temperatures_is_clean(self, lint_files):
+        findings = lint_files(
+            {
+                "repro/sched/greedy.py": '''
+                """doc."""
+                class GreedyScheduler:
+                    def decide(self):
+                        return self.observed_temperatures().argmin()
+                ''',
+            },
+            select=SELECT,
+        )
+        assert findings == []
+
+    def test_base_module_is_exempt(self, lint_files):
+        # base.py implements observed_temperatures itself: its ground-truth
+        # fallback read is the one legal one in the package
+        findings = lint_files(
+            {
+                "repro/sched/base.py": '''
+                """doc."""
+                def observed_temperatures(self):
+                    return self.ctx.core_temperatures_c()
+                ''',
+            },
+            select=SELECT,
+        )
+        assert findings == []
+
+    def test_engine_code_is_out_of_scope(self, lint_files):
+        # ground truth feeds DTM and the trace recorder: legal outside sched/
+        findings = lint_files(
+            {
+                "repro/sim/engine_like.py": '''
+                """doc."""
+                def step(state):
+                    return state.core_temperatures_c()
+                ''',
+                "repro/obs/probe.py": '''
+                """doc."""
+                def sample(ctx):
+                    return ctx.core_temperatures_c()
+                ''',
+            },
+            select=SELECT,
+        )
+        assert findings == []

@@ -2,7 +2,7 @@
 
 This is the tier-1 wiring of the domain lint: ``src/repro`` must produce
 zero findings (the committed baseline is empty), and introducing a
-positive-case snippet from any of the five rule families must flip the
+positive-case snippet from any of the six rule families must flip the
 CLI to exit status 1.
 """
 
@@ -42,6 +42,10 @@ FAMILY_SNIPPETS = {
         "        return None\n",
     ),
     "public-api": ("repro/mod.py", '"""doc."""\n__all__ = ["ghost"]\n'),
+    "faults": (
+        "repro/sched/mod.py",
+        '"""doc."""\ndef f(ctx):\n    return ctx.core_temperatures_c()\n',
+    ),
 }
 
 

@@ -154,7 +154,12 @@ class TestPowerMapDetector:
 class TestRegistryAndOrdering:
     def test_default_set_skips_optional_detectors(self):
         names = {d.name for d in default_detectors()}
-        assert names == {"thermal-threshold", "dtm-thrash", "rotation-stall"}
+        assert names == {
+            "thermal-threshold",
+            "dtm-thrash",
+            "rotation-stall",
+            "faults-unsafe-degradation",
+        }
         names = {
             d.name for d in default_detectors(idle_power_w=0.3, bound_c=70.0)
         }

@@ -5,11 +5,23 @@ one — per-cell seeds are pure functions of cell identity, collation is
 ordered, and pool failures degrade to the serial path.
 """
 
+import json
+import time
+from pathlib import Path
+
 import numpy as np
 import pytest
 
 from repro import config
-from repro.parallel import Cell, derive_seed, run_cells
+from repro.parallel import (
+    Cell,
+    CellTimeoutError,
+    RetryPolicy,
+    SweepCheckpoint,
+    canonical_key,
+    derive_seed,
+    run_cells,
+)
 from repro.sched.fixed_rotation import FixedRotationScheduler
 from repro.sim.context import SimContext
 from repro.sim.engine import IntervalSimulator
@@ -124,3 +136,222 @@ class TestParallelDeterminism:
         a = run_cells(self._cells(cfg, model), jobs=1)
         b = run_cells(self._cells(cfg, model), jobs=1)
         assert a == b
+
+
+# -- retry / timeout / checkpoint (the repro.faults hardening layer) -------------
+
+
+def _flaky(counter_path, succeed_on):
+    """Fail until attempt ``succeed_on``; a tmp file counts real invocations."""
+    path = Path(counter_path)
+    attempt = int(path.read_text()) + 1 if path.exists() else 1
+    path.write_text(str(attempt))
+    if attempt < succeed_on:
+        raise RuntimeError(f"flaky attempt {attempt}")
+    return attempt
+
+
+def _sleep_then_return(seconds, value):
+    time.sleep(seconds)
+    return value
+
+
+def _count_and_square(counter_path, x):
+    path = Path(counter_path)
+    path.write_text(str(int(path.read_text()) + 1 if path.exists() else 1))
+    return x * x
+
+
+def _enc(x):
+    return {"payload": x}
+
+
+def _dec(d):
+    return d["payload"]
+
+
+class TestRetryPolicy:
+    def test_delay_is_pure_and_deterministic(self):
+        policy = RetryPolicy(retries=3, seed=7)
+        assert policy.delay_s("cell", 1) == policy.delay_s("cell", 1)
+        assert policy.delay_s("cell", 1) != policy.delay_s("cell", 2)
+        assert policy.delay_s("cell", 1) != policy.delay_s("other", 1)
+
+    def test_delay_bounded_by_capped_exponential(self):
+        policy = RetryPolicy(retries=8, backoff_base_s=0.05, backoff_cap_s=0.4)
+        for attempt in range(1, 9):
+            bound = min(0.4, 0.05 * 2 ** (attempt - 1))
+            delay = policy.delay_s(("k", attempt), attempt)
+            assert 0.0 <= delay <= bound
+
+    def test_attempt_is_one_based(self):
+        with pytest.raises(ValueError, match="1-based"):
+            RetryPolicy().delay_s("k", 0)
+
+    def test_seed_changes_schedule(self):
+        a = RetryPolicy(seed=1).delay_s("k", 1)
+        b = RetryPolicy(seed=2).delay_s("k", 1)
+        assert a != b
+
+
+class TestRetryExecution:
+    def test_serial_retry_recovers_flaky_cell(self, tmp_path):
+        counter = tmp_path / "attempts"
+        cells = [
+            Cell(
+                key="flaky",
+                fn=_flaky,
+                kwargs={"counter_path": str(counter), "succeed_on": 3},
+            )
+        ]
+        policy = RetryPolicy(retries=2, backoff_base_s=1e-4)
+        assert run_cells(cells, jobs=1, retry=policy) == {"flaky": 3}
+        assert counter.read_text() == "3"
+
+    def test_exhausted_retries_propagate(self, tmp_path):
+        counter = tmp_path / "attempts"
+        cells = [
+            Cell(
+                key="flaky",
+                fn=_flaky,
+                kwargs={"counter_path": str(counter), "succeed_on": 5},
+            )
+        ]
+        policy = RetryPolicy(retries=1, backoff_base_s=1e-4)
+        with pytest.raises(RuntimeError, match="flaky attempt 2"):
+            run_cells(cells, jobs=1, retry=policy)
+
+    def test_pool_retry_recovers_flaky_cell(self, tmp_path):
+        counter = tmp_path / "attempts"
+        cells = [
+            Cell(
+                key="flaky",
+                fn=_flaky,
+                kwargs={"counter_path": str(counter), "succeed_on": 2},
+            ),
+            Cell(key="ok", fn=_square, kwargs={"x": 3}),
+        ]
+        policy = RetryPolicy(retries=1, backoff_base_s=1e-4)
+        results = run_cells(cells, jobs=2, retry=policy)
+        assert results == {"flaky": 2, "ok": 9}
+
+
+class TestTimeout:
+    def test_pool_timeout_raises_cell_timeout(self):
+        cells = [
+            Cell(key="hang", fn=_sleep_then_return, kwargs={"seconds": 60, "value": 1}),
+            Cell(key="fast", fn=_square, kwargs={"x": 2}),
+        ]
+        with pytest.raises(CellTimeoutError):
+            run_cells(cells, jobs=2, timeout_s=0.5)
+
+    def test_fast_cells_unaffected_by_generous_timeout(self):
+        cells = [Cell(key=i, fn=_square, kwargs={"x": i}) for i in range(4)]
+        assert run_cells(cells, jobs=2, timeout_s=30.0) == {
+            i: i * i for i in range(4)
+        }
+
+
+class TestSweepCheckpoint:
+    def test_load_missing_file_is_empty(self, tmp_path):
+        assert SweepCheckpoint(tmp_path / "none.jsonl").load() == {}
+
+    def test_append_load_roundtrip(self, tmp_path):
+        ckpt = SweepCheckpoint(tmp_path / "c.jsonl")
+        ckpt.append(("a", 1), {"v": 1.5})
+        ckpt.append(("b", 2), {"v": 2.5})
+        assert ckpt.load() == {
+            canonical_key(("a", 1)): {"v": 1.5},
+            canonical_key(("b", 2)): {"v": 2.5},
+        }
+
+    def test_torn_tail_tolerated(self, tmp_path):
+        ckpt = SweepCheckpoint(tmp_path / "c.jsonl")
+        ckpt.append("good", {"v": 1})
+        with ckpt.path.open("a") as handle:
+            handle.write('{"key": "torn", "res')  # kill mid-write
+        assert ckpt.load() == {canonical_key("good"): {"v": 1}}
+
+    def test_finalize_is_order_canonical(self, tmp_path):
+        a = SweepCheckpoint(tmp_path / "a.jsonl")
+        b = SweepCheckpoint(tmp_path / "b.jsonl")
+        a.append("x", 1)
+        a.append("y", 2)
+        b.append("y", 2)  # completion order differs
+        b.append("x", 1)
+        order = [("x", 1), ("y", 2)]
+        a.finalize(order)
+        b.finalize(order)
+        assert a.path.read_bytes() == b.path.read_bytes()
+
+
+class TestRunCellsCheckpointing:
+    def _cells(self, counter):
+        return [
+            Cell(
+                key=i,
+                fn=_count_and_square,
+                kwargs={"counter_path": str(counter), "x": i},
+            )
+            for i in range(3)
+        ]
+
+    def test_checkpoint_written_and_finalized(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        results = run_cells(self._cells(tmp_path / "n1"), checkpoint_path=path)
+        assert results == {0: 0, 1: 1, 2: 4}
+        lines = path.read_text().splitlines()
+        assert len(lines) == 3
+        assert [json.loads(l)["key"] for l in lines] == ["0", "1", "2"]
+
+    def test_resume_skips_done_cells(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        counter = tmp_path / "n2"
+        run_cells(self._cells(counter), checkpoint_path=path)
+        assert counter.read_text() == "3"
+        # resume: nothing recomputed, same collation
+        results = run_cells(
+            self._cells(counter), checkpoint_path=path, resume=True
+        )
+        assert counter.read_text() == "3"
+        assert results == {0: 0, 1: 1, 2: 4}
+
+    def test_partial_checkpoint_resumes_only_missing(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        counter = tmp_path / "n3"
+        SweepCheckpoint(path).append(1, 1)  # cell 1 already done
+        results = run_cells(
+            self._cells(counter), checkpoint_path=path, resume=True
+        )
+        assert counter.read_text() == "2"  # only cells 0 and 2 ran
+        assert results == {0: 0, 1: 1, 2: 4}
+        # finalized file is in submission order despite the odd history
+        keys = [json.loads(l)["key"] for l in path.read_text().splitlines()]
+        assert keys == ["0", "1", "2"]
+
+    def test_without_resume_existing_checkpoint_is_discarded(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        SweepCheckpoint(path).append(1, 999)  # stale result
+        results = run_cells(self._cells(tmp_path / "n4"), checkpoint_path=path)
+        assert results[1] == 1  # recomputed, stale value gone
+
+    def test_fresh_results_pass_through_encode_decode(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        cells = [Cell(key="k", fn=_square, kwargs={"x": 4})]
+        results = run_cells(
+            cells, checkpoint_path=path, encode=_enc, decode=_dec
+        )
+        assert results == {"k": 16}
+        stored = json.loads(path.read_text().splitlines()[0])
+        assert stored["result"] == {"payload": 16}
+
+    def test_parallel_checkpoint_matches_serial(self, tmp_path):
+        serial_path = tmp_path / "serial.jsonl"
+        pool_path = tmp_path / "pool.jsonl"
+        cells = lambda: [
+            Cell(key=i, fn=_square, kwargs={"x": i}) for i in range(5)
+        ]
+        a = run_cells(cells(), jobs=1, checkpoint_path=serial_path)
+        b = run_cells(cells(), jobs=3, checkpoint_path=pool_path)
+        assert a == b
+        assert serial_path.read_bytes() == pool_path.read_bytes()

@@ -36,7 +36,7 @@ exact transient inside each epoch of the converged cycle.
 from __future__ import annotations
 
 import hashlib
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -156,11 +156,36 @@ class PeakTemperatureCalculator:
     Unlike :func:`rotation_fixed_point` this never forms or solves an
     ``N x N`` system at run time, which is what makes it viable inside a
     scheduler invoked every epoch.
+
+    ``config_key`` is a hashable fingerprint of every configuration input
+    the cached peak values (or their downstream interpretation) depend on
+    beyond the power sequence itself — the DTM threshold/hysteresis and
+    ambient of the owning :class:`~repro.config.SystemConfig`.  It is
+    baked into every memo key so that a ``peak_cache`` *shared between
+    calculators* (the cross-tenant :class:`repro.serve.ServeCache` does
+    this) can never return a stale hit to a tenant whose thermal
+    configuration differs only in ``T_DTM`` or hysteresis.  When omitted
+    it defaults to the ambient temperature, which a single private cache
+    always agrees on.
+
+    ``peak_cache`` optionally injects that shared memo store; by default
+    each calculator owns a private bounded LRU.
     """
 
-    def __init__(self, dynamics: ThermalDynamics, ambient_c: float):
+    def __init__(
+        self,
+        dynamics: ThermalDynamics,
+        ambient_c: float,
+        config_key: Optional[Hashable] = None,
+        peak_cache: Optional[LruCache] = None,
+    ):
         self.dynamics = dynamics
         self.ambient_c = ambient_c
+        #: memo-key component identifying the thermal configuration this
+        #: calculator answers for (see the class docstring)
+        self.config_key: Hashable = (
+            config_key if config_key is not None else (float(ambient_c),)
+        )
         self._v = dynamics.eigenvectors
         self._v_core = self._v[: dynamics.model.n_cores]
         self._lambda = dynamics.eigenvalues
@@ -171,7 +196,9 @@ class PeakTemperatureCalculator:
         # bounded LRU caches; counters surface through :meth:`cache_stats`
         self._tau_cache = LruCache(_BETA_CACHE_SIZE)
         self._alpha_cache = LruCache(_ALPHA_CACHE_SIZE)
-        self._peak_cache = LruCache(_PEAK_CACHE_SIZE)
+        self._peak_cache = (
+            peak_cache if peak_cache is not None else LruCache(_PEAK_CACHE_SIZE)
+        )
         self._batch_calls = 0
         self._batch_candidates = 0
 
@@ -241,20 +268,27 @@ class PeakTemperatureCalculator:
 
     # -- batched candidate evaluation (run-time phase, vectorized) -----------
 
-    @staticmethod
     def _fingerprint(
-        seq: np.ndarray, tau_s: Optional[float]
-    ) -> Tuple[Optional[float], Tuple[int, ...], bytes]:
+        self, seq: np.ndarray, tau_s: Optional[float]
+    ) -> Tuple[Hashable, Optional[float], Tuple[int, ...], bytes]:
         """Memo key for a (power sequence, rotation interval) candidate.
 
         The sequence content is digested (BLAKE2b) rather than stored: ring
         power sequences can reach hundreds of kilobytes at large rotation
-        periods, and the memo only needs equality.
+        periods, and the memo only needs equality.  ``config_key`` leads
+        the tuple so two calculators sharing one memo store (different
+        tenants of :class:`repro.serve.ServeCache`) never collide when
+        their DTM threshold/hysteresis/ambient configuration differs.
         """
         digest = hashlib.blake2b(
             np.ascontiguousarray(seq).tobytes(), digest_size=16
         ).digest()
-        return (None if tau_s is None else float(tau_s), seq.shape, digest)
+        return (
+            self.config_key,
+            None if tau_s is None else float(tau_s),
+            seq.shape,
+            digest,
+        )
 
     def peak_batch(
         self,

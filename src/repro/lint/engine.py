@@ -35,7 +35,12 @@ DETERMINISTIC_SUBPACKAGES = ("sim", "sched", "thermal", "core")
 #: schedule) are a pure function of its seeds, and the fault injector's
 #: is that a fault schedule replays bit-exactly from ``FaultsConfig.seed``
 #: — a wall-clock or global-RNG read in either silently breaks that.
-DETERMINISTIC_MODULES = ("parallel.py", "faults/")
+#: The serve layer joins them: identical request payloads must yield
+#: identical answers (cached or not), and its load generator replays a
+#: request tape that is a pure function of its seed — monotonic clocks
+#: (``loop.time()``, ``perf_counter``) are fine for latency measurement,
+#: calendar time is not.
+DETERMINISTIC_MODULES = ("parallel.py", "faults/", "serve/")
 
 #: Rule id reported for files the engine cannot parse.
 PARSE_ERROR_RULE = "parse-error"

@@ -1,0 +1,74 @@
+"""``python -m repro.serve`` — run the thermal-scheduling service.
+
+Binds the asyncio server and serves until interrupted.  Follows the
+shared CLI contract of :mod:`repro._cli` (exit 0 on a clean shutdown,
+2 on usage errors).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+from typing import Optional, Sequence
+
+from .._cli import EXIT_OK, run_cli
+from .http import ThermalServer
+from .service import ServeConfig
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Thermal-scheduling-as-a-service (see docs/serve.md).",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=8787, help="TCP port (0 = ephemeral)"
+    )
+    parser.add_argument(
+        "--max-tenants", type=int, default=64, help="tenant capacity"
+    )
+    parser.add_argument(
+        "--simulate-max-time",
+        type=float,
+        default=0.25,
+        metavar="SECONDS",
+        help="hard ceiling on one /v1/simulate horizon [simulated s]",
+    )
+    parser.add_argument(
+        "--batch-window",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="micro-batch coalescing window (0 = same event-loop tick)",
+    )
+    return parser
+
+
+async def _serve(config: ServeConfig) -> None:
+    server = ThermalServer(config)
+    await server.start()
+    print(f"repro.serve listening on http://{config.host}:{server.port}")
+    await server.serve_forever()
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns an ``EXIT_*`` code."""
+    args = _build_parser().parse_args(argv)
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        max_tenants=args.max_tenants,
+        simulate_max_time_s=args.simulate_max_time,
+        batch_window_s=args.batch_window,
+    )
+    try:
+        asyncio.run(_serve(config))
+    except KeyboardInterrupt:
+        pass
+    return EXIT_OK
+
+
+if __name__ == "__main__":
+    sys.exit(run_cli(main))

@@ -1,0 +1,113 @@
+"""Micro-batching of concurrent tenants' Algorithm-1 evaluations.
+
+Every ``/v1/peak`` and ``/v1/tau`` request reduces to "evaluate these
+``(power sequence, tau)`` candidates".  Evaluating them one request at a
+time re-walks the floorplan's alpha/beta tensors per candidate; the
+engine fast path (:meth:`~repro.core.peak_temperature.PeakTemperatureCalculator.peak_batch`)
+already amortizes those tensors across a whole candidate list — so the
+serve layer should hand it the *union* of everything currently in flight.
+
+:class:`MicroBatcher` does exactly that: requests enqueue their
+candidates and a flush callback — scheduled on the event loop, by
+default for the very next tick (``loop.call_soon``), optionally delayed
+by a coalescing window — drains the queue, groups candidates by
+calculator instance (tenants sharing a calculator batch together, see
+:class:`~repro.serve.cache.ServeCache`), and issues **one**
+``peak_batch`` call per group.  Because ``peak_batch`` is memoized and
+deterministic, batched answers are bit-for-bit identical to sequential
+ones — a property the serve test suite asserts.
+
+Counters (``serve.batch.*``) surface on ``/metrics``: ``flushes``,
+``requests`` (candidates evaluated), and ``coalesced`` (candidates that
+shared a flush with at least one other request).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["MicroBatcher"]
+
+
+class MicroBatcher:
+    """Coalesce concurrent candidate evaluations into ``peak_batch`` calls."""
+
+    def __init__(self, window_s: float = 0.0):
+        #: coalescing window [s]; 0 flushes on the next event-loop tick.
+        self.window_s = window_s
+        #: queued (calculator, seq, tau, future) awaiting the next flush
+        self._pending: List[Tuple[object, np.ndarray, Optional[float], asyncio.Future]] = []
+        self._flush_scheduled = False
+        # monotonic counters, published as serve.batch.* on /metrics
+        self.flushes = 0
+        self.requests = 0
+        self.coalesced = 0
+
+    async def evaluate_many(
+        self,
+        calculator,
+        seqs: Sequence[np.ndarray],
+        taus_s: Sequence[Optional[float]],
+    ) -> List[float]:
+        """Evaluate candidates through the next shared flush.
+
+        Returns the peak temperature per candidate, in order.  Concurrent
+        callers (any tenant, any calculator) that enqueue before the flush
+        fires are evaluated in the same drain.
+        """
+        loop = asyncio.get_running_loop()
+        futures: List[asyncio.Future] = []
+        for seq, tau_s in zip(seqs, taus_s):
+            future = loop.create_future()
+            self._pending.append((calculator, seq, tau_s, future))
+            futures.append(future)
+        self._schedule_flush(loop)
+        return list(await asyncio.gather(*futures))
+
+    def _schedule_flush(self, loop: asyncio.AbstractEventLoop) -> None:
+        if self._flush_scheduled:
+            return
+        self._flush_scheduled = True
+        if self.window_s > 0:
+            loop.call_later(self.window_s, self._flush)
+        else:
+            loop.call_soon(self._flush)
+
+    def _flush(self) -> None:
+        """Drain the queue: one ``peak_batch`` call per calculator group."""
+        self._flush_scheduled = False
+        pending, self._pending = self._pending, []
+        if not pending:
+            return
+        self.flushes += 1
+        self.requests += len(pending)
+        if len(pending) > 1:
+            self.coalesced += len(pending)
+        groups: Dict[int, List[Tuple[object, np.ndarray, Optional[float], asyncio.Future]]] = {}
+        for item in pending:
+            groups.setdefault(id(item[0]), []).append(item)
+        for items in groups.values():
+            calculator = items[0][0]
+            seqs = [item[1] for item in items]
+            taus_s = [item[2] for item in items]
+            try:
+                peaks = calculator.peak_batch(seqs, taus_s)
+            except Exception as exc:  # surface to every waiter in the group
+                for _, _, _, future in items:
+                    if not future.done():
+                        future.set_exception(exc)
+                continue
+            for (_, _, _, future), peak_c in zip(items, peaks):
+                if not future.done():
+                    future.set_result(float(peak_c))
+
+    def stats(self) -> Dict[str, float]:
+        """Flat counters for the ``serve.batch.*`` metrics family."""
+        return {
+            "batch.flushes": float(self.flushes),
+            "batch.requests": float(self.requests),
+            "batch.coalesced": float(self.coalesced),
+        }

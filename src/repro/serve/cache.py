@@ -1,0 +1,218 @@
+"""Cross-tenant caching of the expensive thermal artifacts.
+
+The serve layer hosts many tenants, each described by a
+:class:`~repro.config.SystemConfig`.  Almost everything expensive about
+answering a tenant's queries is a pure function of a small slice of that
+configuration:
+
+- the calibrated RC model and its eigendecomposition
+  (:class:`~repro.thermal.matex.ThermalDynamics`, the ``O(N^3)``
+  design-time phase) depend only on the floorplan (mesh geometry, core
+  area) and the calibration anchors (idle power, ambient, DTM threshold);
+- the Algorithm-1 run-time auxiliaries and the peak-temperature memo
+  (:class:`~repro.core.peak_temperature.PeakTemperatureCalculator`)
+  additionally depend on ambient and — through the memo keys — the DTM
+  threshold/hysteresis.
+
+:class:`ServeCache` therefore shares these objects across every tenant
+whose fingerprint matches, so the first tenant pays the eigendecomposition
+and later tenants (and repeated candidate queries from *any* tenant) hit
+warm caches.  Two fingerprints with different granularity:
+
+- :func:`model_fingerprint` — keys the eigendecomposition;
+- :func:`config_fingerprint` — additionally folds in hysteresis and the
+  scheduling knobs; it identifies a tenant's full thermal configuration
+  and doubles as the ``config_key`` baked into the shared Algorithm-1
+  memo (see :class:`~repro.core.peak_temperature.PeakTemperatureCalculator`),
+  which is what makes sharing one memo store across tenants safe.
+
+All stores are bounded LRUs; hit/miss/eviction counters surface through
+:meth:`ServeCache.stats` and are published at ``serve.cache.*`` on the
+``/metrics`` endpoint (``docs/serve.md``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Tuple
+
+from .._lru import LruCache
+from ..config import SystemConfig
+from ..core.peak_temperature import PeakTemperatureCalculator
+from ..sim.context import SimContext
+from ..thermal.calibrate import calibrated_model
+from ..thermal.matex import ThermalDynamics
+
+__all__ = [
+    "ServeCache",
+    "config_fingerprint",
+    "model_fingerprint",
+]
+
+#: Bounds of the shared stores.  Dynamics entries are heavyweight
+#: (eigenvector matrices, ``O(N^2)`` floats); calculators are cheap
+#: wrappers; one shared peak memo exists per dynamics entry.
+_DYNAMICS_CACHE_SIZE = 8
+_CALCULATOR_CACHE_SIZE = 64
+_SHARED_PEAK_MEMO_SIZE = 8192
+
+
+def _digest(parts: Tuple) -> str:
+    """Short stable hex fingerprint of a tuple of primitives."""
+    return hashlib.blake2b(repr(parts).encode(), digest_size=8).hexdigest()
+
+
+def _model_key(config: SystemConfig) -> Tuple:
+    """Everything the calibrated RC model / eigendecomposition depends on."""
+    thermal = config.thermal
+    return (
+        config.mesh_width,
+        config.mesh_height,
+        float(config.core_area_m2),
+        float(thermal.idle_power_w),
+        float(thermal.ambient_c),
+        float(thermal.dtm_threshold_c),
+    )
+
+
+def _calculator_key(config: SystemConfig) -> Tuple:
+    """Everything a cached Algorithm-1 answer depends on."""
+    thermal = config.thermal
+    return _model_key(config) + (
+        float(thermal.dtm_hysteresis_c),
+    )
+
+
+def model_fingerprint(config: SystemConfig) -> str:
+    """Fingerprint of the floorplan + calibration anchors.
+
+    Tenants with equal model fingerprints share one eigendecomposition.
+    """
+    return _digest(_model_key(config))
+
+
+def config_fingerprint(config: SystemConfig) -> str:
+    """Fingerprint of a tenant's full thermal/scheduling configuration.
+
+    Extends :func:`model_fingerprint` with the DTM hysteresis, headroom
+    and the rotation/simulation intervals; exposed per tenant in the
+    service API so operators can see which tenants share caches.
+    """
+    thermal = config.thermal
+    return _digest(
+        _calculator_key(config)
+        + (
+            float(thermal.headroom_delta_c),
+            float(config.rotation_interval_s),
+            float(config.sim_interval_s),
+        )
+    )
+
+
+class ServeCache:
+    """Bounded cross-tenant stores for dynamics, calculators and memos."""
+
+    def __init__(
+        self,
+        dynamics_capacity: int = _DYNAMICS_CACHE_SIZE,
+        calculator_capacity: int = _CALCULATOR_CACHE_SIZE,
+        peak_memo_capacity: int = _SHARED_PEAK_MEMO_SIZE,
+    ):
+        #: model key -> (ThermalDynamics, shared peak-memo LruCache); the
+        #: memo lives and dies with its dynamics entry
+        self._dynamics = LruCache(dynamics_capacity)
+        #: calculator key -> PeakTemperatureCalculator
+        self._calculators = LruCache(calculator_capacity)
+        self._peak_memo_capacity = peak_memo_capacity
+        #: every shared memo store ever created, in creation order; stats
+        #: aggregate over this list so counters stay monotonic after an
+        #: eviction retires a floorplan (retired stores are cleared —
+        #: ``LruCache.clear`` preserves counters — so they hold no data)
+        self._memo_stores: list = []
+
+    # -- shared artifacts ----------------------------------------------------
+
+    def dynamics_for(self, config: SystemConfig) -> ThermalDynamics:
+        """The (shared) eigendecomposition for ``config``'s floorplan."""
+        return self._dynamics_entry(config)[0]
+
+    def _dynamics_entry(
+        self, config: SystemConfig
+    ) -> Tuple[ThermalDynamics, LruCache]:
+        key = _model_key(config)
+        entry = self._dynamics.get(key)
+        if entry is None:
+            memo = LruCache(self._peak_memo_capacity)
+            self._memo_stores.append(memo)
+            entry = (ThermalDynamics(calibrated_model(config)), memo)
+            self._dynamics[key] = entry
+            self._clear_retired_memos()
+        return entry
+
+    def _clear_retired_memos(self) -> None:
+        """Drop the data (not the counters) of memos whose dynamics entry
+        was evicted, so retired floorplans stop holding cached peaks."""
+        live = {
+            id(self._dynamics.peek(key)[1]) for key in self._dynamics
+        }
+        for memo in self._memo_stores:
+            if id(memo) not in live:
+                memo.clear()
+
+    def calculator_for(self, config: SystemConfig) -> PeakTemperatureCalculator:
+        """The (shared) Algorithm-1 calculator for ``config``.
+
+        Tenants with equal calculator keys receive the *same instance*
+        (shared alpha/beta tensors and memo).  Tenants that share only the
+        model key receive distinct calculators wired to one shared memo
+        store, kept collision-free by the per-configuration ``config_key``
+        in every memo fingerprint.
+        """
+        key = _calculator_key(config)
+        calculator = self._calculators.get(key)
+        if calculator is None:
+            dynamics, shared_memo = self._dynamics_entry(config)
+            calculator = PeakTemperatureCalculator(
+                dynamics,
+                config.thermal.ambient_c,
+                config_key=_digest(key),
+                peak_cache=shared_memo,
+            )
+            self._calculators[key] = calculator
+        return calculator
+
+    def context_for(self, config: SystemConfig) -> SimContext:
+        """A fresh :class:`SimContext` reusing the shared substrates.
+
+        Everything stateless is shared (dynamics, calculator — including
+        its cross-tenant memo); the context itself (and the mutable
+        simulation state the engine builds on top) is private to the
+        caller.
+        """
+        return SimContext(
+            config,
+            dynamics=self.dynamics_for(config),
+            calculator=self.calculator_for(config),
+        )
+
+    # -- observability -------------------------------------------------------
+
+    def stats(self) -> Dict[str, float]:
+        """Flat counters for the ``serve.cache.*`` metrics family.
+
+        ``peak_memo`` aggregates every shared memo store ever created
+        (live and retired), so hit counters never move backwards when an
+        eviction retires a floorplan.
+        """
+        flat: Dict[str, float] = {}
+        flat.update(self._dynamics.stats("dynamics"))
+        flat.update(self._calculators.stats("calculators"))
+        memo_totals = {"hits": 0, "misses": 0, "evictions": 0, "size": 0}
+        for memo in self._memo_stores:
+            memo_totals["hits"] += memo.hits
+            memo_totals["misses"] += memo.misses
+            memo_totals["evictions"] += memo.evictions
+            memo_totals["size"] += len(memo)
+        for name, value in memo_totals.items():
+            flat[f"peak_memo.{name}"] = value
+        return {key: float(value) for key, value in flat.items()}

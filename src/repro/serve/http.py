@@ -1,0 +1,427 @@
+"""The asyncio HTTP/1.1 transport of ``repro.serve``.
+
+:class:`ThermalServer` binds a socket via :func:`asyncio.start_server`
+and translates a deliberately small slice of HTTP/1.1 — request line,
+headers, ``Content-Length`` bodies, keep-alive — onto the transport-free
+:class:`~repro.serve.service.ThermalService`.  Zero dependencies beyond
+the standard library; JSON in, JSON out, plus a JSONL streaming form of
+``/v1/peak`` for bulk candidate evaluation.
+
+Routes (full request/response schemas in ``docs/serve.md``):
+
+==========  =======================  ==========================================
+method      path                     purpose
+==========  =======================  ==========================================
+GET         ``/``                    service discovery document
+GET         ``/metrics``             OpenMetrics exposition (live counters)
+GET         ``/v1/tenants``          list tenants
+POST        ``/v1/tenants``          create a tenant
+DELETE      ``/v1/tenants/<name>``   remove a tenant
+POST        ``/v1/peak``             Algorithm-1 peak of candidate placements
+POST        ``/v1/tau``              safe rotation interval via the tau-ladder
+POST        ``/v1/simulate``         bounded-horizon simulation summary
+==========  =======================  ==========================================
+
+Error mapping: validation failures are 400, unknown tenants/routes 404,
+wrong methods 405, oversized bodies 413, unexpected exceptions 500 (the
+connection survives; ``serve.http.errors`` counts them), and a tenant
+whose degradation ladder refuses the request gets **503 with a
+``Retry-After`` header** (see ``docs/faults.md``).
+
+The server is single-threaded by design: requests interleave on the
+event loop, and ``/v1/simulate`` *blocks* the loop for its (clamped)
+horizon — the documented trade-off that makes every shared cache safe
+without locks, and the very thing the micro-batcher exploits (requests
+queue while the loop is busy, then coalesce into one ``peak_batch``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from typing import Any, Dict, Optional, Tuple
+
+from ..obs import MetricsRegistry
+from ..obs.export import to_openmetrics
+from .batch import MicroBatcher
+from .cache import ServeCache
+from .service import ServeConfig, ThermalService
+
+__all__ = ["ThermalServer"]
+
+_JSON = "application/json"
+_JSONL = "application/jsonl"
+_OPENMETRICS = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+#: endpoints advertised by ``GET /``
+_ENDPOINTS = (
+    "GET /",
+    "GET /metrics",
+    "GET /v1/tenants",
+    "POST /v1/tenants",
+    "DELETE /v1/tenants/<name>",
+    "POST /v1/peak",
+    "POST /v1/tau",
+    "POST /v1/simulate",
+)
+
+
+class _HttpError(Exception):
+    """An error with a definite HTTP status and JSON body."""
+
+    def __init__(self, status: int, message: str, retry_after_s: Optional[float] = None):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.retry_after_s = retry_after_s
+
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class ThermalServer:
+    """One serving instance: socket, service core, caches, metrics."""
+
+    def __init__(
+        self,
+        serve_config: Optional[ServeConfig] = None,
+        registry: Optional[MetricsRegistry] = None,
+        cache: Optional[ServeCache] = None,
+    ):
+        self.config = serve_config if serve_config is not None else ServeConfig()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.cache = cache if cache is not None else ServeCache()
+        self.service = ThermalService(self.config, self.cache)
+        self.batcher = MicroBatcher(self.config.batch_window_s)
+        self._server: Optional[asyncio.base_events.Server] = None
+        #: bound TCP port, available after :meth:`start` (ephemeral-port
+        #: friendly: pass ``port=0`` and read this back)
+        self.port: Optional[int] = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the socket and start accepting connections."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.config.host, port=self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        """Run until cancelled (the ``python -m repro.serve`` main loop)."""
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def close(self) -> None:
+        """Stop accepting connections and release the socket."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- connection handling -------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, path, headers, body = request
+                started = time.perf_counter()
+                status, payload, extra = await self._dispatch(
+                    method, path, headers, body
+                )
+                self.registry.histogram("serve.latency_s", timing=True).observe(
+                    time.perf_counter() - started
+                )
+                keep_alive = headers.get("connection", "keep-alive") != "close"
+                self._write_response(writer, status, payload, extra, keep_alive)
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+        """Parse one request; ``None`` on a cleanly closed connection."""
+        try:
+            request_line = await reader.readline()
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            return None
+        if not request_line:
+            return None
+        parts = request_line.decode("latin-1").split()
+        if len(parts) != 3:
+            raise asyncio.IncompleteReadError(request_line, None)
+        method, path, _version = parts
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > self.config.max_body_bytes:
+            # drain nothing — the 413 response closes the connection
+            headers["connection"] = "close"
+            return method, path, headers, b"\x00oversized"
+        body = await reader.readexactly(length) if length else b""
+        return method, path, headers, body
+
+    def _write_response(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: bytes,
+        extra_headers: Dict[str, str],
+        keep_alive: bool,
+    ) -> None:
+        reason = _REASONS.get(status, "Unknown")
+        lines = [
+            f"HTTP/1.1 {status} {reason}",
+            f"Content-Length: {len(payload)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        for name, value in extra_headers.items():
+            lines.append(f"{name}: {value}")
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        writer.write(head + payload)
+
+    # -- routing -------------------------------------------------------------
+
+    async def _dispatch(
+        self, method: str, path: str, headers: Dict[str, str], body: bytes
+    ) -> Tuple[int, bytes, Dict[str, str]]:
+        """Route one request; never raises (errors become responses)."""
+        self.registry.counter("serve.http.requests").inc()
+        try:
+            if body.startswith(b"\x00oversized"):
+                raise _HttpError(413, "request body exceeds limit")
+            return await self._route(method, path, headers, body)
+        except _HttpError as exc:
+            if exc.status >= 500:
+                self.registry.counter("serve.http.errors").inc()
+            extra = {"Content-Type": _JSON}
+            if exc.retry_after_s is not None:
+                extra["Retry-After"] = str(max(1, round(exc.retry_after_s)))
+            payload = _json_bytes({"error": exc.message, "status": exc.status})
+            return exc.status, payload, extra
+        except Exception as exc:  # unexpected: keep the server alive
+            self.registry.counter("serve.http.errors").inc()
+            payload = _json_bytes(
+                {"error": f"{type(exc).__name__}: {exc}", "status": 500}
+            )
+            return 500, payload, {"Content-Type": _JSON}
+
+    async def _route(
+        self, method: str, path: str, headers: Dict[str, str], body: bytes
+    ) -> Tuple[int, bytes, Dict[str, str]]:
+        if path == "/":
+            _require(method, "GET")
+            return _json_response(
+                {
+                    "service": "repro.serve",
+                    "paper": "Thermal Management for S-NUCA Many-Cores "
+                    "via Synchronous Thread Rotations",
+                    "endpoints": list(_ENDPOINTS),
+                }
+            )
+        if path == "/metrics":
+            _require(method, "GET")
+            return self._metrics_response()
+        if path == "/v1/tenants":
+            if method == "GET":
+                return _json_response(
+                    {
+                        "tenants": [
+                            self.service.tenant_info(tenant)
+                            for tenant in self.service.tenants()
+                        ]
+                    }
+                )
+            _require(method, "POST")
+            payload = _parse_json(body)
+            name = payload.get("name")
+            info = _catch_400(
+                lambda: self.service.create_tenant(name, payload.get("config"))
+            )
+            return _json_response(info)
+        if path.startswith("/v1/tenants/"):
+            _require(method, "DELETE")
+            name = path[len("/v1/tenants/"):]
+            try:
+                self.service.delete_tenant(name)
+            except KeyError as exc:
+                raise _HttpError(404, str(exc)) from exc
+            return _json_response({"deleted": name})
+        if path == "/v1/peak":
+            _require(method, "POST")
+            return await self._peak(headers, body)
+        if path == "/v1/tau":
+            _require(method, "POST")
+            return await self._tau(body)
+        if path == "/v1/simulate":
+            _require(method, "POST")
+            return self._simulate(body)
+        raise _HttpError(404, f"no route {path!r}")
+
+    # -- endpoint bodies -----------------------------------------------------
+
+    def _tenant_for(self, payload: Dict[str, Any], endpoint: str):
+        name = payload.get("tenant")
+        if not isinstance(name, str):
+            raise _HttpError(400, "request needs a 'tenant' name")
+        try:
+            tenant = self.service.tenant(name)
+        except KeyError as exc:
+            raise _HttpError(404, str(exc)) from exc
+        now_s = asyncio.get_running_loop().time()
+        wait_s = self.service.blocked_for(tenant, endpoint, now_s)
+        if wait_s is not None:
+            self.registry.counter("serve.http.rejected_503").inc()
+            raise _HttpError(
+                503,
+                f"tenant {name!r} is {tenant.mode}; retry later",
+                retry_after_s=wait_s,
+            )
+        tenant.requests += 1
+        return tenant
+
+    async def _peak(
+        self, headers: Dict[str, str], body: bytes
+    ) -> Tuple[int, bytes, Dict[str, str]]:
+        if headers.get("content-type", "").startswith(_JSONL):
+            return await self._peak_jsonl(body)
+        payload = _parse_json(body)
+        tenant = self._tenant_for(payload, "peak")
+        seqs, taus_s = _catch_400(
+            lambda: self.service.parse_candidates(tenant, payload)
+        )
+        peaks = await self.batcher.evaluate_many(tenant.calculator, seqs, taus_s)
+        single = "candidates" not in payload
+        return _json_response(
+            self.service.peak_payload(tenant, peaks, taus_s, single)
+        )
+
+    async def _peak_jsonl(self, body: bytes) -> Tuple[int, bytes, Dict[str, str]]:
+        """Streaming form: header line, then one candidate per JSONL line."""
+        lines = [line for line in body.decode("utf-8").splitlines() if line.strip()]
+        if not lines:
+            raise _HttpError(400, "empty JSONL body")
+        header = _parse_json(lines[0].encode())
+        tenant = self._tenant_for(header, "peak")
+        seqs, taus_s = [], []
+        for line in lines[1:]:
+            candidate = _parse_json(line.encode())
+            seq, tau_s = _catch_400(
+                lambda c=candidate: self.service._parse_candidate(tenant, c)
+            )
+            seqs.append(seq)
+            taus_s.append(tau_s)
+        if not seqs:
+            raise _HttpError(400, "JSONL body has no candidates")
+        peaks = await self.batcher.evaluate_many(tenant.calculator, seqs, taus_s)
+        results = self.service.peak_payload(tenant, peaks, taus_s, single=False)
+        payload = "\n".join(
+            json.dumps(result, sort_keys=True) for result in results["results"]
+        ).encode() + b"\n"
+        return 200, payload, {"Content-Type": _JSONL}
+
+    async def _tau(self, body: bytes) -> Tuple[int, bytes, Dict[str, str]]:
+        payload = _parse_json(body)
+        tenant = self._tenant_for(payload, "tau")
+        seqs, taus_s = _catch_400(
+            lambda: self.service.ladder_candidates(tenant, payload)
+        )
+        peaks = await self.batcher.evaluate_many(tenant.calculator, seqs, taus_s)
+        return _json_response(self.service.tau_payload(tenant, peaks, taus_s))
+
+    def _simulate(self, body: bytes) -> Tuple[int, bytes, Dict[str, str]]:
+        payload = _parse_json(body)
+        tenant = self._tenant_for(payload, "simulate")
+        now_s = asyncio.get_running_loop().time()
+        try:
+            summary = _catch_400(lambda: self.service.simulate(tenant, payload))
+        except _HttpError:
+            raise
+        except Exception as exc:
+            mode = self.service.record_simulate_failure(tenant, now_s)
+            self.registry.counter("serve.http.errors").inc()
+            payload_bytes = _json_bytes(
+                {
+                    "error": f"simulation failed: {type(exc).__name__}: {exc}",
+                    "status": 500,
+                    "tenant": tenant.name,
+                    "mode": mode,
+                }
+            )
+            return 500, payload_bytes, {"Content-Type": _JSON}
+        self.service.record_simulate_success(tenant)
+        summary["tenant"] = tenant.name
+        return _json_response(summary)
+
+    def _metrics_response(self) -> Tuple[int, bytes, Dict[str, str]]:
+        """Refresh the ``serve.*`` gauges and render OpenMetrics."""
+        for name, value in self.service.gauges().items():
+            self.registry.gauge(name).set(value)
+        for name, value in self.batcher.stats().items():
+            self.registry.gauge(f"serve.{name}").set(value)
+        text = to_openmetrics(self.registry.snapshot())
+        return 200, text.encode("utf-8"), {"Content-Type": _OPENMETRICS}
+
+
+def _require(method: str, expected: str) -> None:
+    if method != expected:
+        raise _HttpError(405, f"method {method} not allowed (use {expected})")
+
+
+def _parse_json(body: bytes) -> Dict[str, Any]:
+    if not body:
+        return {}
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise _HttpError(400, f"invalid JSON body: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise _HttpError(400, "request body must be a JSON object")
+    return payload
+
+
+def _catch_400(fn):
+    """Run a service call, translating ``ValueError`` into HTTP 400."""
+    try:
+        return fn()
+    except ValueError as exc:
+        raise _HttpError(400, str(exc)) from exc
+
+
+def _json_bytes(payload: Dict[str, Any]) -> bytes:
+    return json.dumps(payload, sort_keys=True).encode("utf-8") + b"\n"
+
+
+def _json_response(payload: Dict[str, Any]) -> Tuple[int, bytes, Dict[str, str]]:
+    return 200, _json_bytes(payload), {"Content-Type": _JSON}

@@ -31,14 +31,45 @@ from ..workload.perf import PerformanceModel
 class SimContext:
     """All platform models for one simulation, built from a SystemConfig."""
 
-    def __init__(self, config: SystemConfig, model: Optional[RCThermalModel] = None):
+    def __init__(
+        self,
+        config: SystemConfig,
+        model: Optional[RCThermalModel] = None,
+        dynamics: Optional[ThermalDynamics] = None,
+        calculator: Optional[PeakTemperatureCalculator] = None,
+    ):
         self.config = config
         self.mesh = Mesh(config.mesh_width, config.mesh_height)
         self.rings = AmdRings(self.mesh)
-        self.thermal_model = model if model is not None else calibrated_model(config)
-        self.dynamics = ThermalDynamics(self.thermal_model)
-        self.calculator = PeakTemperatureCalculator(
-            self.dynamics, config.thermal.ambient_c
+        # the expensive substrates can be injected prebuilt: the serve
+        # layer (repro.serve.ServeCache) shares one eigendecomposition and
+        # one Algorithm-1 calculator across every tenant with the same
+        # floorplan/config fingerprint instead of redoing the O(N^3) work
+        # per tenant
+        if dynamics is not None:
+            self.thermal_model = dynamics.model
+            self.dynamics = dynamics
+        else:
+            self.thermal_model = (
+                model if model is not None else calibrated_model(config)
+            )
+            self.dynamics = ThermalDynamics(self.thermal_model)
+        thermal = config.thermal
+        self.calculator = (
+            calculator
+            if calculator is not None
+            else PeakTemperatureCalculator(
+                self.dynamics,
+                thermal.ambient_c,
+                # every thermal parameter a cached peak's interpretation
+                # depends on: a shared memo keyed without these could
+                # serve one tenant another tenant's answer
+                config_key=(
+                    thermal.ambient_c,
+                    thermal.dtm_threshold_c,
+                    thermal.dtm_hysteresis_c,
+                ),
+            )
         )
         self.power_model = PowerModel(config.dvfs, config.thermal)
         self.dvfs = DvfsController(config.dvfs, self.power_model)

@@ -131,3 +131,85 @@ class TestCacheBounds:
         stats = calc.cache_stats()
         assert stats["alpha_cache.size"] <= mod._ALPHA_CACHE_SIZE
         assert stats["alpha_cache.evictions"] >= 3
+
+
+class TestSharedMemoConfigKeys:
+    """Regression: memo keys must carry the thermal configuration.
+
+    The cross-tenant serve cache shares one peak memo store between
+    calculators of tenants with the same floorplan.  Before the fix the
+    fingerprint was only (tau, shape, digest), so two tenants differing
+    only in ``T_DTM``/hysteresis/ambient would silently trade answers.
+    """
+
+    def test_fingerprint_includes_config_key(self, dynamics16, cfg16, rng):
+        thermal = cfg16.thermal
+        calc = PeakTemperatureCalculator(
+            dynamics16,
+            thermal.ambient_c,
+            config_key=(
+                thermal.ambient_c,
+                thermal.dtm_threshold_c,
+                thermal.dtm_hysteresis_c,
+            ),
+        )
+        seq = rng.uniform(0.0, 8.0, size=(2, dynamics16.model.n_cores))
+        key = calc._fingerprint(seq, 1e-3)
+        assert key[0] == (
+            thermal.ambient_c,
+            thermal.dtm_threshold_c,
+            thermal.dtm_hysteresis_c,
+        )
+
+    def test_shared_store_no_stale_hit_across_ambients(
+        self, dynamics16, rng
+    ):
+        from repro._lru import LruCache
+
+        shared = LruCache(256)
+        cool = PeakTemperatureCalculator(
+            dynamics16, 45.0, config_key=(45.0, 70.0, 2.0), peak_cache=shared
+        )
+        warm = PeakTemperatureCalculator(
+            dynamics16, 55.0, config_key=(55.0, 80.0, 2.0), peak_cache=shared
+        )
+        seq = rng.uniform(0.0, 8.0, size=(2, dynamics16.model.n_cores))
+        peak_cool = float(cool.peak_batch([seq], [1e-3])[0])
+        peak_warm = float(warm.peak_batch([seq], [1e-3])[0])
+        # a stale hit would have returned the 45C-ambient answer verbatim
+        assert peak_warm == pytest.approx(peak_cool + 10.0, abs=1e-6)
+        # both answers are cached side by side in the one shared store
+        assert shared.peek(cool._fingerprint(seq, 1e-3)) == peak_cool
+        assert shared.peek(warm._fingerprint(seq, 1e-3)) == peak_warm
+
+    def test_same_config_key_shares_hits_across_calculators(
+        self, dynamics16, cfg16, rng
+    ):
+        from repro._lru import LruCache
+
+        shared = LruCache(256)
+        key = (45.0, 70.0, 2.0)
+        a = PeakTemperatureCalculator(
+            dynamics16, 45.0, config_key=key, peak_cache=shared
+        )
+        b = PeakTemperatureCalculator(
+            dynamics16, 45.0, config_key=key, peak_cache=shared
+        )
+        seq = rng.uniform(0.0, 8.0, size=(2, dynamics16.model.n_cores))
+        first = a.peak_batch([seq], [1e-3])
+        hits_before = shared.hits
+        second = b.peak_batch([seq], [1e-3])
+        np.testing.assert_array_equal(first, second)
+        assert shared.hits == hits_before + 1
+
+    def test_simcontext_passes_thermal_config_key(self):
+        from repro import config
+        from repro.sim.context import SimContext
+
+        ctx = SimContext(config.small_test())
+        thermal = ctx.config.thermal
+        assert ctx.calculator.config_key == (
+            thermal.ambient_c,
+            thermal.dtm_threshold_c,
+            thermal.dtm_hysteresis_c,
+        )

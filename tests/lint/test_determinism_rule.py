@@ -169,3 +169,49 @@ class TestTopLevelDeterministicModules:
             f for f in run_lint([src]) if f.family == "determinism"
         ]
         assert determinism == []
+
+
+class TestServePackageIsDeterministic:
+    """repro/serve/ joined DETERMINISTIC_MODULES: identical request
+    payloads must yield identical answers and the loadgen request tape
+    is a pure function of its seed, so calendar time and global RNG are
+    banned; monotonic clocks (latency measurement) stay allowed."""
+
+    def test_wallclock_in_serve_fires(self, lint_files):
+        code = DOC + "import time\nstamp = time.time()\n"
+        findings = lint_files(
+            {"repro/serve/snippet.py": code}, select="det-wallclock"
+        )
+        assert rule_ids(findings) == ["det-wallclock"]
+
+    def test_global_random_in_serve_fires(self, lint_files):
+        code = DOC + "import random\nport = random.randint(1024, 65535)\n"
+        findings = lint_files(
+            {"repro/serve/snippet.py": code}, select="det-global-random"
+        )
+        assert rule_ids(findings) == ["det-global-random"]
+
+    def test_perf_counter_in_serve_is_clean(self, lint_files):
+        code = DOC + "import time\nstart = time.perf_counter()\n"
+        assert (
+            lint_files({"repro/serve/snippet.py": code}, select="determinism")
+            == []
+        )
+
+    def test_committed_serve_package_is_clean(self):
+        from pathlib import Path
+
+        from repro.lint import run_lint
+
+        serve = (
+            Path(__file__).resolve().parent.parent.parent
+            / "src"
+            / "repro"
+            / "serve"
+        )
+        sources = sorted(serve.glob("*.py"))
+        assert sources, "serve package sources not found"
+        determinism = [
+            f for f in run_lint(sources) if f.family == "determinism"
+        ]
+        assert determinism == []

@@ -1,0 +1,112 @@
+"""Cross-tenant cache semantics: sharing, isolation, counters."""
+
+import numpy as np
+import pytest
+
+from repro import config
+from repro.serve import ServeCache, config_fingerprint, model_fingerprint
+
+
+@pytest.fixture()
+def cache():
+    return ServeCache()
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return config.small_test()
+
+
+class TestFingerprints:
+    def test_same_config_same_fingerprints(self, cfg):
+        assert config_fingerprint(cfg) == config_fingerprint(cfg)
+        assert model_fingerprint(cfg) == model_fingerprint(cfg)
+
+    def test_dtm_threshold_changes_model_fingerprint(self, cfg):
+        import dataclasses
+
+        warm = cfg.replace(
+            thermal=dataclasses.replace(cfg.thermal, dtm_threshold_c=80.0)
+        )
+        assert model_fingerprint(warm) != model_fingerprint(cfg)
+        assert config_fingerprint(warm) != config_fingerprint(cfg)
+
+    def test_hysteresis_changes_only_config_fingerprint(self, cfg):
+        import dataclasses
+
+        tweaked = cfg.replace(
+            thermal=dataclasses.replace(cfg.thermal, dtm_hysteresis_c=3.0)
+        )
+        assert model_fingerprint(tweaked) == model_fingerprint(cfg)
+        assert config_fingerprint(tweaked) != config_fingerprint(cfg)
+
+
+class TestSharing:
+    def test_same_config_shares_dynamics_and_calculator(self, cache, cfg):
+        assert cache.dynamics_for(cfg) is cache.dynamics_for(cfg)
+        assert cache.calculator_for(cfg) is cache.calculator_for(cfg)
+        stats = cache.stats()
+        assert stats["dynamics.misses"] == 1
+        assert stats["dynamics.hits"] >= 1
+
+    def test_different_threshold_distinct_dynamics(self, cache, cfg):
+        import dataclasses
+
+        warm = cfg.replace(
+            thermal=dataclasses.replace(cfg.thermal, dtm_threshold_c=80.0)
+        )
+        assert cache.dynamics_for(cfg) is not cache.dynamics_for(warm)
+        assert cache.stats()["dynamics.misses"] == 2
+
+    def test_hysteresis_variants_share_memo_store(self, cache, cfg):
+        """Calculators differing only in hysteresis share one memo but
+        never each other's entries (config_key in the fingerprint)."""
+        import dataclasses
+
+        tweaked = cfg.replace(
+            thermal=dataclasses.replace(cfg.thermal, dtm_hysteresis_c=3.0)
+        )
+        calc_a = cache.calculator_for(cfg)
+        calc_b = cache.calculator_for(tweaked)
+        assert calc_a is not calc_b
+        assert calc_a._peak_cache is calc_b._peak_cache
+        assert calc_a.config_key != calc_b.config_key
+        power = np.full((1, cfg.n_cores), 1.0)
+        peak_a = calc_a.peak_batch([power], [None])[0]
+        peak_b = calc_b.peak_batch([power], [None])[0]
+        assert peak_a == peak_b  # same physics...
+        # ...but cached under distinct keys: no hit crossed calculators
+        assert len(calc_a._peak_cache) == 2
+
+    def test_memo_hits_across_shared_calculator(self, cache, cfg):
+        calc = cache.calculator_for(cfg)
+        power = np.full((1, cfg.n_cores), 1.2)
+        first = calc.peak_batch([power], [None])[0]
+        again = calc.peak_batch([power], [None])[0]
+        assert first == again
+        assert cache.stats()["peak_memo.hits"] >= 1
+
+    def test_context_for_reuses_substrates(self, cache, cfg):
+        ctx = cache.context_for(cfg)
+        assert ctx.dynamics is cache.dynamics_for(cfg)
+        assert ctx.calculator is cache.calculator_for(cfg)
+        # contexts themselves are private per call
+        assert cache.context_for(cfg) is not ctx
+
+
+class TestEviction:
+    def test_retired_memo_keeps_counters_drops_data(self, cfg):
+        import dataclasses
+
+        cache = ServeCache(dynamics_capacity=1)
+        calc = cache.calculator_for(cfg)
+        power = np.full((1, cfg.n_cores), 1.0)
+        calc.peak_batch([power], [None])
+        assert cache.stats()["peak_memo.size"] == 1
+        warm = cfg.replace(
+            thermal=dataclasses.replace(cfg.thermal, dtm_threshold_c=80.0)
+        )
+        cache.dynamics_for(warm)  # evicts cfg's entry, retires its memo
+        stats = cache.stats()
+        assert stats["peak_memo.size"] == 0  # data dropped
+        assert stats["peak_memo.misses"] >= 1  # counters preserved

@@ -1,16 +1,20 @@
-"""Docs cannot silently rot: every ``repro.*`` reference must resolve.
+"""Docs cannot silently rot: every reference must resolve.
 
 Scans every markdown file under ``docs/`` (plus the top-level README) for
 
 - dotted references like ``repro.sched.HotPotatoScheduler`` or
-  ``repro.workload.characterize`` (module paths and attribute paths), and
+  ``repro.workload.characterize`` (module paths and attribute paths),
 - ``from repro.x import a, b`` / ``import repro.x`` lines inside code
-  fences,
+  fences, and
+- relative markdown links like ``[serve.md](serve.md)`` or
+  ``[README](../README.md)``,
 
 then imports the module part and asserts every referenced attribute
-actually exists.  A failing entry names the documentation file and the
-dangling symbol, so a rename in ``src/repro/`` that is not propagated to
-the docs fails CI immediately.
+actually exists, and resolves every relative link against the linking
+file's directory and asserts the target file exists.  A failing entry
+names the documentation file and the dangling symbol or link, so a
+rename in ``src/repro/`` (or a moved document) that is not propagated
+to the docs fails CI immediately.
 """
 
 import importlib
@@ -29,6 +33,8 @@ _FROM_IMPORT = re.compile(
     r"^\s*from\s+(repro(?:\.[A-Za-z_][A-Za-z0-9_]*)*)\s+import\s+(.+)$"
 )
 _PLAIN_IMPORT = re.compile(r"^\s*import\s+(repro(?:\.[A-Za-z_][A-Za-z0-9_]*)*)\s*$")
+#: markdown inline link: [text](target) — target captured up to ')'.
+_MD_LINK = re.compile(r"\[[^\]]*\]\(([^)]+)\)")
 
 
 def _references(text: str):
@@ -86,6 +92,37 @@ def test_documented_symbol_resolves(ref):
     _resolve(ref)
 
 
+def _relative_links(text: str):
+    """All relative (non-http, non-anchor) link targets in a document."""
+    targets = []
+    for target in _MD_LINK.findall(text):
+        target = target.strip()
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        path = target.split("#", 1)[0]  # drop any anchor
+        if path:
+            targets.append(path)
+    return targets
+
+
+def _collect_link_params():
+    params = []
+    for path in DOC_FILES:
+        rel = path.relative_to(REPO_ROOT)
+        for target in _relative_links(path.read_text()):
+            params.append(pytest.param(path, target, id=f"{rel}:{target}"))
+    return params
+
+
+@pytest.mark.parametrize("doc, target", _collect_link_params())
+def test_documented_link_resolves(doc, target):
+    """Every relative link in the docs points at an existing file."""
+    resolved = (doc.parent / target).resolve()
+    assert resolved.exists(), f"{doc.name}: dead link {target!r}"
+    # stay honest: a link must not escape the repository
+    assert REPO_ROOT in resolved.parents or resolved == REPO_ROOT
+
+
 def test_docs_are_actually_scanned():
     """The scan must see the doc set this repo ships (guards the glob)."""
     names = {path.name for path in DOC_FILES}
@@ -96,6 +133,9 @@ def test_docs_are_actually_scanned():
         "schedulers.md",
         "thermal_model.md",
         "workloads.md",
+        "faults.md",
+        "serve.md",
+        "architecture.md",
     } <= names
 
 
@@ -119,3 +159,17 @@ def test_reference_extraction_understands_both_forms():
 def test_resolver_rejects_dangling_symbols():
     with pytest.raises(AssertionError):
         _resolve("repro.sched.NoSuchScheduler")
+
+
+def test_link_extraction_skips_external_and_anchors():
+    text = (
+        "[index](README.md) [deep](../README.md#quickstart)\n"
+        "[web](https://example.org/x.md) [frag](#section)\n"
+    )
+    assert _relative_links(text) == ["README.md", "../README.md"]
+
+
+def test_dead_link_would_fail():
+    doc = DOC_FILES[0]
+    resolved = (doc.parent / "no_such_file.md").resolve()
+    assert not resolved.exists()

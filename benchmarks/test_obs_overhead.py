@@ -7,6 +7,12 @@ records the measured per-interval costs in ``BENCH_obs_overhead.json`` at
 the repository root, so regressions in the recording path show up as
 numbers, not vibes.
 
+The span tracer has the same contract at request granularity: a second
+fixture times the serve hot path (three nested spans around a real
+peak-temperature evaluation) with no tracer, a disabled tracer, and an
+enabled tracer, and gates the disabled-tracer cost at <= 2% over
+baseline.  Those measurements land in the artifact under ``tracing``.
+
 Wall-clock assertions are deliberately generous (shared CI boxes are
 noisy); the JSON artifact carries the precise measurements.
 """
@@ -79,7 +85,7 @@ def measurements(ctx16, tmp_path_factory):
     return timings
 
 
-def test_levels_complete_and_artifact_written(measurements):
+def test_levels_complete_and_artifact_written(measurements, span_timings):
     assert set(measurements) == set(LEVELS)
     for stats in measurements.values():
         assert stats["best_wall_s"] > 0
@@ -92,12 +98,70 @@ def test_levels_complete_and_artifact_written(measurements):
                 "repeats": REPEATS,
                 "platform": "motivational (16 cores)",
                 "levels": measurements,
+                "tracing": span_timings,
             },
             indent=2,
         )
         + "\n"
     )
     assert json.loads(ARTIFACT.read_text())["levels"]
+
+
+TRACE_ITERATIONS = 400
+
+
+def _span_workload(tracer, calculator, base):
+    """The serve hot path in miniature: three nested spans per request
+    around a real peak-temperature evaluation (mirrors the span tree
+    ``http.<endpoint>`` -> ``batch.flush`` -> ``batch.peak_batch``).
+
+    Power varies per request (and per repeat, via ``base``) so every
+    iteration pays the full evaluation rather than a memo hit.
+    """
+    total = 0.0
+    for index in range(TRACE_ITERATIONS):
+        seq = [[1.0 + (base + index) * 1e-6] * 4]
+        if tracer is None:
+            total += calculator.peak_batch([seq], [None])[0]
+        else:
+            with tracer.span("http.peak", root=True):
+                with tracer.span("batch.flush"):
+                    with tracer.span("batch.peak_batch"):
+                        total += calculator.peak_batch([seq], [None])[0]
+    return total
+
+
+@pytest.fixture(scope="module")
+def span_timings():
+    from repro.core.peak_temperature import PeakTemperatureCalculator
+    from repro.obs.spans import SpanTracer
+    from repro.thermal.calibrate import calibrated_model
+    from repro.thermal.matex import ThermalDynamics
+
+    cfg = config.SystemConfig(mesh_width=2, mesh_height=2)
+    calculator = PeakTemperatureCalculator(
+        ThermalDynamics(calibrated_model(cfg)), cfg.thermal.ambient_c
+    )
+    timings = {}
+    for name, tracer_factory in (
+        ("baseline", lambda: None),
+        ("tracing_disabled", lambda: SpanTracer(enabled=False)),
+        ("tracing_enabled", lambda: SpanTracer(enabled=True, capacity=256)),
+    ):
+        best = None
+        for repeat in range(REPEATS):
+            tracer = tracer_factory()
+            base = (len(timings) * REPEATS + repeat + 1) * TRACE_ITERATIONS
+            start = time.perf_counter()
+            _span_workload(tracer, calculator, base)
+            elapsed = time.perf_counter() - start
+            best = elapsed if best is None else min(best, elapsed)
+        timings[name] = {
+            "best_wall_s": best,
+            "iterations": TRACE_ITERATIONS,
+            "per_request_us": best / TRACE_ITERATIONS * 1e6,
+        }
+    return timings
 
 
 def test_metrics_overhead_is_bounded(measurements):
@@ -117,3 +181,24 @@ def test_full_instrumentation_overhead_is_bounded(measurements):
     off = measurements["off"]["best_wall_s"]
     full = measurements["full_trace_sink"]["best_wall_s"]
     assert full < off * 5.0 + 1.0
+
+
+def test_disabled_tracing_overhead_is_bounded(span_timings):
+    """The span tracer's "off by default, free when off" gate.
+
+    A disabled :class:`SpanTracer` must cost <= 2% over the uninstrumented
+    request path (its ``span()`` is a single ``enabled`` check returning a
+    shared no-op).  The absolute slack term absorbs scheduler noise on
+    shared CI boxes; the artifact carries the precise measurements.
+    """
+    baseline = span_timings["baseline"]["best_wall_s"]
+    disabled = span_timings["tracing_disabled"]["best_wall_s"]
+    assert disabled <= baseline * 1.02 + 0.05
+
+
+def test_enabled_tracing_overhead_is_bounded(span_timings):
+    """Enabled tracing (3 spans/request, in-memory ring, no sink) stays
+    within a small multiple of the bare request path."""
+    baseline = span_timings["baseline"]["best_wall_s"]
+    enabled = span_timings["tracing_enabled"]["best_wall_s"]
+    assert enabled < baseline * 3.0 + 0.5

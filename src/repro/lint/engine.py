@@ -39,8 +39,11 @@ DETERMINISTIC_SUBPACKAGES = ("sim", "sched", "thermal", "core")
 #: identical answers (cached or not), and its load generator replays a
 #: request tape that is a pure function of its seed — monotonic clocks
 #: (``loop.time()``, ``perf_counter``) are fine for latency measurement,
-#: calendar time is not.
-DETERMINISTIC_MODULES = ("parallel.py", "faults/", "serve/")
+#: calendar time is not.  The span tracer joins for the same reason:
+#: trace/span ids are monotonic counters and durations come from
+#: ``perf_counter`` only, so a span JSONL is replayable and two traced
+#: runs differ only in their (excluded-by-convention) timing fields.
+DETERMINISTIC_MODULES = ("parallel.py", "faults/", "serve/", "obs/spans.py")
 
 #: Rule id reported for files the engine cannot parse.
 PARSE_ERROR_RULE = "parse-error"

@@ -62,8 +62,8 @@ class _DeterminismRule(Rule):
                 # package entry, e.g. "faults/" covers repro/faults/**
                 if rel[:1] == (entry[:-1],):
                     return True
-            elif rel == (entry,):
-                # top-level module entry, e.g. repro/parallel.py
+            elif rel == tuple(entry.split("/")):
+                # module entry, e.g. repro/parallel.py or repro/obs/spans.py
                 return True
         return False
 

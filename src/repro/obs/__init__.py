@@ -21,10 +21,17 @@ hot loop, plus the analytics that turn its artifacts into insight (see
   analytic ``T_peak`` of Algorithm 1), bundled as :class:`RunAnalysis`;
 - :mod:`repro.obs.detect` — a detector registry producing structured
   :class:`Violation` records, online or offline;
-- :mod:`repro.obs.export` — OpenMetrics textfile rendering and a
-  self-contained single-file HTML report;
+- :mod:`repro.obs.export` — OpenMetrics textfile rendering (including
+  histogram quantile/bucket exposition) and self-contained single-file
+  HTML reports (run report and trace waterfall);
+- :class:`SpanTracer` — off-by-default request tracing for the serve
+  stack: trace/span/parent ids, monotonic durations, bounded ring buffer,
+  optional JSONL sink (:mod:`repro.obs.spans`);
+- :class:`SloTracker` — per-tenant latency error budgets and burn rates
+  (:mod:`repro.obs.slo`), with matching detectors
+  (``slo-latency-violation``, ``span-orphan``);
 - ``python -m repro.obs`` — the CLI over saved artifacts: ``summarize``,
-  ``check``, ``diff``, ``export``.
+  ``check``, ``diff``, ``export``, ``spans``.
 
 Enable via configuration (``config.obs``) or pass an observer explicitly::
 
@@ -62,6 +69,8 @@ from .detect import (
     DtmThrashDetector,
     PowerMapDetector,
     RotationStallDetector,
+    SloLatencyViolationDetector,
+    SpanOrphanDetector,
     ThresholdDetector,
     UnsafeDegradationDetector,
     Violation,
@@ -70,17 +79,29 @@ from .detect import (
     run_detectors,
 )
 from .export import (
+    histogram_exposition,
     html_report,
     openmetrics_name,
     parse_openmetrics,
     to_openmetrics,
+    trace_waterfall_html,
     write_html_report,
     write_openmetrics,
+    write_trace_waterfall,
 )
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .observer import Observer
 from .profiling import PhaseProfiler, PhaseStat
 from .sink import JsonlTraceSink
+from .slo import SloTarget, SloTracker
+from .spans import (
+    SpanRecord,
+    SpanTracer,
+    read_spans_jsonl,
+    span_to_json_line,
+    spans_from_jsonl,
+    spans_to_jsonl,
+)
 from .trace import (
     EpochRecord,
     EventRecord,
@@ -114,6 +135,12 @@ __all__ = [
     "RotationStallDetector",
     "RotationStats",
     "RunAnalysis",
+    "SloLatencyViolationDetector",
+    "SloTarget",
+    "SloTracker",
+    "SpanOrphanDetector",
+    "SpanRecord",
+    "SpanTracer",
     "ThermalSummary",
     "ThresholdDetector",
     "TraceRecord",
@@ -127,16 +154,23 @@ __all__ = [
     "dtm_stats",
     "event_callback",
     "event_to_record",
+    "histogram_exposition",
     "html_report",
     "infer_rotation_period",
     "migration_stats",
     "openmetrics_name",
     "parse_openmetrics",
+    "read_spans_jsonl",
     "record_to_json_line",
     "rotation_stats",
     "run_detectors",
+    "span_to_json_line",
+    "spans_from_jsonl",
+    "spans_to_jsonl",
     "thermal_stats",
     "to_openmetrics",
+    "trace_waterfall_html",
     "write_html_report",
     "write_openmetrics",
+    "write_trace_waterfall",
 ]

@@ -11,7 +11,11 @@ JSON (``MetricsRegistry.save``) and result JSON (``repro.io.save_result``):
 - ``diff <a> <b>`` — compare two runs' snapshots or analyses with
   configurable tolerances; exit status 1 on drift (the regression gate);
 - ``export <artifact>`` — render OpenMetrics or a self-contained HTML
-  report.
+  report;
+- ``spans {summarize,slowest,export} <spans.jsonl>`` — analytics over
+  request-span JSONL written by :class:`~repro.obs.spans.SpanTracer`:
+  per-name duration statistics, the slowest traces, or a trace-waterfall
+  HTML export.
 
 ``--config {table1,motivational,small_test}`` names the platform the trace
 was recorded on; it unlocks everything that needs platform knowledge (the
@@ -43,7 +47,8 @@ from .detect import (
     default_detectors,
     run_detectors,
 )
-from .export import to_openmetrics, write_html_report
+from .export import to_openmetrics, write_html_report, write_trace_waterfall
+from .spans import SpanRecord, read_spans_jsonl
 from .trace import TraceRecorder
 
 #: Drift patterns ``diff`` skips unless ``--no-default-ignores``: wall-clock
@@ -306,6 +311,142 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+# -- spans ---------------------------------------------------------------------
+
+
+def _load_spans(path: str) -> List[SpanRecord]:
+    spans = read_spans_jsonl(path)
+    if not spans:
+        raise SystemExit(f"error: {path} holds no span records")
+    return spans
+
+
+def _trace_bounds(spans: Sequence[SpanRecord]) -> Tuple[float, float]:
+    return (
+        min(s.start_s for s in spans),
+        max(s.end_s for s in spans),
+    )
+
+
+def _cmd_spans_summarize(args: argparse.Namespace) -> int:
+    spans = _load_spans(args.spans)
+    by_name: Dict[str, List[float]] = {}
+    traces: Dict[int, List[SpanRecord]] = {}
+    errors = 0
+    for span in spans:
+        by_name.setdefault(span.name, []).append(span.duration_s)
+        traces.setdefault(span.trace_id, []).append(span)
+        if not span.status.startswith("ok"):
+            errors += 1
+    if args.json:
+        print_json(
+            {
+                "spans": len(spans),
+                "traces": len(traces),
+                "errors": errors,
+                "by_name": {
+                    name: {
+                        "count": len(durations),
+                        "total_s": sum(durations),
+                        "mean_s": sum(durations) / len(durations),
+                        "max_s": max(durations),
+                    }
+                    for name, durations in sorted(by_name.items())
+                },
+            }
+        )
+        return EXIT_OK
+    from ..experiments.reporting import render_table
+
+    print(
+        f"{args.spans}: {len(spans)} spans in {len(traces)} traces, "
+        f"{errors} with error status"
+    )
+    rows = [
+        [
+            name,
+            str(len(durations)),
+            f"{sum(durations) * 1e3:.2f}",
+            f"{sum(durations) / len(durations) * 1e3:.3f}",
+            f"{max(durations) * 1e3:.3f}",
+        ]
+        for name, durations in sorted(
+            by_name.items(), key=lambda kv: -sum(kv[1])
+        )
+    ]
+    print(
+        render_table(
+            ["span", "count", "total [ms]", "mean [ms]", "max [ms]"],
+            rows,
+            title="span durations",
+        )
+    )
+    return EXIT_OK
+
+
+def _cmd_spans_slowest(args: argparse.Namespace) -> int:
+    spans = _load_spans(args.spans)
+    traces: Dict[int, List[SpanRecord]] = {}
+    for span in spans:
+        traces.setdefault(span.trace_id, []).append(span)
+    ranked = sorted(
+        traces.items(),
+        key=lambda kv: -(_trace_bounds(kv[1])[1] - _trace_bounds(kv[1])[0]),
+    )[: args.limit]
+    if args.json:
+        print_json(
+            [
+                {
+                    "trace_id": trace_id,
+                    "duration_s": _trace_bounds(ts)[1] - _trace_bounds(ts)[0],
+                    "spans": len(ts),
+                    "root": next(
+                        (s.name for s in ts if s.parent_id is None), None
+                    ),
+                }
+                for trace_id, ts in ranked
+            ]
+        )
+        return EXIT_OK
+    from ..experiments.reporting import render_table
+
+    rows = []
+    for trace_id, trace_spans in ranked:
+        start, end = _trace_bounds(trace_spans)
+        root = next(
+            (s.name for s in trace_spans if s.parent_id is None), "(orphaned)"
+        )
+        rows.append(
+            [
+                str(trace_id),
+                root,
+                str(len(trace_spans)),
+                f"{(end - start) * 1e3:.3f}",
+            ]
+        )
+    print(
+        render_table(
+            ["trace", "root span", "spans", "duration [ms]"],
+            rows,
+            title=f"{len(ranked)} slowest traces",
+        )
+    )
+    return EXIT_OK
+
+
+def _cmd_spans_export(args: argparse.Namespace) -> int:
+    spans = _load_spans(args.spans)
+    out = Path(args.output)
+    write_trace_waterfall(
+        out,
+        spans,
+        title=args.title or f"Trace waterfall: {Path(args.spans).name}",
+        max_traces=args.limit,
+    )
+    print(f"wrote {out} ({out.stat().st_size} bytes)")
+    return EXIT_OK
+
+
 # -- argument parsing ----------------------------------------------------------
 
 
@@ -431,6 +572,37 @@ def build_parser() -> argparse.ArgumentParser:
     _add_platform_args(p_exp)
     _add_check_args(p_exp)
     p_exp.set_defaults(func=_cmd_export)
+
+    p_spans = sub.add_parser(
+        "spans", help="analytics over request-span JSONL (SpanTracer output)"
+    )
+    spans_sub = p_spans.add_subparsers(dest="spans_command", required=True)
+
+    p_ss = spans_sub.add_parser(
+        "summarize", help="per-span-name duration statistics"
+    )
+    p_ss.add_argument("spans", help="span JSONL file")
+    p_ss.add_argument("--json", action="store_true", help="machine output")
+    p_ss.set_defaults(func=_cmd_spans_summarize)
+
+    p_sl = spans_sub.add_parser("slowest", help="rank traces by duration")
+    p_sl.add_argument("spans", help="span JSONL file")
+    p_sl.add_argument(
+        "--limit", type=int, default=10, help="number of traces to show"
+    )
+    p_sl.add_argument("--json", action="store_true", help="machine output")
+    p_sl.set_defaults(func=_cmd_spans_slowest)
+
+    p_se = spans_sub.add_parser(
+        "export", help="render a self-contained trace-waterfall HTML file"
+    )
+    p_se.add_argument("spans", help="span JSONL file")
+    p_se.add_argument("-o", "--output", required=True, help="output HTML file")
+    p_se.add_argument(
+        "--limit", type=int, default=20, help="max traces in the waterfall"
+    )
+    p_se.add_argument("--title", help="HTML document title")
+    p_se.set_defaults(func=_cmd_spans_export)
     return parser
 
 

@@ -28,6 +28,12 @@ Shipped detectors (create a standard set with :func:`default_detectors`):
                               dropout left the scheduler in ``normal`` mode
                               past the grace window, or temperatures crossed
                               ``T_DTM`` while already degraded
+:class:`SloLatencyViolationDetector`  a tenant's request-latency error
+                              budget ran out (serve layer; fed latencies,
+                              not trace records)
+:class:`SpanOrphanDetector`   a finished span references a parent that is
+                              not in the span set — broken context
+                              propagation or ring-buffer eviction
 ===========================  ==================================================
 
 Exceedance detectors emit one violation per *episode* (entering the bad
@@ -42,6 +48,8 @@ from dataclasses import dataclass
 from typing import Deque, Dict, Iterable, List, Optional, Sequence
 
 from .. import units
+from .slo import SloTarget, SloTracker
+from .spans import SpanRecord
 from .trace import (
     EpochRecord,
     EventRecord,
@@ -420,6 +428,76 @@ class UnsafeDegradationDetector(_ExceedanceDetector):
 
     def finish(self, end_time_s: float) -> None:
         self._check_grace(end_time_s)
+
+
+class SloLatencyViolationDetector(Detector):
+    """A tenant's request-latency error budget ran out.
+
+    Unlike the thermal detectors this one is fed ``(time, latency)``
+    observations by the serve layer (:meth:`observe_latency`), not trace
+    records.  It wraps an :class:`~repro.obs.slo.SloTracker` and follows
+    the episode convention: it fires **exactly once** when the cumulative
+    budget crosses exhaustion, then stays silent until the budget recovers
+    below 1.0 (which, with cumulative accounting, requires a sustained
+    run of fast requests) and is exhausted again.
+    """
+
+    name = "slo-latency-violation"
+
+    def __init__(self, target: SloTarget, tenant: str = ""):
+        super().__init__()
+        self.tracker = SloTracker(target)
+        self.tenant = tenant
+        self._in_violation = False
+
+    def observe_latency(self, time_s: float, latency_s: float) -> None:
+        """Fold one served request into the budget; emit on exhaustion."""
+        self.tracker.record(time_s, latency_s)
+        if self.tracker.exhausted and not self._in_violation:
+            self._in_violation = True
+            who = f"tenant {self.tenant!r}" if self.tenant else "service"
+            self.emit(
+                time_s,
+                f"{who} exhausted its latency error budget: "
+                f"{self.tracker.slow}/{self.tracker.total} requests over "
+                f"{self.tracker.target.latency_s * 1e3:.1f} ms "
+                f"(budget {self.tracker.target.error_budget:.2%}, "
+                f"burn rate {self.tracker.burn_rate(time_s):.1f}x)",
+                value=self.tracker.violation_fraction,
+                limit=self.tracker.target.error_budget,
+            )
+        elif not self.tracker.exhausted:
+            self._in_violation = False
+
+
+class SpanOrphanDetector(Detector):
+    """A span's parent is missing from the span set.
+
+    Orphans mean broken context propagation (a span created on the wrong
+    task/context) or ring-buffer eviction of a still-referenced parent —
+    either way the waterfall is lying about causality, so each orphan is
+    reported as a warning located at the span's start time.
+    """
+
+    name = "span-orphan"
+
+    def check(self, spans: Sequence[SpanRecord]) -> List[Violation]:
+        """Scan a span set; one warning per orphaned span."""
+        ids = {span.span_id for span in spans}
+        found: List[Violation] = []
+        for span in sorted(spans, key=lambda s: (s.start_s, s.span_id)):
+            if span.parent_id is not None and span.parent_id not in ids:
+                found.append(
+                    self.emit(
+                        span.start_s,
+                        f"span {span.span_id} ({span.name!r}, trace "
+                        f"{span.trace_id}) references missing parent "
+                        f"{span.parent_id}",
+                        severity="warning",
+                        value=float(span.span_id),
+                    )
+                )
+        return found
 
 
 def default_detectors(

@@ -11,7 +11,17 @@ Two render targets for observability artifacts:
 - :func:`html_report` — one run as a single self-contained HTML file: no
   external scripts, stylesheets or images, just inline SVG temperature
   timelines per core, the per-core thermal-stress table, the
-  ring-migration table and the violation list.
+  ring-migration table and the violation list;
+- :func:`histogram_exposition` — flattens a
+  :class:`~repro.obs.metrics.Histogram` into label-free quantile
+  (``name.p50``) and cumulative bucket (``name.bucket.le_2em03``)
+  samples that ride the same :func:`to_openmetrics` path — the strict
+  ``name value`` line format stays label-free by design, so quantiles
+  and buckets are encoded in the metric name;
+- :func:`trace_waterfall_html` — spans from
+  :class:`~repro.obs.spans.SpanTracer` as a self-contained HTML trace
+  waterfall (inline SVG, one lane per span, grouped by trace), in the
+  same single-file style as :func:`html_report`.
 """
 
 from __future__ import annotations
@@ -24,6 +34,8 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
 from .analyze import RunAnalysis
 from .detect import Violation
+from .metrics import Histogram
+from .spans import SpanRecord
 from .trace import TraceRecorder
 
 PathLike = Union[str, Path]
@@ -123,6 +135,60 @@ def write_openmetrics(
 ) -> None:
     """Write an OpenMetrics textfile for ``snapshot`` to ``path``."""
     Path(path).write_text(to_openmetrics(snapshot, prefix))
+
+
+# -- histogram quantile/bucket exposition --------------------------------------
+
+#: Default quantiles exposed for every histogram.
+DEFAULT_QUANTILES = (0.5, 0.95, 0.99)
+
+
+def quantile_label(q: float) -> str:
+    """The flat-name label of one quantile: ``0.99`` -> ``p99``."""
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    return ("p%g" % (q * 100.0)).replace(".", "_")
+
+
+def bucket_label(bound: float) -> str:
+    """A short, unique, name-legal label for one bucket bound.
+
+    ``0.002`` -> ``2em03``, ``10.0`` -> ``1ep01`` (``m``/``p`` spell the
+    exponent sign, since ``-``/``+`` would sanitize ambiguously to ``_``).
+    """
+    if math.isinf(bound):
+        return "inf"
+    return f"{bound:.0e}".replace("-", "m").replace("+", "p")
+
+
+def histogram_exposition(
+    name: str,
+    histogram: Histogram,
+    quantiles: Sequence[float] = DEFAULT_QUANTILES,
+) -> Dict[str, float]:
+    """Flatten one histogram into quantile and cumulative-bucket samples.
+
+    The output merges into any snapshot headed for :func:`to_openmetrics`:
+    ``<name>.p50``/``.p95``/``.p99`` (via
+    :meth:`~repro.obs.metrics.Histogram.quantile`) plus the cumulative
+    log-bucket counts ``<name>.bucket.le_<label>`` (``le_2em03`` is
+    "<= 2 ms") and the terminal
+    ``<name>.bucket.le_inf`` (== count).  Everything is encoded in the
+    metric *name* — the exposition (and its strict parser,
+    :func:`parse_openmetrics`) is label-free, which is what lets the
+    load generator round-trip ``/metrics`` without an OpenMetrics
+    label grammar.
+    """
+    flat: Dict[str, float] = {}
+    for q in quantiles:
+        flat[f"{name}.{quantile_label(q)}"] = histogram.quantile(q)
+    cumulative = 0
+    for bound, bucket_count in zip(
+        tuple(histogram.bounds) + (float("inf"),), histogram.bucket_counts
+    ):
+        cumulative += bucket_count
+        flat[f"{name}.bucket.le_{bucket_label(bound)}"] = float(cumulative)
+    return flat
 
 
 # -- HTML report ---------------------------------------------------------------
@@ -400,3 +466,182 @@ def write_html_report(
 ) -> None:
     """Write :func:`html_report` output to ``path``."""
     Path(path).write_text(html_report(trace, analysis, violations, title))
+
+
+# -- trace waterfall -----------------------------------------------------------
+
+
+def _waterfall_rows(spans: Sequence[SpanRecord]) -> List[Tuple[SpanRecord, int]]:
+    """Spans of one trace in parent-first order with their nesting depth.
+
+    Children sort under their parent by start time; spans whose parent is
+    missing (evicted from the ring buffer) render as extra roots at depth
+    0 — visually flagging the orphan the
+    :class:`~repro.obs.detect.SpanOrphanDetector` would report.
+    """
+    ids = {span.span_id for span in spans}
+    children: Dict[Optional[int], List[SpanRecord]] = {}
+    for span in spans:
+        parent = span.parent_id if span.parent_id in ids else None
+        children.setdefault(parent, []).append(span)
+    for siblings in children.values():
+        siblings.sort(key=lambda s: (s.start_s, s.span_id))
+    rows: List[Tuple[SpanRecord, int]] = []
+
+    def _walk(parent: Optional[int], depth: int) -> None:
+        for span in children.get(parent, []):
+            rows.append((span, depth))
+            _walk(span.span_id, depth + 1)
+
+    _walk(None, 0)
+    return rows
+
+
+def _svg_waterfall(
+    spans: Sequence[SpanRecord], width: int = 860
+) -> str:
+    """Inline SVG: one horizontal bar per span, indented by depth."""
+    rows = _waterfall_rows(spans)
+    if not rows:
+        return "<p>(no spans)</p>"
+    t0 = min(span.start_s for span, _ in rows)
+    t1 = max(span.end_s for span, _ in rows)
+    span_names = sorted({span.name for span, _ in rows})
+    color_of = {
+        name: _PALETTE[index % len(_PALETTE)]
+        for index, name in enumerate(span_names)
+    }
+    row_h, margin_l, margin_t = 22, 10, 8
+    label_w = 280
+    plot_w = width - margin_l - label_w - 10
+    height = margin_t * 2 + row_h * len(rows) + 18
+
+    def x_of(t: float) -> float:
+        total = (t1 - t0) or 1.0
+        return margin_l + label_w + (t - t0) / total * plot_w
+
+    parts = [
+        f'<svg viewBox="0 0 {width} {height}" width="{width}" '
+        f'height="{height}" role="img" aria-label="trace waterfall">'
+    ]
+    for index, (span, depth) in enumerate(rows):
+        y = margin_t + index * row_h
+        x0, x1 = x_of(span.start_s), x_of(span.end_s)
+        bar_w = max(x1 - x0, 1.5)
+        color = color_of[span.name]
+        error = not span.status.startswith("ok")
+        stroke = ' stroke="#b00020" stroke-width="1.5"' if error else ""
+        label = f"{'&#160;' * 2 * depth}{_html.escape(span.name)}"
+        duration_ms = span.duration_s * 1e3
+        title = (
+            f"{span.name} #{span.span_id} "
+            f"({duration_ms:.3f} ms, {span.status})"
+        )
+        parts.append(
+            f'<text x="{margin_l}" y="{y + row_h - 7}" font-size="12">'
+            f"{label}</text>"
+        )
+        parts.append(
+            f'<rect x="{x0:.1f}" y="{y + 3}" width="{bar_w:.1f}" '
+            f'height="{row_h - 8}" rx="2" fill="{color}" '
+            f'fill-opacity="0.8"{stroke}>'
+            f"<title>{_html.escape(title)}</title></rect>"
+        )
+        parts.append(
+            f'<text x="{min(x1 + 4, width - 60):.1f}" '
+            f'y="{y + row_h - 7}" font-size="10" fill="#555">'
+            f"{duration_ms:.2f} ms</text>"
+        )
+    duration_label = f"trace duration {(t1 - t0) * 1e3:.2f} ms"
+    parts.append(
+        f'<text x="{margin_l + label_w}" y="{height - 4}" font-size="11" '
+        f'fill="#555">{duration_label}</text>'
+    )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def trace_waterfall_html(
+    spans: Sequence[SpanRecord],
+    title: str = "Trace waterfall",
+    max_traces: int = 20,
+) -> str:
+    """Spans as a single self-contained HTML trace-waterfall document.
+
+    Sections: a per-span-name summary table (count, total/mean/max
+    duration) over *all* spans, then one inline-SVG waterfall per trace —
+    slowest traces first, capped at ``max_traces`` (stated in the output
+    when the cap truncates).  Same conventions as :func:`html_report`:
+    no external assets, one file tells the whole story.
+    """
+    sections: List[str] = [f"<h1>{_html.escape(title)}</h1>"]
+    by_trace: Dict[int, List[SpanRecord]] = {}
+    for span in spans:
+        by_trace.setdefault(span.trace_id, []).append(span)
+    totals: Dict[str, List[float]] = {}
+    for span in spans:
+        totals.setdefault(span.name, []).append(span.duration_s)
+    sections.append("<h2>Span summary</h2>")
+    if totals:
+        sections.append(
+            _table(
+                ("span", "count", "total [ms]", "mean [ms]", "max [ms]"),
+                [
+                    (
+                        name,
+                        len(durations),
+                        f"{sum(durations) * 1e3:.2f}",
+                        f"{sum(durations) / len(durations) * 1e3:.3f}",
+                        f"{max(durations) * 1e3:.3f}",
+                    )
+                    for name, durations in sorted(
+                        totals.items(), key=lambda kv: -sum(kv[1])
+                    )
+                ],
+            )
+        )
+    else:
+        sections.append("<p>(no spans recorded)</p>")
+    ordered = sorted(
+        by_trace.items(),
+        key=lambda kv: -(
+            max(s.end_s for s in kv[1]) - min(s.start_s for s in kv[1])
+        ),
+    )
+    shown = ordered[:max_traces]
+    sections.append(
+        f"<h2>Traces ({len(shown)} of {len(ordered)}, slowest first)</h2>"
+    )
+    for trace_id, trace_spans in shown:
+        duration_ms = (
+            max(s.end_s for s in trace_spans)
+            - min(s.start_s for s in trace_spans)
+        ) * 1e3
+        sections.append(
+            f"<h3>trace {trace_id} — {len(trace_spans)} spans, "
+            f"{duration_ms:.2f} ms</h3>"
+        )
+        sections.append("<figure>")
+        sections.append(_svg_waterfall(trace_spans))
+        sections.append("</figure>")
+    if len(ordered) > max_traces:
+        sections.append(
+            f"<p>({len(ordered) - max_traces} faster traces omitted)</p>"
+        )
+    return (
+        "<!DOCTYPE html>\n<html><head><meta charset='utf-8'>"
+        f"<title>{_html.escape(title)}</title>"
+        f"<style>{_CSS}</style></head><body>"
+        + "".join(sections)
+        + "</body></html>\n"
+    )
+
+
+def write_trace_waterfall(
+    path: PathLike,
+    spans: Sequence[SpanRecord],
+    title: str = "Trace waterfall",
+    max_traces: int = 20,
+) -> None:
+    """Write :func:`trace_waterfall_html` output to ``path``."""
+    Path(path).write_text(trace_waterfall_html(spans, title, max_traces))

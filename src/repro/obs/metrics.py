@@ -9,7 +9,10 @@ the engine, the schedulers and the thermal solver publish into:
   ``thermal.exp_cache.hits`` copied from
   :meth:`~repro.thermal.matex.ThermalDynamics.cache_stats` at run end);
 - :class:`Histogram` — streaming count/sum/min/max of observations (e.g.
-  ``scheduler.decision_latency_s``).
+  ``scheduler.decision_latency_s``), plus log-bucketed counts
+  (1-2-5 decades, :data:`DEFAULT_BUCKET_BOUNDS`) powering
+  :meth:`Histogram.quantile` — the p50/p95/p99 estimator shared by the
+  serve layer's ``/metrics`` exposition and the load generator.
 
 Instruments measuring *wall-clock* quantities are created with
 ``timing=True``; :meth:`MetricsRegistry.snapshot` can exclude them so that
@@ -28,10 +31,20 @@ import csv
 import io as _io
 import json
 import math
+from bisect import bisect_left
 from pathlib import Path
-from typing import Dict, List, Union
+from typing import Dict, List, Tuple, Union
 
 PathLike = Union[str, Path]
+
+#: Log-spaced bucket upper bounds (1-2-5 per decade) covering 1 µs .. 50 s
+#: — the latency range of everything this codebase serves; values above
+#: the last bound land in an overflow bucket.  Quantile estimates
+#: interpolate within a bucket and are clamped to the exact streaming
+#: min/max, so constant data yields exact quantiles.
+DEFAULT_BUCKET_BOUNDS: Tuple[float, ...] = tuple(
+    m * 10.0 ** e for e in range(-6, 2) for m in (1.0, 2.0, 5.0)
+)
 
 
 class Counter:
@@ -69,7 +82,8 @@ class Gauge:
 
 
 class Histogram:
-    """Streaming summary (count/sum/sum-of-squares/min/max) of values."""
+    """Streaming summary (count/sum/sum-of-squares/min/max) of values,
+    with log-bucketed counts for quantile estimation."""
 
     def __init__(self, name: str, timing: bool = False):
         self.name = name
@@ -79,6 +93,10 @@ class Histogram:
         self.sum_sq = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        self.bounds = DEFAULT_BUCKET_BOUNDS
+        #: per-bucket counts; index i counts values <= bounds[i], the
+        #: final slot is the overflow bucket (> bounds[-1]).
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
 
     def observe(self, value: float) -> None:
         """Record one observation."""
@@ -88,6 +106,7 @@ class Histogram:
         self.sum_sq += value * value
         self.min = min(self.min, value)
         self.max = max(self.max, value)
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
 
     @property
     def mean(self) -> float:
@@ -105,6 +124,38 @@ class Histogram:
             return 0.0
         variance = self.sum_sq / self.count - self.mean**2
         return math.sqrt(max(0.0, variance))
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (``0 <= q <= 1``) from the buckets.
+
+        Walks the cumulative bucket counts to the bucket holding rank
+        ``q * count``, interpolates linearly inside it, and clamps the
+        estimate to the exact streaming ``[min, max]`` — so ``p0``/``p100``
+        are exact, every estimate is within one bucket's width (a factor
+        of at most 2.5 on the 1-2-5 grid) of the true quantile, and a
+        constant stream yields exact quantiles.  Returns 0.0 when empty.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self.count:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.bucket_counts):
+            if not bucket_count:
+                continue
+            cumulative += bucket_count
+            if cumulative >= rank:
+                low = self.bounds[index - 1] if index > 0 else min(self.min, 0.0)
+                high = (
+                    self.bounds[index]
+                    if index < len(self.bounds)
+                    else self.max
+                )
+                fraction = (rank - (cumulative - bucket_count)) / bucket_count
+                estimate = low + (high - low) * fraction
+                return min(max(estimate, self.min), self.max)
+        return self.max
 
     def __repr__(self) -> str:
         return f"Histogram({self.name}: n={self.count}, mean={self.mean:g})"
@@ -146,6 +197,14 @@ class MetricsRegistry:
     def names(self) -> List[str]:
         """All registered instrument names, sorted."""
         return sorted(self._instruments)
+
+    def histograms(self) -> Dict[str, Histogram]:
+        """The registered histograms, name-sorted (quantile exposition)."""
+        return {
+            name: instrument
+            for name, instrument in sorted(self._instruments.items())
+            if isinstance(instrument, Histogram)
+        }
 
     def __contains__(self, name: str) -> bool:
         return name in self._instruments

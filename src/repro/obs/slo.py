@@ -1,0 +1,126 @@
+"""Per-tenant latency SLOs: targets, error budgets, burn rates.
+
+An :class:`SloTarget` states the service-level objective for one tenant:
+"at most ``error_budget`` of requests may exceed ``latency_s``".  An
+:class:`SloTracker` consumes ``(time, latency)`` observations and
+maintains
+
+- the cumulative **error-budget consumption**: the fraction of requests
+  that breached the latency target, normalized by the budget — ``1.0``
+  means the budget is exactly spent, above it the SLO is violated;
+- the short-horizon **burn rate** over a sliding window: how fast the
+  budget is being consumed *right now* (``1.0`` = exactly at budget
+  pace; ``2.0`` = burning twice as fast as the SLO allows), the quantity
+  paging policies alert on long before the cumulative budget runs out.
+
+Time is injected by the caller (the serve layer passes the event loop's
+monotonic clock), so the tracker itself never reads a clock and replays
+deterministically from a recorded tape.  The matching detector —
+:class:`repro.obs.detect.SloLatencyViolationDetector` — fires exactly
+once per budget-exhaustion episode.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Tuple
+
+__all__ = ["SloTarget", "SloTracker"]
+
+#: Default sliding window for burn-rate estimation [s].
+DEFAULT_BURN_WINDOW_S = 60.0
+
+
+@dataclass(frozen=True)
+class SloTarget:
+    """One tenant's latency objective."""
+
+    #: per-request latency threshold [s]; above it a request is "slow".
+    latency_s: float
+    #: allowed fraction of slow requests (e.g. 0.01 = 99% must be fast).
+    error_budget: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.latency_s <= 0:
+            raise ValueError("SLO latency target must be positive")
+        if not 0.0 < self.error_budget <= 1.0:
+            raise ValueError("error budget must be in (0, 1]")
+
+
+class SloTracker:
+    """Streaming error-budget and burn-rate accounting for one target."""
+
+    def __init__(
+        self,
+        target: SloTarget,
+        burn_window_s: float = DEFAULT_BURN_WINDOW_S,
+    ):
+        if burn_window_s <= 0:
+            raise ValueError("burn window must be positive")
+        self.target = target
+        self.burn_window_s = float(burn_window_s)
+        self.total = 0
+        self.slow = 0
+        #: (time_s, was_slow) samples inside the burn window.
+        self._window: Deque[Tuple[float, bool]] = deque()
+
+    def record(self, time_s: float, latency_s: float) -> bool:
+        """Fold one request in; returns whether it breached the target."""
+        is_slow = float(latency_s) > self.target.latency_s
+        self.total += 1
+        if is_slow:
+            self.slow += 1
+        self._window.append((float(time_s), is_slow))
+        self._trim(float(time_s))
+        return is_slow
+
+    def _trim(self, now_s: float) -> None:
+        cutoff = now_s - self.burn_window_s
+        while self._window and self._window[0][0] < cutoff:
+            self._window.popleft()
+
+    @property
+    def violation_fraction(self) -> float:
+        """Cumulative fraction of requests over the latency target."""
+        return self.slow / self.total if self.total else 0.0
+
+    @property
+    def budget_used(self) -> float:
+        """Cumulative budget consumption; ``>= 1.0`` means violated."""
+        return self.violation_fraction / self.target.error_budget
+
+    @property
+    def exhausted(self) -> bool:
+        """True once the cumulative error budget is spent."""
+        return self.total > 0 and self.budget_used >= 1.0
+
+    def burn_rate(self, now_s: float) -> float:
+        """Budget-consumption speed over the sliding window.
+
+        ``1.0`` means the window's slow fraction equals the budget
+        exactly; sustained values above 1 exhaust the budget.
+        """
+        self._trim(float(now_s))
+        if not self._window:
+            return 0.0
+        slow = sum(1 for _, is_slow in self._window if is_slow)
+        return (slow / len(self._window)) / self.target.error_budget
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flat view for metrics/JSON exposure."""
+        return {
+            "slo.latency_target_s": self.target.latency_s,
+            "slo.error_budget": self.target.error_budget,
+            "slo.requests": float(self.total),
+            "slo.slow_requests": float(self.slow),
+            "slo.budget_used": self.budget_used,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"SloTracker(<= {self.target.latency_s * 1e3:.1f} ms, "
+            f"budget {self.target.error_budget:.2%}, "
+            f"{self.slow}/{self.total} slow, "
+            f"used {self.budget_used:.2f})"
+        )

@@ -43,6 +43,35 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="micro-batch coalescing window (0 = same event-loop tick)",
     )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="enable request-span tracing (GET /debug/traces)",
+    )
+    parser.add_argument(
+        "--trace-capacity",
+        type=int,
+        default=4096,
+        help="span ring-buffer capacity (with --trace)",
+    )
+    parser.add_argument(
+        "--trace-path",
+        metavar="JSONL",
+        help="stream finished spans to this JSONL file (with --trace)",
+    )
+    parser.add_argument(
+        "--slo-latency",
+        type=float,
+        metavar="SECONDS",
+        help="default per-tenant latency SLO target (unset = no SLO)",
+    )
+    parser.add_argument(
+        "--slo-budget",
+        type=float,
+        default=0.01,
+        metavar="FRACTION",
+        help="allowed fraction of requests over the SLO target",
+    )
     return parser
 
 
@@ -62,6 +91,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         max_tenants=args.max_tenants,
         simulate_max_time_s=args.simulate_max_time,
         batch_window_s=args.batch_window,
+        trace_spans=args.trace,
+        trace_capacity=args.trace_capacity,
+        trace_path=args.trace_path,
+        slo_latency_s=args.slo_latency,
+        slo_error_budget=args.slo_budget,
     )
     try:
         asyncio.run(_serve(config))

@@ -34,11 +34,13 @@ All stores are bounded LRUs; hit/miss/eviction counters surface through
 from __future__ import annotations
 
 import hashlib
-from typing import Dict, Tuple
+from contextlib import nullcontext
+from typing import Dict, Optional, Tuple
 
 from .._lru import LruCache
 from ..config import SystemConfig
 from ..core.peak_temperature import PeakTemperatureCalculator
+from ..obs.spans import SpanTracer
 from ..sim.context import SimContext
 from ..thermal.calibrate import calibrated_model
 from ..thermal.matex import ThermalDynamics
@@ -124,11 +126,21 @@ class ServeCache:
         #: calculator key -> PeakTemperatureCalculator
         self._calculators = LruCache(calculator_capacity)
         self._peak_memo_capacity = peak_memo_capacity
+        #: span tracer; the server attaches its own on construction so the
+        #: expensive eigendecomposition shows up as a ``cache.*`` span
+        #: (a disabled default keeps standalone caches overhead-free)
+        self.tracer: Optional[SpanTracer] = None
         #: every shared memo store ever created, in creation order; stats
         #: aggregate over this list so counters stay monotonic after an
         #: eviction retires a floorplan (retired stores are cleared —
         #: ``LruCache.clear`` preserves counters — so they hold no data)
         self._memo_stores: list = []
+
+    def _span(self, name: str, **attrs):
+        """A tracer span, or a no-op context when no tracer is attached."""
+        if self.tracer is None:
+            return nullcontext()
+        return self.tracer.span(name, **attrs)
 
     # -- shared artifacts ----------------------------------------------------
 
@@ -144,7 +156,10 @@ class ServeCache:
         if entry is None:
             memo = LruCache(self._peak_memo_capacity)
             self._memo_stores.append(memo)
-            entry = (ThermalDynamics(calibrated_model(config)), memo)
+            with self._span(
+                "cache.eigendecomposition", n_cores=config.n_cores
+            ):
+                entry = (ThermalDynamics(calibrated_model(config)), memo)
             self._dynamics[key] = entry
             self._clear_retired_memos()
         return entry
@@ -171,13 +186,14 @@ class ServeCache:
         key = _calculator_key(config)
         calculator = self._calculators.get(key)
         if calculator is None:
-            dynamics, shared_memo = self._dynamics_entry(config)
-            calculator = PeakTemperatureCalculator(
-                dynamics,
-                config.thermal.ambient_c,
-                config_key=_digest(key),
-                peak_cache=shared_memo,
-            )
+            with self._span("cache.calculator_build"):
+                dynamics, shared_memo = self._dynamics_entry(config)
+                calculator = PeakTemperatureCalculator(
+                    dynamics,
+                    config.thermal.ambient_c,
+                    config_key=_digest(key),
+                    peak_cache=shared_memo,
+                )
             self._calculators[key] = calculator
         return calculator
 

@@ -13,7 +13,10 @@ Routes (full request/response schemas in ``docs/serve.md``):
 method      path                     purpose
 ==========  =======================  ==========================================
 GET         ``/``                    service discovery document
-GET         ``/metrics``             OpenMetrics exposition (live counters)
+GET         ``/metrics``             OpenMetrics exposition (live counters,
+                                     latency quantiles and buckets)
+GET         ``/debug/traces``        recent request spans (JSON or waterfall
+                                     HTML; empty unless tracing is enabled)
 GET         ``/v1/tenants``          list tenants
 POST        ``/v1/tenants``          create a tenant
 DELETE      ``/v1/tenants/<name>``   remove a tenant
@@ -21,6 +24,14 @@ POST        ``/v1/peak``             Algorithm-1 peak of candidate placements
 POST        ``/v1/tau``              safe rotation interval via the tau-ladder
 POST        ``/v1/simulate``         bounded-horizon simulation summary
 ==========  =======================  ==========================================
+
+Every request is timed into ``serve.latency_s``, a per-endpoint
+``serve.http.latency.<endpoint>`` histogram and — once a tenant is
+resolved — ``serve.tenant.<name>.latency``; tenants with an SLO feed the
+same latency into their error-budget tracker.  With
+``ServeConfig.trace_spans`` on, each request runs under an ``http.<endpoint>``
+root span and the serve internals (micro-batcher, cache, engine phases)
+attach child spans — see ``docs/observability.md``.
 
 Error mapping: validation failures are 400, unknown tenants/routes 404,
 wrong methods 405, oversized bodies 413, unexpected exceptions 500 (the
@@ -40,15 +51,51 @@ from __future__ import annotations
 import asyncio
 import json
 import time
+from contextvars import ContextVar
 from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs
 
 from ..obs import MetricsRegistry
-from ..obs.export import to_openmetrics
+from ..obs.export import (
+    histogram_exposition,
+    to_openmetrics,
+    trace_waterfall_html,
+)
+from ..obs.profiling import PhaseProfiler
+from ..obs.spans import SpanTracer, span_to_json_line
 from .batch import MicroBatcher
 from .cache import ServeCache
-from .service import ServeConfig, ThermalService
+from .service import ServeConfig, ThermalService, metric_label
 
 __all__ = ["ThermalServer"]
+
+#: Tenant resolved while dispatching the current request (set by
+#: ``_tenant_for``); a ContextVar so interleaved requests on the single
+#: event loop cannot cross-attribute their latencies.
+_REQUEST_TENANT: ContextVar[Optional[str]] = ContextVar(
+    "repro_serve_request_tenant", default=None
+)
+
+#: Path -> short endpoint label for metric names and span names.
+_ENDPOINT_LABELS = {
+    "/": "root",
+    "/metrics": "metrics",
+    "/debug/traces": "debug_traces",
+    "/v1/tenants": "tenants",
+    "/v1/peak": "peak",
+    "/v1/tau": "tau",
+    "/v1/simulate": "simulate",
+}
+
+
+def _endpoint_of(path: str) -> str:
+    """The metric/span label of a request path (prefix-matched)."""
+    label = _ENDPOINT_LABELS.get(path)
+    if label is not None:
+        return label
+    if path.startswith("/v1/tenants/"):
+        return "tenants"
+    return "other"
 
 _JSON = "application/json"
 _JSONL = "application/jsonl"
@@ -58,6 +105,7 @@ _OPENMETRICS = "application/openmetrics-text; version=1.0.0; charset=utf-8"
 _ENDPOINTS = (
     "GET /",
     "GET /metrics",
+    "GET /debug/traces",
     "GET /v1/tenants",
     "POST /v1/tenants",
     "DELETE /v1/tenants/<name>",
@@ -101,7 +149,16 @@ class ThermalServer:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.cache = cache if cache is not None else ServeCache()
         self.service = ThermalService(self.config, self.cache)
-        self.batcher = MicroBatcher(self.config.batch_window_s)
+        self.tracer = SpanTracer(
+            enabled=self.config.trace_spans,
+            capacity=self.config.trace_capacity,
+            sink_path=self.config.trace_path,
+        )
+        if self.cache.tracer is None:
+            self.cache.tracer = self.tracer
+        self.batcher = MicroBatcher(
+            self.config.batch_window_s, tracer=self.tracer
+        )
         self._server: Optional[asyncio.base_events.Server] = None
         #: bound TCP port, available after :meth:`start` (ephemeral-port
         #: friendly: pass ``port=0`` and read this back)
@@ -142,12 +199,18 @@ class ThermalServer:
                 if request is None:
                     break
                 method, path, headers, body = request
+                endpoint = _endpoint_of(path.partition("?")[0])
+                _REQUEST_TENANT.set(None)
                 started = time.perf_counter()
-                status, payload, extra = await self._dispatch(
-                    method, path, headers, body
-                )
-                self.registry.histogram("serve.latency_s", timing=True).observe(
-                    time.perf_counter() - started
+                with self.tracer.span(
+                    f"http.{endpoint}", root=True, method=method, path=path
+                ) as span:
+                    status, payload, extra = await self._dispatch(
+                        method, path, headers, body
+                    )
+                    span.annotate(status=status)
+                self._observe_latency(
+                    endpoint, time.perf_counter() - started
                 )
                 keep_alive = headers.get("connection", "keep-alive") != "close"
                 self._write_response(writer, status, payload, extra, keep_alive)
@@ -162,6 +225,35 @@ class ThermalServer:
                 await writer.wait_closed()
             except (ConnectionResetError, BrokenPipeError):
                 pass
+
+    def _observe_latency(self, endpoint: str, elapsed_s: float) -> None:
+        """Fold one served request into the latency instruments.
+
+        Always: the overall ``serve.latency_s`` and the per-endpoint
+        histogram.  When ``_tenant_for`` resolved a tenant during the
+        dispatch: its per-tenant histogram and — if it carries an SLO —
+        its error-budget tracker (which may fire the
+        ``slo-latency-violation`` detector).
+        """
+        self.registry.histogram("serve.latency_s", timing=True).observe(
+            elapsed_s
+        )
+        self.registry.histogram(
+            f"serve.http.latency.{endpoint}", timing=True
+        ).observe(elapsed_s)
+        tenant_name = _REQUEST_TENANT.get()
+        if tenant_name is None:
+            return
+        self.registry.histogram(
+            f"serve.tenant.{metric_label(tenant_name)}.latency", timing=True
+        ).observe(elapsed_s)
+        try:
+            tenant = self.service.tenant(tenant_name)
+        except KeyError:
+            return
+        if tenant.slo is not None:
+            now_s = asyncio.get_running_loop().time()
+            tenant.slo.observe_latency(now_s, elapsed_s)
 
     async def _read_request(
         self, reader: asyncio.StreamReader
@@ -240,6 +332,7 @@ class ThermalServer:
     async def _route(
         self, method: str, path: str, headers: Dict[str, str], body: bytes
     ) -> Tuple[int, bytes, Dict[str, str]]:
+        path, _, query = path.partition("?")
         if path == "/":
             _require(method, "GET")
             return _json_response(
@@ -253,6 +346,9 @@ class ThermalServer:
         if path == "/metrics":
             _require(method, "GET")
             return self._metrics_response()
+        if path == "/debug/traces":
+            _require(method, "GET")
+            return self._debug_traces(query)
         if path == "/v1/tenants":
             if method == "GET":
                 return _json_response(
@@ -267,7 +363,9 @@ class ThermalServer:
             payload = _parse_json(body)
             name = payload.get("name")
             info = _catch_400(
-                lambda: self.service.create_tenant(name, payload.get("config"))
+                lambda: self.service.create_tenant(
+                    name, payload.get("config"), payload.get("slo")
+                )
             )
             return _json_response(info)
         if path.startswith("/v1/tenants/"):
@@ -309,6 +407,7 @@ class ThermalServer:
                 retry_after_s=wait_s,
             )
         tenant.requests += 1
+        _REQUEST_TENANT.set(name)
         return tenant
 
     async def _peak(
@@ -364,8 +463,15 @@ class ThermalServer:
         payload = _parse_json(body)
         tenant = self._tenant_for(payload, "simulate")
         now_s = asyncio.get_running_loop().time()
+        profiler = PhaseProfiler(enabled=True) if self.tracer.enabled else None
         try:
-            summary = _catch_400(lambda: self.service.simulate(tenant, payload))
+            # plain 2-arg call when untraced: the service method (and any
+            # test double standing in for it) owes no profiler parameter
+            summary = _catch_400(
+                lambda: self.service.simulate(tenant, payload, profiler)
+                if profiler is not None
+                else self.service.simulate(tenant, payload)
+            )
         except _HttpError:
             raise
         except Exception as exc:
@@ -381,17 +487,62 @@ class ThermalServer:
             )
             return 500, payload_bytes, {"Content-Type": _JSON}
         self.service.record_simulate_success(tenant)
+        if profiler is not None:
+            self.tracer.record_phases(profiler.summary())
         summary["tenant"] = tenant.name
         return _json_response(summary)
 
     def _metrics_response(self) -> Tuple[int, bytes, Dict[str, str]]:
-        """Refresh the ``serve.*`` gauges and render OpenMetrics."""
+        """Refresh the ``serve.*`` gauges and render OpenMetrics.
+
+        Histograms additionally expose their quantiles and cumulative
+        log-bucket counts (``<name>.p50`` / ``<name>.bucket.le_*``) so
+        ``/metrics`` can answer "how slow are we" per endpoint and tenant.
+        """
         for name, value in self.service.gauges().items():
             self.registry.gauge(name).set(value)
         for name, value in self.batcher.stats().items():
             self.registry.gauge(f"serve.{name}").set(value)
-        text = to_openmetrics(self.registry.snapshot())
+        for name, value in self.tracer.stats().items():
+            self.registry.gauge(f"serve.{name}").set(value)
+        flat = self.registry.snapshot()
+        for name, histogram in self.registry.histograms().items():
+            flat.update(histogram_exposition(name, histogram))
+        text = to_openmetrics(flat)
         return 200, text.encode("utf-8"), {"Content-Type": _OPENMETRICS}
+
+    def _debug_traces(self, query: str) -> Tuple[int, bytes, Dict[str, str]]:
+        """Recent request spans: JSON by default, waterfall HTML on demand.
+
+        ``?limit=N`` caps the span count (most recent first in time, 100
+        by default); ``?format=html`` renders the self-contained
+        trace-waterfall document instead.
+        """
+        params = parse_qs(query)
+        try:
+            limit = int(params.get("limit", ["100"])[0])
+        except ValueError as exc:
+            raise _HttpError(400, f"invalid limit: {exc}") from exc
+        if limit < 1:
+            raise _HttpError(400, "limit must be a positive integer")
+        fmt = params.get("format", ["json"])[0]
+        spans = list(self.tracer)[-limit:]
+        if fmt == "html":
+            html = trace_waterfall_html(spans, title="repro.serve traces")
+            return 200, html.encode("utf-8"), {"Content-Type": "text/html"}
+        if fmt != "json":
+            raise _HttpError(400, f"unknown format {fmt!r}; 'json' or 'html'")
+        payload = _json_bytes(
+            {
+                "enabled": self.tracer.enabled,
+                "buffered": len(self.tracer),
+                "dropped": self.tracer.dropped,
+                "spans": [
+                    json.loads(span_to_json_line(span)) for span in spans
+                ],
+            }
+        )
+        return 200, payload, {"Content-Type": _JSON}
 
 
 def _require(method: str, expected: str) -> None:

@@ -6,8 +6,12 @@ a tenant fleet (several tenants per distinct chip configuration, so the
 cross-tenant caches actually get exercised), replays a seeded Poisson
 arrival stream of mixed requests (``peak`` / ``tau`` / ``simulate`` /
 ``metrics``) over real TCP connections, and writes ``BENCH_serve.json``
-with p50/p99 latency, throughput, and the cache/batch counters scraped
-from the server's own ``/metrics`` endpoint.
+with p50/p95/p99 latency (estimated by the same
+:meth:`~repro.obs.metrics.Histogram.quantile` implementation the
+``/metrics`` exposition uses), throughput, and the cache/batch counters
+scraped from the server's own ``/metrics`` endpoint.  ``--trace-waterfall
+PATH`` enables span tracing on the server and exports a self-contained
+trace-waterfall HTML of the run.
 
 Arrival times and request contents are fully determined by the seed; the
 measured latencies are of course wall-clock.  Candidates are drawn from a
@@ -30,7 +34,8 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from .._cli import EXIT_ERROR, EXIT_OK, run_cli
-from ..obs.export import parse_openmetrics
+from ..obs.export import parse_openmetrics, write_trace_waterfall
+from ..obs.metrics import Histogram
 from .http import ThermalServer
 from .service import ServeConfig
 
@@ -63,6 +68,10 @@ class LoadgenConfig:
     seed: int = 0
     #: simulated horizon of one ``simulate`` request [s]
     simulate_horizon_s: float = 0.02
+    #: enable span tracing on the server under load
+    trace: bool = False
+    #: with ``trace``, write a trace-waterfall HTML here after the run
+    trace_waterfall_path: Optional[str] = None
 
 
 def _build_requests(
@@ -140,9 +149,26 @@ async def _http_request(
             pass
 
 
+def _quantile_summary(values: Sequence[float]) -> Histogram:
+    """The latencies folded into a log-bucketed histogram.
+
+    The report's p50/p95/p99 come from :meth:`Histogram.quantile` — the
+    same estimator behind the server's ``/metrics`` exposition, so
+    loadgen numbers and scraped numbers are directly comparable.
+    """
+    histogram = Histogram("loadgen.latency_s", timing=True)
+    for value in values:
+        histogram.observe(value)
+    return histogram
+
+
 async def _run(config: LoadgenConfig) -> Dict[str, Any]:
     server = ThermalServer(
-        ServeConfig(port=0, max_tenants=max(64, config.n_tenants))
+        ServeConfig(
+            port=0,
+            max_tenants=max(64, config.n_tenants),
+            trace_spans=config.trace,
+        )
     )
     await server.start()
     assert server.port is not None
@@ -200,10 +226,19 @@ async def _run(config: LoadgenConfig) -> Dict[str, Any]:
 
         _status, metrics_body = await _http_request(host, port, "GET", "/metrics", None)
         metrics = parse_openmetrics(metrics_body.decode("utf-8"))
+        spans = list(server.tracer)
     finally:
         await server.close()
 
-    all_latencies = sorted(value for values in latencies.values() for value in values)
+    if config.trace and config.trace_waterfall_path:
+        write_trace_waterfall(
+            config.trace_waterfall_path,
+            spans,
+            title=f"loadgen: {config.n_requests} requests, "
+            f"{config.n_tenants} tenants (seed {config.seed})",
+        )
+    all_latencies = [value for values in latencies.values() for value in values]
+    overall = _quantile_summary(all_latencies)
     report: Dict[str, Any] = {
         "benchmark": "repro.serve.loadgen",
         "config": {
@@ -217,18 +252,23 @@ async def _run(config: LoadgenConfig) -> Dict[str, Any]:
         "duration_s": duration_s,
         "throughput_rps": config.n_requests / duration_s if duration_s else 0.0,
         "latency_s": {
-            "p50": float(np.percentile(all_latencies, 50)),
-            "p99": float(np.percentile(all_latencies, 99)),
-            "mean": float(np.mean(all_latencies)),
-            "max": float(np.max(all_latencies)),
+            "p50": overall.quantile(0.5),
+            "p95": overall.quantile(0.95),
+            "p99": overall.quantile(0.99),
+            "mean": overall.mean,
+            "max": overall.max,
         },
         "latency_by_kind_s": {
             kind: {
-                "n": len(values),
-                "p50": float(np.percentile(values, 50)),
-                "p99": float(np.percentile(values, 99)),
+                "n": histogram.count,
+                "p50": histogram.quantile(0.5),
+                "p95": histogram.quantile(0.95),
+                "p99": histogram.quantile(0.99),
             }
-            for kind, values in sorted(latencies.items())
+            for kind, histogram in sorted(
+                (kind, _quantile_summary(values))
+                for kind, values in latencies.items()
+            )
         },
         "http_statuses": {str(code): count for code, count in sorted(statuses.items())},
         "cache": {
@@ -245,6 +285,11 @@ async def _run(config: LoadgenConfig) -> Dict[str, Any]:
             if metric in metrics
         },
     }
+    if config.trace:
+        report["trace"] = {
+            "spans": len(spans),
+            "waterfall": config.trace_waterfall_path,
+        }
     return report
 
 
@@ -264,6 +309,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--rate", type=float, default=400.0, help="arrivals/s")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--out", default="BENCH_serve.json")
+    parser.add_argument(
+        "--trace-waterfall",
+        metavar="PATH",
+        help="enable span tracing and export a waterfall HTML to PATH",
+    )
     args = parser.parse_args(argv)
     if args.requests < 1 or args.tenants < 1:
         print("error: --requests and --tenants must be positive", file=sys.stderr)
@@ -274,6 +324,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             n_requests=args.requests,
             arrival_rate_per_s=args.rate,
             seed=args.seed,
+            trace=args.trace_waterfall is not None,
+            trace_waterfall_path=args.trace_waterfall,
         )
     )
     with open(args.out, "w", encoding="utf-8") as handle:

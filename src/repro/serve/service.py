@@ -23,6 +23,7 @@ clock) so the service itself never reads a clock.
 from __future__ import annotations
 
 import dataclasses
+import re
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -30,6 +31,10 @@ import numpy as np
 
 from ..config import SystemConfig
 from ..core.hotpotato import DEFAULT_TAU_LADDER_S
+from ..obs.detect import SloLatencyViolationDetector
+from ..obs.observer import Observer
+from ..obs.profiling import PhaseProfiler
+from ..obs.slo import SloTarget
 from ..sched import (
     FixedRotationScheduler,
     HotPotatoScheduler,
@@ -46,7 +51,7 @@ from ..workload.generator import (
 )
 from .cache import ServeCache, config_fingerprint, model_fingerprint
 
-__all__ = ["ServeConfig", "TenantState", "ThermalService"]
+__all__ = ["ServeConfig", "TenantState", "ThermalService", "metric_label"]
 
 #: Tenant degradation modes, mildest first (the serve-side mirror of
 #: :data:`repro.sched.base.DEGRADATION_MODES`).
@@ -97,6 +102,18 @@ class ServeConfig:
     batch_window_s: float = 0.0
     #: largest accepted request body [bytes].
     max_body_bytes: int = 1 << 20
+    #: request-span tracing (off by default: zero overhead, byte-identical
+    #: responses — see ``docs/observability.md``).
+    trace_spans: bool = False
+    #: ring-buffer capacity of the in-memory span store.
+    trace_capacity: int = 4096
+    #: optional span JSONL sink path (streamed as spans finish).
+    trace_path: Optional[str] = None
+    #: default per-tenant latency SLO target [s]; ``None`` disables SLO
+    #: tracking for tenants that do not request one explicitly.
+    slo_latency_s: Optional[float] = None
+    #: default allowed fraction of requests over the SLO target.
+    slo_error_budget: float = 0.01
 
     @property
     def park_retry_after_s(self) -> float:
@@ -122,6 +139,8 @@ class TenantState:
     blocked_until_s: float = 0.0
     requests: int = 0
     annotations: Dict[str, float] = field(default_factory=dict)
+    #: latency-SLO detector (None when no target is configured)
+    slo: Optional[SloLatencyViolationDetector] = None
 
 
 class ThermalService:
@@ -176,8 +195,46 @@ class ThermalService:
             top["thermal"] = dataclasses.replace(config.thermal, **thermal)
         return config.replace(**top)
 
+    def build_slo(
+        self, slo: Optional[Dict[str, Any]], tenant_name: str
+    ) -> Optional[SloLatencyViolationDetector]:
+        """A latency-SLO detector from a ``slo`` request object.
+
+        ``{"latency_s": ..., "error_budget": ...}`` per tenant; when the
+        request carries no ``slo`` object, the server-wide default from
+        :class:`ServeConfig` applies (``None`` = no SLO tracking).
+        """
+        if slo is None:
+            if self.config.slo_latency_s is None:
+                return None
+            target = SloTarget(
+                self.config.slo_latency_s, self.config.slo_error_budget
+            )
+            return SloLatencyViolationDetector(target, tenant=tenant_name)
+        if not isinstance(slo, dict):
+            raise ValueError("slo must be a JSON object")
+        unknown = set(slo) - {"latency_s", "error_budget"}
+        if unknown:
+            raise ValueError(
+                f"unknown slo keys: {sorted(unknown)}; "
+                "allowed: ['error_budget', 'latency_s']"
+            )
+        if "latency_s" not in slo:
+            raise ValueError("slo needs 'latency_s'")
+        target = SloTarget(
+            _positive_float("slo.latency_s", slo["latency_s"]),
+            _positive_float(
+                "slo.error_budget",
+                slo.get("error_budget", self.config.slo_error_budget),
+            ),
+        )
+        return SloLatencyViolationDetector(target, tenant=tenant_name)
+
     def create_tenant(
-        self, name: str, overrides: Optional[Dict[str, Any]] = None
+        self,
+        name: str,
+        overrides: Optional[Dict[str, Any]] = None,
+        slo: Optional[Dict[str, Any]] = None,
     ) -> Dict[str, Any]:
         """Register a tenant; returns its public info object."""
         if not name or not isinstance(name, str):
@@ -195,6 +252,7 @@ class ThermalService:
             fingerprint=config_fingerprint(config),
             model_fp=model_fingerprint(config),
             calculator=self.cache.calculator_for(config),
+            slo=self.build_slo(slo, name),
         )
         self._tenants[name] = tenant
         return self.tenant_info(tenant)
@@ -219,7 +277,7 @@ class ThermalService:
     def tenant_info(self, tenant: TenantState) -> Dict[str, Any]:
         """The public JSON view of one tenant."""
         thermal = tenant.config.thermal
-        return {
+        info: Dict[str, Any] = {
             "tenant": tenant.name,
             "fingerprint": tenant.fingerprint,
             "model_fingerprint": tenant.model_fp,
@@ -233,6 +291,13 @@ class ThermalService:
             "failures": tenant.failures,
             "requests": tenant.requests,
         }
+        if tenant.slo is not None:
+            info["slo"] = {
+                key.removeprefix("slo."): value
+                for key, value in tenant.slo.tracker.snapshot().items()
+            }
+            info["slo"]["violations"] = len(tenant.slo.violations)
+        return info
 
     # -- degradation ladder --------------------------------------------------
 
@@ -416,13 +481,18 @@ class ThermalService:
     # -- /v1/simulate --------------------------------------------------------
 
     def simulate(
-        self, tenant: TenantState, payload: Dict[str, Any]
+        self,
+        tenant: TenantState,
+        payload: Dict[str, Any],
+        profiler: Optional[PhaseProfiler] = None,
     ) -> Dict[str, Any]:
         """Run a bounded-horizon simulation and summarize the trace.
 
         The horizon is clamped to ``ServeConfig.simulate_max_time_s``:
         the server is single-threaded by design (``docs/serve.md``), so
-        one tenant must not be able to monopolize the loop.
+        one tenant must not be able to monopolize the loop.  A
+        ``profiler`` threads engine phase timings out to the caller (the
+        HTTP layer turns them into child spans of the request).
         """
         spec = payload.get("workload")
         if not isinstance(spec, dict):
@@ -440,8 +510,11 @@ class ThermalService:
         horizon_s = min(max_time_s, self.config.simulate_max_time_s)
         tasks = materialize(self._workload_specs(tenant, spec))
         ctx = self.cache.context_for(tenant.config)
+        observer = (
+            Observer(profiler=profiler) if profiler is not None else None
+        )
         simulator = IntervalSimulator(
-            tenant.config, factory(), tasks, ctx=ctx
+            tenant.config, factory(), tasks, ctx=ctx, observer=observer
         )
         result = simulator.run(max_time_s=horizon_s)
         summary: Dict[str, Any] = {
@@ -513,7 +586,26 @@ class ThermalService:
             flat[f"serve.degradation.to_{key}"] = float(count)
         for name, value in self.cache.stats().items():
             flat[f"serve.cache.{name}"] = value
+        for tenant in self._tenants.values():
+            if tenant.slo is None:
+                continue
+            label = metric_label(tenant.name)
+            flat[f"serve.tenant.{label}.slo.budget_used"] = (
+                tenant.slo.tracker.budget_used
+            )
+            flat[f"serve.tenant.{label}.slo.violations"] = float(
+                len(tenant.slo.violations)
+            )
         return flat
+
+
+def metric_label(name: str) -> str:
+    """A tenant name as a legal metric-name segment.
+
+    ``openmetrics_name`` would map illegal characters to ``_`` anyway;
+    doing it here keeps ``/metrics`` names collision-checked and stable.
+    """
+    return re.sub(r"[^A-Za-z0-9_]", "_", name)
 
 
 def _finite_float(key: str, value: Any) -> float:

@@ -215,3 +215,55 @@ class TestServePackageIsDeterministic:
             f for f in run_lint(sources) if f.family == "determinism"
         ]
         assert determinism == []
+
+
+class TestSpansModuleIsDeterministic:
+    """repro/obs/spans.py joined DETERMINISTIC_MODULES: trace and span
+    ids are monotonic counters and durations come from ``perf_counter``,
+    so a replayed request tape produces an identical span tree; wall
+    clock and global RNG would break that silently."""
+
+    def test_wallclock_in_spans_fires(self, lint_files):
+        code = DOC + "import time\nstart_s = time.time()\n"
+        findings = lint_files(
+            {"repro/obs/spans.py": code}, select="det-wallclock"
+        )
+        assert rule_ids(findings) == ["det-wallclock"]
+
+    def test_global_random_in_spans_fires(self, lint_files):
+        code = DOC + "import random\nspan_id = random.getrandbits(64)\n"
+        findings = lint_files(
+            {"repro/obs/spans.py": code}, select="det-global-random"
+        )
+        assert rule_ids(findings) == ["det-global-random"]
+
+    def test_perf_counter_in_spans_is_clean(self, lint_files):
+        code = DOC + "import time\nstart_s = time.perf_counter()\n"
+        assert (
+            lint_files({"repro/obs/spans.py": code}, select="determinism")
+            == []
+        )
+
+    def test_rest_of_obs_package_stays_unscoped(self, lint_files):
+        code = DOC + "import time\nstamp = time.time()\n"
+        assert (
+            lint_files({"repro/obs/export.py": code}, select="determinism")
+            == []
+        )
+
+    def test_committed_spans_module_is_clean(self):
+        from pathlib import Path
+
+        from repro.lint import run_lint
+
+        spans = (
+            Path(__file__).resolve().parent.parent.parent
+            / "src"
+            / "repro"
+            / "obs"
+            / "spans.py"
+        )
+        determinism = [
+            f for f in run_lint([spans]) if f.family == "determinism"
+        ]
+        assert determinism == []

@@ -165,3 +165,52 @@ class TestExport:
         )
         assert proc.returncode == 2
         assert "error:" in proc.stderr
+
+
+class TestSpansSubcommand:
+    @pytest.fixture(scope="class")
+    def span_file(self, tmp_path_factory):
+        from repro.obs.spans import SpanTracer
+
+        tracer = SpanTracer(enabled=True)
+        for index in range(3):
+            with tracer.span("http.peak", endpoint="peak"):
+                with tracer.span("batch.wait"):
+                    pass
+        path = tmp_path_factory.mktemp("spans") / "spans.jsonl"
+        tracer.write_jsonl(path)
+        return path
+
+    def test_summarize_json(self, span_file):
+        proc = run_cli("spans", "summarize", str(span_file), "--json")
+        assert proc.returncode == 0, proc.stderr
+        payload = json.loads(proc.stdout)
+        assert payload["spans"] == 6
+        assert payload["traces"] == 3
+        assert payload["by_name"]["http.peak"]["count"] == 3
+
+    def test_summarize_human(self, span_file):
+        proc = run_cli("spans", "summarize", str(span_file))
+        assert proc.returncode == 0, proc.stderr
+        assert "http.peak" in proc.stdout and "batch.wait" in proc.stdout
+
+    def test_slowest_ranks_by_duration(self, span_file):
+        proc = run_cli("spans", "slowest", str(span_file), "--json", "--limit", "2")
+        assert proc.returncode == 0, proc.stderr
+        ranked = json.loads(proc.stdout)
+        assert len(ranked) == 2
+        durations = [entry["duration_s"] for entry in ranked]
+        assert durations == sorted(durations, reverse=True)
+        assert all(entry["root"] == "http.peak" for entry in ranked)
+
+    def test_export_waterfall(self, span_file, tmp_path):
+        out = tmp_path / "waterfall.html"
+        proc = run_cli("spans", "export", str(span_file), "-o", str(out))
+        assert proc.returncode == 0, proc.stderr
+        assert out.read_text().startswith("<!DOCTYPE html>")
+
+    def test_empty_file_reports_error(self, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        proc = run_cli("spans", "summarize", str(empty))
+        assert proc.returncode != 0

@@ -204,3 +204,91 @@ class TestOnlineDetection:
             log.record(cls(time_s=record.time_s, **record.data))
         offline_dtm = [v for v in offline if v.detector == "dtm-thrash"]
         assert online_detector.violations == offline_dtm
+
+
+class TestSloLatencyViolationDetector:
+    def _detector(self):
+        from repro.obs import SloLatencyViolationDetector, SloTarget
+
+        # budget: at most 10% of requests may exceed 10 ms
+        return SloLatencyViolationDetector(
+            SloTarget(latency_s=0.010, error_budget=0.1), tenant="acme"
+        )
+
+    def test_fires_exactly_once_per_exhaustion_episode(self):
+        detector = self._detector()
+        # Known-answer tape: 9 fast, then one slow request exhausts the
+        # 10% budget exactly at t=9 — one violation, and further slow
+        # requests (still exhausted) never re-fire.
+        for index in range(9):
+            detector.observe_latency(float(index), 0.001)
+        assert detector.violations == []
+        detector.observe_latency(9.0, 0.5)
+        assert len(detector.violations) == 1
+        for index in range(10, 15):
+            detector.observe_latency(float(index), 0.5)
+        assert len(detector.violations) == 1
+        violation = detector.violations[0]
+        assert violation.detector == "slo-latency-violation"
+        assert violation.time_s == 9.0
+        assert violation.severity == "critical"
+        assert "acme" in violation.message
+        assert violation.value == pytest.approx(0.1)
+        assert violation.limit == pytest.approx(0.1)
+
+    def test_refires_after_budget_recovers(self):
+        detector = self._detector()
+        detector.observe_latency(0.0, 0.5)  # 1/1 slow: instantly exhausted
+        assert len(detector.violations) == 1
+        # a long run of fast requests repays the budget (1/21 < 10%)...
+        for index in range(1, 21):
+            detector.observe_latency(float(index), 0.001)
+        assert not detector.tracker.exhausted
+        # ...so the next exhaustion is a new episode
+        for index in range(21, 26):
+            detector.observe_latency(float(index), 0.5)
+        assert len(detector.violations) == 2
+
+    def test_fast_only_traffic_never_fires(self):
+        detector = self._detector()
+        for index in range(100):
+            detector.observe_latency(float(index), 0.001)
+        assert detector.violations == []
+
+
+class TestSpanOrphanDetector:
+    def _spans(self):
+        from repro.obs.spans import SpanTracer
+
+        tracer = SpanTracer(enabled=True)
+        with tracer.span("request"):
+            with tracer.span("inner"):
+                pass
+        return list(tracer)
+
+    def test_intact_trace_has_no_orphans(self):
+        from repro.obs import SpanOrphanDetector
+
+        assert SpanOrphanDetector().check(self._spans()) == []
+
+    def test_missing_parent_is_reported(self):
+        from repro.obs import SpanOrphanDetector
+
+        spans = self._spans()
+        orphaned = [s for s in spans if s.parent_id is not None]
+        violations = SpanOrphanDetector().check(orphaned)
+        assert len(violations) == 1
+        violation = violations[0]
+        assert violation.detector == "span-orphan"
+        assert violation.severity == "warning"
+        assert str(orphaned[0].parent_id) in violation.message
+
+    def test_links_are_not_parent_edges(self):
+        from repro.obs import SpanOrphanDetector
+        from repro.obs.spans import SpanTracer
+
+        tracer = SpanTracer(enabled=True)
+        with tracer.span("flush", links=(12345,)):
+            pass
+        # a dangling *link* is fine; only parent_id edges count
+        assert SpanOrphanDetector().check(list(tracer)) == []

@@ -140,3 +140,100 @@ class TestHtmlReport:
         path = tmp_path / "report.html"
         write_html_report(path, mini_trace)
         assert path.read_text().startswith("<!DOCTYPE html>")
+
+
+class TestHistogramExposition:
+    def _histogram(self):
+        from repro.obs import Histogram
+
+        histogram = Histogram("serve.latency_s")
+        for _ in range(99):
+            histogram.observe(0.003)
+        histogram.observe(0.030)
+        return histogram
+
+    def test_quantile_and_bucket_keys(self):
+        from repro.obs import histogram_exposition
+
+        flat = histogram_exposition("serve.latency_s", self._histogram())
+        # 99x 3ms lands in the (2ms, 5ms] bucket: the p50 estimate stays
+        # inside that bucket, and p99 never exceeds the streaming max.
+        assert 0.002 <= flat["serve.latency_s.p50"] <= 0.005
+        assert flat["serve.latency_s.p99"] <= 0.030
+        assert flat["serve.latency_s.bucket.le_inf"] == 100.0
+        # cumulative: each bucket >= the previous one
+        buckets = [
+            value for key, value in flat.items() if ".bucket." in key
+        ]
+        assert buckets == sorted(buckets)
+
+    def test_exposition_renders_as_valid_openmetrics(self):
+        from repro.obs import histogram_exposition
+
+        flat = histogram_exposition("serve.latency_s", self._histogram())
+        text = to_openmetrics(flat)
+        parsed = parse_openmetrics(text)
+        assert parsed == pytest.approx(
+            {openmetrics_name(name): value for name, value in flat.items()}
+        )
+
+    def test_bucket_labels_distinguish_exponent_signs(self):
+        from repro.obs.export import bucket_label
+
+        # 0.1 and 10.0 must not collide after name sanitization
+        assert bucket_label(0.1) != bucket_label(10.0)
+        assert openmetrics_name(
+            f"h.bucket.le_{bucket_label(0.1)}"
+        ) != openmetrics_name(f"h.bucket.le_{bucket_label(10.0)}")
+
+
+class TestTraceWaterfall:
+    def _spans(self):
+        from repro.obs.spans import SpanTracer
+
+        tracer = SpanTracer(enabled=True)
+        for _ in range(2):
+            with tracer.span("http.peak", endpoint="peak"):
+                with tracer.span("batch.wait"):
+                    pass
+        return list(tracer)
+
+    def test_waterfall_is_self_contained_html(self):
+        from repro.obs import trace_waterfall_html
+
+        html = trace_waterfall_html(self._spans(), title="test run")
+        assert html.startswith("<!DOCTYPE html>")
+        assert "<svg" in html and "test run" in html
+        assert "http://" not in html and "https://" not in html
+        assert "<script" not in html
+
+    def test_every_span_renders_a_bar(self):
+        from repro.obs import trace_waterfall_html
+
+        spans = self._spans()
+        html = trace_waterfall_html(spans)
+        assert html.count("<rect") == len(spans)
+
+    def test_max_traces_cap_is_stated(self):
+        from repro.obs import trace_waterfall_html
+        from repro.obs.spans import SpanTracer
+
+        tracer = SpanTracer(enabled=True)
+        for index in range(5):
+            with tracer.span(f"r{index}"):
+                pass
+        html = trace_waterfall_html(list(tracer), max_traces=2)
+        assert "3 faster traces omitted" in html
+
+    def test_write_trace_waterfall(self, tmp_path):
+        from repro.obs import write_trace_waterfall
+
+        path = tmp_path / "waterfall.html"
+        write_trace_waterfall(path, self._spans())
+        assert path.read_text().startswith("<!DOCTYPE html>")
+
+    def test_empty_span_set_renders(self):
+        from repro.obs import trace_waterfall_html
+
+        html = trace_waterfall_html([])
+        assert "no spans recorded" in html

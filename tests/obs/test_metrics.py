@@ -198,3 +198,64 @@ class TestSaveSuffixValidation:
             with pytest.raises(ValueError, match="suffix"):
                 registry.save(tmp_path / bad)
         assert list(tmp_path.iterdir()) == []  # nothing was written
+
+
+class TestHistogramQuantiles:
+    def test_constant_stream_is_exact(self):
+        histogram = MetricsRegistry().histogram("lat")
+        for _ in range(100):
+            histogram.observe(0.003)
+        for q in (0.0, 0.5, 0.95, 0.99, 1.0):
+            assert histogram.quantile(q) == pytest.approx(0.003)
+
+    def test_extremes_are_exact(self):
+        histogram = MetricsRegistry().histogram("lat")
+        for value in (0.001, 0.004, 0.042):
+            histogram.observe(value)
+        assert histogram.quantile(0.0) == pytest.approx(0.001)
+        assert histogram.quantile(1.0) == pytest.approx(0.042)
+
+    def test_estimate_within_bucket_of_truth(self):
+        histogram = MetricsRegistry().histogram("lat")
+        values = [0.0001 * (i + 1) for i in range(1000)]  # 0.1ms .. 100ms
+        for value in values:
+            histogram.observe(value)
+        for q in (0.5, 0.9, 0.99):
+            true = values[int(q * len(values)) - 1]
+            estimate = histogram.quantile(q)
+            # 1-2-5 buckets: estimate within a factor 2.5 of the truth
+            assert true / 2.5 <= estimate <= true * 2.5
+
+    def test_p99_never_exceeds_max(self):
+        histogram = MetricsRegistry().histogram("lat")
+        for _ in range(99):
+            histogram.observe(0.001)
+        histogram.observe(0.0015)
+        assert histogram.quantile(0.99) <= histogram.max
+
+    def test_empty_histogram_returns_zero(self):
+        assert MetricsRegistry().histogram("lat").quantile(0.5) == 0.0
+
+    def test_out_of_range_q_rejected(self):
+        histogram = MetricsRegistry().histogram("lat")
+        for bad in (-0.1, 1.1):
+            with pytest.raises(ValueError):
+                histogram.quantile(bad)
+
+    def test_overflow_bucket_uses_streaming_max(self):
+        histogram = MetricsRegistry().histogram("lat")
+        histogram.observe(120.0)  # beyond the last bound (50 s)
+        assert histogram.quantile(0.5) == pytest.approx(120.0)
+
+    def test_bucket_counts_are_cumulative_compatible(self):
+        histogram = MetricsRegistry().histogram("lat")
+        for value in (0.0000005, 0.003, 0.003, 70.0):
+            histogram.observe(value)
+        assert sum(histogram.bucket_counts) == histogram.count
+
+    def test_registry_histograms_view(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.histogram("b")
+        registry.histogram("a")
+        assert list(registry.histograms()) == ["a", "b"]

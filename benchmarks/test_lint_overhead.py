@@ -7,6 +7,13 @@ all rule families) and records the measurements in
 ``BENCH_lint_overhead.json`` at the repository root; the assertion is a
 generous ceiling so noisy CI boxes do not flake, while the artifact
 carries the precise numbers.
+
+The ``graph`` key gates the project-level analyzer: the full run — all
+families *including* the call-graph ``async-safety`` pass
+(:mod:`repro.lint.graph`) — must finish within ``GRAPH_MAX_RATIO`` times
+a same-machine, same-process baseline run of the per-file families
+alone.  Both numbers are measured here so the ratio is not poisoned by
+machine-to-machine variance.
 """
 
 import json
@@ -24,24 +31,43 @@ ARTIFACT = REPO_ROOT / "BENCH_lint_overhead.json"
 REPEATS = 3
 #: Full-tree lint must stay interactive ("a few seconds").
 MAX_WALL_S = 10.0
+#: The call-graph pass may at most double the pre-graph check time
+#: (the ISSUE-8 acceptance bound).
+GRAPH_MAX_RATIO = 2.0
+
+
+def _best_of(repeats, fn):
+    best = None
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best, result
 
 
 @pytest.fixture(scope="module")
 def measurements():
     n_files = len(collect_files([SRC]))
-    best = None
-    findings = None
-    for _ in range(REPEATS):
-        start = time.perf_counter()
-        findings = run_lint([SRC])
-        elapsed = time.perf_counter() - start
-        best = elapsed if best is None else min(best, elapsed)
+    all_rules = default_rules()
+    per_file_rules = [r for r in all_rules if r.family != "async-safety"]
+    best, findings = _best_of(REPEATS, lambda: run_lint([SRC]))
+    baseline_best, _ = _best_of(
+        REPEATS, lambda: run_lint([SRC], rules=per_file_rules)
+    )
     return {
         "files": n_files,
-        "rules": len(default_rules()),
+        "rules": len(all_rules),
         "findings": len(findings),
         "best_wall_s": best,
         "per_file_ms": best / max(1, n_files) * 1e3,
+        "graph": {
+            "baseline_families_wall_s": baseline_best,
+            "full_with_graph_wall_s": best,
+            "ratio": best / baseline_best if baseline_best else 0.0,
+            "max_ratio": GRAPH_MAX_RATIO,
+        },
     }
 
 
@@ -65,6 +91,12 @@ def test_artifact_written(measurements):
 
 def test_full_tree_lint_is_fast(measurements):
     assert measurements["best_wall_s"] < MAX_WALL_S
+
+
+def test_graph_pass_within_ratio(measurements):
+    """Full run (call graph + async-safety) <= 2x the per-file families."""
+    graph = measurements["graph"]
+    assert graph["ratio"] <= GRAPH_MAX_RATIO, graph
 
 
 def test_tree_is_clean(measurements):

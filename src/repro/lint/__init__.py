@@ -18,34 +18,51 @@ CLI gate (exit 1 on findings)::
 
     python -m repro.lint check src/repro --baseline lint-baseline.json
 
+Beyond the per-file rules, the engine builds a whole-tree call graph on
+demand (:mod:`repro.lint.graph`, via :meth:`Project.graph`) for the
+``async-safety`` family: flow- and reachability-sensitive checks that
+the single-threaded asyncio serve loop never blocks, races on shared
+state across an ``await``, or leaks request-scoped ContextVars.
+Unchanged files are served from a content-hashed incremental cache
+(:mod:`repro.lint.cache`).
+
 See ``docs/lint.md`` for the rule catalogue and the suppression /
 baseline workflow.  The package is deliberately stdlib-only.
 """
 
 from .baseline import load_baseline, partition, save_baseline
+from .cache import LintCache, rules_signature
 from .engine import (
     Module,
     Project,
     Rule,
     collect_files,
     default_rules,
+    has_project_pass,
     register,
+    rule_families,
     rule_ids,
     run_lint,
 )
 from .findings import Finding
+from .graph import ProjectGraph
 
 __all__ = [
     "Finding",
+    "LintCache",
     "Module",
     "Project",
+    "ProjectGraph",
     "Rule",
     "collect_files",
     "default_rules",
+    "has_project_pass",
     "load_baseline",
     "partition",
     "register",
+    "rule_families",
     "rule_ids",
+    "rules_signature",
     "run_lint",
     "save_baseline",
 ]

@@ -8,12 +8,22 @@
 ``--baseline FILE`` subtracts grandfathered findings;
 ``--write-baseline FILE`` snapshots the current findings so a newly
 adopted rule starts from a clean gate.  ``--select`` restricts the run to
-a comma-separated set of rule ids or families.
+a comma-separated set of rule ids **or families** (``--select
+async-safety`` runs the five async rules) — the same vocabulary as the
+``# lint: ignore[...]`` suppression form; it works for ``rules`` too.
+
+``check`` keeps an incremental findings cache (``.lint-cache.json``,
+content-hashed — see :mod:`repro.lint.cache`) so unchanged files skip
+the per-file rule walks; ``--no-cache`` bypasses it and ``--cache FILE``
+relocates it.  ``--graph-dump`` prints the project call graph
+(:mod:`repro.lint.graph`) as JSON instead of linting — the debugging
+view of what the ``async-safety`` family sees.
 """
 
 from __future__ import annotations
 
 import argparse
+from pathlib import Path
 from typing import List, Optional, Sequence
 
 from .._cli import (
@@ -25,7 +35,8 @@ from .._cli import (
     run_cli,
 )
 from .baseline import load_baseline, partition, save_baseline
-from .engine import default_rules, run_lint
+from .cache import DEFAULT_CACHE_PATH, LintCache, rules_signature
+from .engine import Project, collect_files, default_rules, parse_module, run_lint
 from .findings import Finding
 
 DEFAULT_PATHS = ("src/repro",)
@@ -57,9 +68,27 @@ def _render_findings(findings: List[Finding], title: str) -> str:
     )
 
 
+def _cmd_graph_dump(paths: Sequence[object]) -> int:
+    modules = []
+    for path in collect_files(paths):
+        module, _parse_finding = parse_module(path)
+        if module is not None:
+            modules.append(module)
+    print_json(Project(modules).graph().to_dict())
+    return EXIT_OK
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     paths = args.paths or list(DEFAULT_PATHS)
-    findings = run_lint(paths, rules=_selected_rules(args.select))
+    if args.graph_dump:
+        return _cmd_graph_dump(paths)
+    rules = _selected_rules(args.select)
+    cache: Optional[LintCache] = None
+    if not args.no_cache:
+        cache = LintCache(
+            Path(args.cache), rules_signature(r.id for r in rules)
+        )
+    findings = run_lint(paths, rules=rules, cache=cache)
     if args.write_baseline:
         save_baseline(args.write_baseline, findings)
         print(
@@ -72,25 +101,31 @@ def _cmd_check(args: argparse.Namespace) -> int:
         new, grandfathered = partition(findings, load_baseline(args.baseline))
         findings = new
     if args.json:
-        print_json(
-            {
-                "paths": [str(p) for p in paths],
-                "findings": [f.to_dict() for f in findings],
-                "grandfathered": len(grandfathered),
-            }
-        )
+        payload = {
+            "paths": [str(p) for p in paths],
+            "findings": [f.to_dict() for f in findings],
+            "families": sorted({f.family for f in findings}),
+            "grandfathered": len(grandfathered),
+        }
+        if cache is not None:
+            payload["cache"] = {"hits": cache.hits, "misses": cache.misses}
+        print_json(payload)
     else:
         title = f"repro.lint check {' '.join(str(p) for p in paths)}"
         print(_render_findings(findings, title))
         summary = f"{len(findings)} finding(s)"
         if grandfathered:
             summary += f", {len(grandfathered)} grandfathered by baseline"
+        if cache is not None:
+            summary += (
+                f" [cache: {cache.hits} unchanged, {cache.misses} analyzed]"
+            )
         print(summary)
     return EXIT_FINDINGS if findings else EXIT_OK
 
 
 def _cmd_rules(args: argparse.Namespace) -> int:
-    rules = default_rules()
+    rules = _selected_rules(args.select)
     if args.json:
         print_json(
             [
@@ -144,10 +179,31 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="IDS",
         help="comma-separated rule ids/families to run (default: all)",
     )
+    p_check.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the incremental findings cache",
+    )
+    p_check.add_argument(
+        "--cache",
+        metavar="FILE",
+        default=DEFAULT_CACHE_PATH,
+        help=f"cache file location (default: {DEFAULT_CACHE_PATH})",
+    )
+    p_check.add_argument(
+        "--graph-dump",
+        action="store_true",
+        help="print the project call graph as JSON instead of linting",
+    )
     p_check.add_argument("--json", action="store_true", help="machine output")
     p_check.set_defaults(func=_cmd_check)
 
     p_rules = sub.add_parser("rules", help="list the rule catalogue")
+    p_rules.add_argument(
+        "--select",
+        metavar="IDS",
+        help="comma-separated rule ids/families to list (default: all)",
+    )
     p_rules.add_argument("--json", action="store_true", help="machine output")
     p_rules.set_defaults(func=_cmd_rules)
     return parser

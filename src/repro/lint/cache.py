@@ -1,0 +1,177 @@
+"""Incremental findings cache for the lint engine.
+
+``python -m repro.lint check`` over the full tree re-parses and re-walks
+every module on every invocation.  Parsing is cheap; the per-file rule
+walks dominate.  This cache memoizes each module's *per-file* findings,
+keyed by a BLAKE2b hash of the module source, so an unchanged file is
+never re-walked.  Three invariants keep this sound:
+
+- **Content-addressed.**  The key is the source digest, not a mtime — a
+  touched-but-identical file still hits, an edited file always misses.
+- **Suppression-closed.**  Entries are stored *after* suppression
+  filtering.  ``# lint: ignore[...]`` comments live on the flagged line
+  of the same file, so any edit that could change the suppression
+  outcome also changes the digest.
+- **Project passes never cached.**  Rules with a ``check_project``
+  override (the call-graph ``async-safety`` family, ``sched-export``)
+  see several files at once; one changed file may flip a finding in
+  another, so the engine re-runs them unconditionally
+  (:func:`repro.lint.engine.has_project_pass`).
+
+The cache key also folds in a *rules signature*: the sorted active rule
+ids plus a digest of the ``repro.lint`` package's own sources.  Editing
+any rule, or linting with a different ``--select`` set, invalidates the
+whole cache rather than serving stale findings.
+
+The on-disk format (``.lint-cache.json`` by default, git-ignored) is a
+plain versioned JSON document; a missing, corrupt or version-mismatched
+file degrades to an empty cache, never an error.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence
+
+from .findings import Finding
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .engine import Module
+
+__all__ = ["DEFAULT_CACHE_PATH", "LintCache", "rules_signature"]
+
+#: Default cache location, relative to the invocation cwd.
+DEFAULT_CACHE_PATH = ".lint-cache.json"
+
+#: Bump to invalidate every existing cache file on format changes.
+_VERSION = 1
+
+
+def _digest(data: bytes) -> str:
+    return hashlib.blake2b(data, digest_size=16).hexdigest()
+
+
+def _lint_package_digest() -> str:
+    """Digest over the lint package's own sources.
+
+    Folded into the rules signature so editing any rule (or the engine,
+    or this module) invalidates caches produced by the old logic.
+    """
+    root = Path(__file__).resolve().parent
+    hasher = hashlib.blake2b(digest_size=16)
+    for path in sorted(root.rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        hasher.update(path.relative_to(root).as_posix().encode("utf-8"))
+        hasher.update(path.read_bytes())
+    return hasher.hexdigest()
+
+
+def rules_signature(rule_ids: Iterable[str]) -> str:
+    """Signature of an active rule set (ids + lint-package sources)."""
+    payload = json.dumps(
+        {
+            "version": _VERSION,
+            "rules": sorted(rule_ids),
+            "package": _lint_package_digest(),
+        },
+        sort_keys=True,
+    )
+    return _digest(payload.encode("utf-8"))
+
+
+class LintCache:
+    """Per-module findings cache, content-hash keyed.
+
+    Usage (what the CLI does)::
+
+        cache = LintCache(Path(".lint-cache.json"), rules_signature(ids))
+        findings = run_lint(paths, rules, cache=cache)
+
+    :meth:`lookup` and :meth:`store` are called by the engine per module;
+    :meth:`save` prunes entries for files that vanished from the run and
+    writes the file atomically.
+    """
+
+    def __init__(self, path: Path, signature: str):
+        self.path = Path(path)
+        self.signature = signature
+        self.hits = 0
+        self.misses = 0
+        self._entries: Dict[str, Dict[str, object]] = {}
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            payload = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if not isinstance(payload, dict):
+            return
+        if payload.get("version") != _VERSION:
+            return
+        if payload.get("rules_signature") != self.signature:
+            return
+        files = payload.get("files")
+        if isinstance(files, dict):
+            self._entries = {
+                str(display): entry
+                for display, entry in files.items()
+                if isinstance(entry, dict)
+            }
+
+    @staticmethod
+    def _module_digest(module: "Module") -> str:
+        return _digest(module.source.encode("utf-8"))
+
+    def lookup(self, module: "Module") -> Optional[List[Finding]]:
+        """Cached findings for ``module``, or ``None`` on miss."""
+        entry = self._entries.get(module.display)
+        if entry is None or entry.get("hash") != self._module_digest(module):
+            self.misses += 1
+            return None
+        raw = entry.get("findings")
+        if not isinstance(raw, list):
+            self.misses += 1
+            return None
+        try:
+            findings = [Finding.from_dict(item) for item in raw]
+        except (KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return findings
+
+    def store(self, module: "Module", findings: Sequence[Finding]) -> None:
+        """Record ``module``'s post-suppression per-file findings."""
+        self._entries[module.display] = {
+            "hash": self._module_digest(module),
+            "findings": [finding.to_dict() for finding in findings],
+        }
+
+    def save(self, live_displays: Iterable[str]) -> None:
+        """Prune dead entries and persist atomically (best effort)."""
+        live = set(live_displays)
+        self._entries = {
+            display: entry
+            for display, entry in self._entries.items()
+            if display in live
+        }
+        payload = {
+            "version": _VERSION,
+            "rules_signature": self.signature,
+            "files": dict(sorted(self._entries.items())),
+        }
+        text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        try:
+            tmp.write_text(text, encoding="utf-8")
+            tmp.replace(self.path)
+        except OSError:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+

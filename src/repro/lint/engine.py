@@ -22,9 +22,23 @@ import ast
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Type
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+)
 
 from .findings import Finding
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .cache import LintCache
+    from .graph import ProjectGraph
 
 #: Subpackages of ``repro`` that must be bit-deterministic under a seed.
 DETERMINISTIC_SUBPACKAGES = ("sim", "sched", "thermal", "core")
@@ -138,6 +152,20 @@ class Project:
     """All modules of one lint run, for cross-file rules."""
 
     modules: List[Module]
+    _graph: Optional[object] = field(default=None, repr=False, compare=False)
+
+    def graph(self) -> "ProjectGraph":
+        """The project's call graph, built lazily and cached.
+
+        Several ``async-safety`` rules share one run's graph; building it
+        costs one extra AST walk per module (see
+        :mod:`repro.lint.graph`), so per-file-only runs never pay for it.
+        """
+        if self._graph is None:
+            from .graph import ProjectGraph
+
+            self._graph = ProjectGraph(self)
+        return self._graph  # type: ignore[return-value]
 
     def by_suffix(self, *suffix: str) -> Iterator[Module]:
         """Modules whose ``repro_parts`` end with ``suffix``."""
@@ -165,7 +193,7 @@ class Rule(abc.ABC):
 
     #: unique kebab-case identifier (used in reports and suppressions).
     id: str = ""
-    #: rule family (the five families of ``docs/lint.md``).
+    #: rule family (one of the families catalogued in ``docs/lint.md``).
     family: str = ""
     #: default severity for this rule's findings.
     severity: str = "error"
@@ -211,6 +239,18 @@ def rule_ids() -> List[str]:
     from . import rules as _rules  # noqa: F401
 
     return sorted(_REGISTRY)
+
+
+def rule_families() -> List[str]:
+    """Sorted distinct families of all registered rules.
+
+    Families are first-class selectors everywhere a rule id is accepted:
+    ``--select``, ``# lint: ignore[...]`` and the ``family`` key of JSON
+    records all speak the same vocabulary.
+    """
+    from . import rules as _rules  # noqa: F401
+
+    return sorted({rule_cls.family for rule_cls in _REGISTRY.values()})
 
 
 # -- engine --------------------------------------------------------------------
@@ -280,14 +320,34 @@ def _suppressed(finding: Finding, modules: Dict[str, Module]) -> bool:
     return finding.rule in tokens or (finding.family in tokens)
 
 
+def has_project_pass(rule: Rule) -> bool:
+    """Whether ``rule`` overrides :meth:`Rule.check_project`.
+
+    Project-pass rules see the whole tree at once, so the incremental
+    cache can never skip them — one changed file may flip a finding in
+    another (that is the point of the call graph).
+    """
+    return type(rule).check_project is not Rule.check_project
+
+
 def run_lint(
-    paths: Sequence[object], rules: Optional[Sequence[Rule]] = None
+    paths: Sequence[object],
+    rules: Optional[Sequence[Rule]] = None,
+    cache: Optional["LintCache"] = None,
 ) -> List[Finding]:
     """Lint every ``*.py`` file under ``paths`` and return sorted findings.
 
     Suppression comments are honored; parse failures surface as
     ``parse-error`` findings rather than exceptions, so one broken file
     cannot hide findings in the rest of the tree.
+
+    When ``cache`` is given (see :class:`repro.lint.cache.LintCache`),
+    per-module findings of unchanged files — keyed by a BLAKE2b content
+    hash — are served from it instead of re-running the per-file rules.
+    Cached entries are stored post-suppression (suppression comments live
+    in the same file as the findings they silence, so any edit that could
+    change the outcome also changes the hash).  Project-pass rules always
+    re-run; parse errors are never cached.
     """
     active = list(rules) if rules is not None else default_rules()
     findings: List[Finding] = []
@@ -298,15 +358,29 @@ def run_lint(
             findings.append(parse_finding)
         if module is not None:
             modules.append(module)
+    by_display = {module.display: module for module in modules}
     for module in modules:
+        cached = cache.lookup(module) if cache is not None else None
+        if cached is not None:
+            findings.extend(cached)
+            continue
+        per_module: List[Finding] = []
         for rule in active:
             if rule.applies_to(module):
-                findings.extend(rule.check_module(module))
+                per_module.extend(rule.check_module(module))
+        per_module = [f for f in per_module if not _suppressed(f, by_display)]
+        if cache is not None:
+            cache.store(module, per_module)
+        findings.extend(per_module)
     project = Project(modules)
+    project_findings: List[Finding] = []
     for rule in active:
-        findings.extend(rule.check_project(project))
-    by_display = {module.display: module for module in modules}
-    findings = [f for f in findings if not _suppressed(f, by_display)]
+        project_findings.extend(rule.check_project(project))
+    findings.extend(
+        f for f in project_findings if not _suppressed(f, by_display)
+    )
+    if cache is not None:
+        cache.save(module.display for module in modules)
     return sorted(findings)
 
 

@@ -1,0 +1,877 @@
+"""Project-level symbol table, call graph and per-function summaries.
+
+The per-file rules of :mod:`repro.lint.rules` see one AST at a time; the
+``async-safety`` family (:mod:`repro.lint.rules.asyncsafety`) needs to
+see *through* calls: an ``async def`` handler in ``repro.serve.http``
+that calls a sync helper that calls ``time.sleep`` stalls every tenant
+on the single-threaded event loop, and no single file shows the whole
+chain.  This module builds, once per :func:`repro.lint.engine.run_lint`
+call (lazily, via :meth:`repro.lint.engine.Project.graph`):
+
+- a **symbol table** over every parsed module: module-qualified
+  functions, classes, methods, import aliases (absolute *and* relative),
+  class attribute types (``self.x = SomeClass(...)`` and annotations)
+  and module-level variable types (``X = ContextVar(...)``);
+- a **call graph**: every call site resolved — best effort, no dynamic
+  dispatch — to a project-qualified function/method, an external dotted
+  target (``time.sleep``), or left unresolved;
+- a **per-function summary** (:class:`FunctionSummary`): calls made,
+  awaits performed, ``self.``-attribute names read and written, lock
+  context managers held, and blocking primitives reached directly;
+- a transitive **blocking-reachability** query
+  (:meth:`ProjectGraph.blocking_chain`) with memoization and cycle
+  tolerance.
+
+Resolution is deliberately an *under*-approximation: a call that cannot
+be resolved produces no edge, so the async-safety rules err toward
+silence rather than noise (their gate requires zero false positives on
+the committed tree).  Edges into the simulation core
+(``repro.sim``/``sched``/``thermal``/``core``/…) are recorded but never
+traversed — see :data:`ASYNC_SCOPE_SUBPACKAGES`: the core is synchronous
+compute by design, its loop-blocking governed by the documented horizon
+clamp at the one serve entry point, and it holds no sockets or file
+handles at serve time.
+
+Everything here is stdlib-only, like the rest of the package.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from .engine import Module, Project, dotted_name
+
+__all__ = [
+    "ASYNC_SCOPE_SUBPACKAGES",
+    "BLOCKING_TARGETS",
+    "CallSite",
+    "ClassInfo",
+    "FunctionSummary",
+    "ModuleScope",
+    "ProjectGraph",
+    "blocking_kind",
+]
+
+#: ``repro`` subpackages whose async functions are analyzed as event-loop
+#: roots and whose sync helpers are traversed.  Top-level ``repro``
+#: modules (``parallel.py``, ``_lru.py``, ...) are traversed too; the
+#: simulation core packages are boundary edges (never traversed).
+ASYNC_SCOPE_SUBPACKAGES = ("serve", "obs")
+
+#: Exact external call targets that block the calling thread.
+_BLOCKING_EXACT = frozenset(
+    {
+        "time.sleep",
+        "open",
+        "input",
+        "os.system",
+        "os.popen",
+        "os.fdopen",
+        "os.replace",
+        "os.remove",
+        "os.makedirs",
+        "tempfile.mkstemp",
+        "tempfile.NamedTemporaryFile",
+        "urllib.request.urlopen",
+        "socket.create_connection",
+        "socket.getaddrinfo",
+        "socket.gethostbyname",
+    }
+)
+
+#: Dotted prefixes that are blocking wholesale (network / subprocess).
+_BLOCKING_PREFIXES = ("subprocess.", "requests.", "http.client.")
+
+#: Blocking methods of classes the resolver knows without project source.
+_BLOCKING_EXTERNAL_METHODS = frozenset(
+    {
+        "pathlib.Path.read_text",
+        "pathlib.Path.write_text",
+        "pathlib.Path.read_bytes",
+        "pathlib.Path.write_bytes",
+        "pathlib.Path.open",
+        "pathlib.Path.unlink",
+        "pathlib.Path.mkdir",
+        "pathlib.Path.touch",
+        "pathlib.Path.rename",
+        "pathlib.Path.replace",
+    }
+)
+
+#: The documented union, exported for tests and ``docs/lint.md``.
+BLOCKING_TARGETS = frozenset(_BLOCKING_EXACT) | _BLOCKING_EXTERNAL_METHODS
+
+#: External classes whose instances the resolver types (so chained calls
+#: like ``Path(p).read_text()`` resolve to ``pathlib.Path.read_text``).
+_KNOWN_EXTERNAL_CLASSES = {
+    "pathlib.Path": "pathlib.Path",
+    "pathlib.PurePath": "pathlib.Path",
+    "contextvars.ContextVar": "contextvars.ContextVar",
+    "asyncio.Lock": "asyncio.Lock",
+    "threading.Lock": "threading.Lock",
+    "threading.RLock": "threading.Lock",
+}
+
+
+def blocking_kind(target: Optional[str]) -> Optional[str]:
+    """The blocking primitive ``target`` names, or ``None``.
+
+    ``target`` is a resolved external dotted name; project-qualified
+    targets never match (their bodies are traversed instead).
+    """
+    if target is None:
+        return None
+    if target in _BLOCKING_EXACT or target in _BLOCKING_EXTERNAL_METHODS:
+        return target
+    for prefix in _BLOCKING_PREFIXES:
+        if target.startswith(prefix):
+            return target
+    return None
+
+
+# -- symbol-table records ------------------------------------------------------
+
+
+@dataclass
+class CallSite:
+    """One resolved (or not) call expression inside a function body."""
+
+    node: ast.Call
+    #: project-qualified name, external dotted name, or ``None``.
+    target: Optional[str]
+    #: ``"project"`` | ``"external"`` | ``"unresolved"``.
+    kind: str
+
+    @property
+    def line(self) -> int:
+        return getattr(self.node, "lineno", 1) or 1
+
+
+@dataclass
+class FunctionSummary:
+    """What one function does, as far as the resolver can see."""
+
+    qualname: str
+    module: Module
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    is_async: bool
+    #: enclosing class qualname (``None`` for module-level functions).
+    class_qualname: Optional[str] = None
+    calls: List[CallSite] = field(default_factory=list)
+    #: number of suspension points (``await`` / ``async for`` / ``async with``).
+    awaits: int = 0
+    #: ``self.<name>`` attributes read / written anywhere in the body.
+    self_reads: Set[str] = field(default_factory=set)
+    self_writes: Set[str] = field(default_factory=set)
+    #: dotted context expressions of ``with`` / ``async with`` items that
+    #: look like locks (resolve to a Lock class or carry "lock" in the name).
+    locks_held: List[str] = field(default_factory=list)
+    #: the same locks with their ``With``/``AsyncWith`` nodes, for rules
+    #: that inspect what runs *inside* the guarded block.
+    lock_nodes: List[Tuple[str, ast.AST]] = field(default_factory=list)
+    #: call sites that hit a blocking primitive directly.
+    blocking: List[CallSite] = field(default_factory=list)
+
+    @property
+    def line(self) -> int:
+        return getattr(self.node, "lineno", 1) or 1
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON form for ``--graph-dump``."""
+        return {
+            "module": self.module.display,
+            "line": self.line,
+            "async": self.is_async,
+            "class": self.class_qualname,
+            "awaits": self.awaits,
+            "calls": sorted(
+                {c.target for c in self.calls if c.target is not None}
+            ),
+            "blocking": sorted({c.target for c in self.blocking if c.target}),
+            "reads": sorted(self.self_reads),
+            "writes": sorted(self.self_writes),
+            "locks": sorted(set(self.locks_held)),
+        }
+
+
+@dataclass
+class ClassInfo:
+    """One project class: methods, bases and inferred attribute types."""
+
+    qualname: str
+    module: Module
+    node: ast.ClassDef
+    #: method name -> function qualname (methods defined in *this* class).
+    methods: Dict[str, str] = field(default_factory=dict)
+    #: raw dotted base-class expressions, resolution deferred to the graph.
+    bases: List[str] = field(default_factory=list)
+    #: ``self.<attr>`` -> class qualname (project) or external dotted name.
+    attr_types: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class ModuleScope:
+    """Per-module name bindings used during resolution."""
+
+    name: str
+    module: Module
+    #: local name -> dotted import target (absolute, relative resolved).
+    aliases: Dict[str, str] = field(default_factory=dict)
+    #: top-level function name -> qualname.
+    functions: Dict[str, str] = field(default_factory=dict)
+    #: top-level class name -> qualname.
+    classes: Dict[str, str] = field(default_factory=dict)
+    #: module-level variable name -> inferred type (class qualname/dotted).
+    var_types: Dict[str, str] = field(default_factory=dict)
+
+
+# -- helpers -------------------------------------------------------------------
+
+
+def module_dotted_name(module: Module) -> str:
+    """Module-qualified dotted name (``repro.serve.http``).
+
+    Derived from :attr:`Module.repro_parts` so snippet trees in tests
+    resolve exactly like the real sources; files outside a ``repro``
+    tree fall back to their stem.
+    """
+    parts = module.repro_parts
+    if not parts:
+        return module.path.stem
+    names = list(parts[:-1])
+    stem = parts[-1]
+    if stem.endswith(".py"):
+        stem = stem[:-3]
+    if stem != "__init__":
+        names.append(stem)
+    return ".".join(names)
+
+
+def _module_package(name: str, module: Module) -> str:
+    """The package a module's relative imports resolve against."""
+    if module.path.name == "__init__.py":
+        return name
+    head, _, _ = name.rpartition(".")
+    return head
+
+
+def _iter_statements(root: ast.AST, skip_nested: bool = False):
+    """Statement nodes under ``root``, without visiting expressions.
+
+    The indexing passes only care about statements (imports, assignments,
+    class/function definitions); skipping the expression nodes — the
+    bulk of any AST — keeps the graph build within its benchmark gate.
+    ``skip_nested`` stops at nested function definitions (their bodies
+    belong to their own summaries).
+    """
+    stack: List[ast.AST] = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        if (
+            skip_nested
+            and node is not root
+            and isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ):
+            continue
+        for field_name in ("body", "orelse", "finalbody"):
+            stack.extend(getattr(node, field_name, None) or ())
+        for handler in getattr(node, "handlers", None) or ():
+            stack.append(handler)
+        for case in getattr(node, "cases", None) or ():
+            stack.extend(case.body)
+
+
+def _import_map(module: Module, name: str) -> Dict[str, str]:
+    """Local name -> absolute dotted target, relative imports included."""
+    package = _module_package(name, module)
+    aliases: Dict[str, str] = {}
+    for node in _iter_statements(module.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname is not None:
+                    aliases[alias.asname] = alias.name
+                else:
+                    # ``import a.b`` binds ``a`` (to package ``a``) —
+                    # attribute access supplies the rest of the path.
+                    head = alias.name.split(".")[0]
+                    aliases.setdefault(head, head)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0:
+                base = node.module or ""
+            else:
+                hops = package.split(".") if package else []
+                hops = hops[: len(hops) - (node.level - 1)] if node.level > 1 else hops
+                base = ".".join(hops)
+                if node.module:
+                    base = f"{base}.{node.module}" if base else node.module
+            if not base:
+                continue
+            for alias in node.names:
+                aliases[alias.asname or alias.name] = f"{base}.{alias.name}"
+    return aliases
+
+
+def _annotation_type(node: Optional[ast.AST]) -> Optional[str]:
+    """Dotted class name of a simple annotation (``X``/``Optional[X]``)."""
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            node = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return None
+    if isinstance(node, ast.Subscript):
+        head = dotted_name(node.value)
+        if head is None:
+            return None
+        tail = head.rsplit(".", 1)[-1]
+        if tail == "Optional":
+            return _annotation_type(node.slice)
+        return None
+    return dotted_name(node)
+
+
+def _call_of(node: ast.AST) -> Optional[ast.Call]:
+    """The ``Call`` a value expression bottoms out in (through IfExp)."""
+    if isinstance(node, ast.Call):
+        return node
+    if isinstance(node, ast.IfExp):
+        return _call_of(node.body) or _call_of(node.orelse)
+    if isinstance(node, ast.Await):
+        return None
+    return None
+
+
+def _is_lockish(dotted: Optional[str], resolved_type: Optional[str]) -> bool:
+    if resolved_type in ("asyncio.Lock", "threading.Lock"):
+        return True
+    if dotted is None:
+        return False
+    return "lock" in dotted.rsplit(".", 1)[-1].lower()
+
+
+# -- the graph -----------------------------------------------------------------
+
+
+class ProjectGraph:
+    """Symbol table + call graph + summaries over one lint run's modules.
+
+    Build cost is one extra AST walk per module plus one per function;
+    ``benchmarks/test_lint_overhead.py`` gates the full-tree run
+    (engine + all families + this graph) at <= 2x the pre-graph time.
+    """
+
+    def __init__(self, project: Project):
+        self.project = project
+        self.modules_by_name: Dict[str, Module] = {}
+        self.scopes: Dict[str, ModuleScope] = {}
+        self.functions: Dict[str, FunctionSummary] = {}
+        #: qualnames of all top-level functions, known from the indexing
+        #: pass — resolution during the summary pass must not depend on
+        #: the order modules are summarized in.
+        self.function_names: Set[str] = set()
+        self.classes: Dict[str, ClassInfo] = {}
+        self._blocking_memo: Dict[str, Optional[Tuple[str, ...]]] = {}
+        #: module-level ``NAME = SomeClass(...)`` assignments, typed only
+        #: after every module is indexed (the class may live anywhere).
+        self._pending_var_types: List[Tuple[ModuleScope, str, ast.Call]] = []
+        for module in project.modules:
+            self._index_module(module)
+        for scope, var_name, call in self._pending_var_types:
+            inferred = self._callable_type(scope, call)
+            if inferred is not None:
+                scope.var_types[var_name] = inferred
+        self._pending_var_types.clear()
+        for module in project.modules:
+            self._summarize_module(module)
+
+    # -- indexing ------------------------------------------------------------
+
+    def _index_module(self, module: Module) -> None:
+        name = module_dotted_name(module)
+        scope = ModuleScope(name=name, module=module)
+        scope.aliases = _import_map(module, name)
+        self.modules_by_name[name] = module
+        self.scopes[name] = scope
+        for node in module.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{name}.{node.name}"
+                scope.functions[node.name] = qual
+                self.function_names.add(qual)
+            elif isinstance(node, ast.ClassDef):
+                qual = f"{name}.{node.name}"
+                scope.classes[node.name] = qual
+                self._index_class(module, scope, node, qual)
+            elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+                if isinstance(node, ast.Assign):
+                    if len(node.targets) != 1:
+                        continue
+                    target = node.targets[0]
+                else:
+                    target = node.target
+                call = _call_of(node.value) if node.value is not None else None
+                if isinstance(target, ast.Name) and call is not None:
+                    self._pending_var_types.append((scope, target.id, call))
+
+    def _index_class(
+        self, module: Module, scope: ModuleScope, node: ast.ClassDef, qual: str
+    ) -> None:
+        info = ClassInfo(qualname=qual, module=module, node=node)
+        for base in node.bases:
+            dotted = dotted_name(base)
+            if dotted is not None:
+                info.bases.append(dotted)
+        for item in node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info.methods[item.name] = f"{qual}.{item.name}"
+            elif isinstance(item, ast.AnnAssign) and isinstance(
+                item.target, ast.Name
+            ):
+                # dataclass-style field annotation
+                inferred = _annotation_type(item.annotation)
+                if inferred is not None:
+                    info.attr_types.setdefault(item.target.id, inferred)
+        self.classes[qual] = info
+
+    def _callable_type(
+        self, scope: ModuleScope, call: ast.Call
+    ) -> Optional[str]:
+        """Type of ``call``'s result when the callee is a known class."""
+        dotted = dotted_name(call.func)
+        if dotted is None:
+            return None
+        resolved = self._resolve_dotted(scope, dotted)
+        if resolved is None:
+            return None
+        if resolved in self.classes:
+            return resolved
+        return _KNOWN_EXTERNAL_CLASSES.get(resolved)
+
+    def _resolve_dotted(self, scope: ModuleScope, dotted: str) -> Optional[str]:
+        """Absolute dotted target of a possibly-aliased reference."""
+        head, _, rest = dotted.partition(".")
+        if head in scope.functions:
+            absolute = scope.functions[head]
+        elif head in scope.classes:
+            absolute = scope.classes[head]
+        elif head in scope.aliases:
+            absolute = scope.aliases[head]
+        else:
+            absolute = head
+        return self._follow_reexports(
+            f"{absolute}.{rest}" if rest else absolute
+        )
+
+    def _follow_reexports(self, dotted: str, depth: int = 0) -> Optional[str]:
+        """Chase ``__init__`` re-exports so ``repro.serve.ThermalServer``
+        lands on ``repro.serve.http.ThermalServer``."""
+        if depth > 8:
+            return dotted
+        if dotted in self.function_names or dotted in self.classes:
+            return dotted
+        parts = dotted.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            prefix = ".".join(parts[:cut])
+            scope = self.scopes.get(prefix)
+            if scope is None:
+                continue
+            first = parts[cut]
+            rest = parts[cut + 1:]
+            if first in scope.functions:
+                resolved = scope.functions[first]
+            elif first in scope.classes:
+                resolved = scope.classes[first]
+            elif first in scope.aliases:
+                resolved = scope.aliases[first]
+            else:
+                return dotted
+            tail = ".".join([resolved] + rest)
+            if tail == dotted:
+                return dotted
+            return self._follow_reexports(tail, depth + 1)
+        return dotted
+
+    # -- summaries -----------------------------------------------------------
+
+    def _summarize_module(self, module: Module) -> None:
+        name = module_dotted_name(module)
+        scope = self.scopes[name]
+        # first pass: infer self-attribute types from every method body so
+        # summaries (second pass) can resolve self.<attr>.<method>() calls.
+        for class_name, class_qual in scope.classes.items():
+            info = self.classes[class_qual]
+            for item in info.node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    self._infer_attr_types(scope, info, item)
+        for node in module.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._summarize_function(scope, node, f"{name}.{node.name}", None)
+            elif isinstance(node, ast.ClassDef):
+                class_qual = f"{name}.{node.name}"
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        self._summarize_function(
+                            scope,
+                            item,
+                            f"{class_qual}.{item.name}",
+                            class_qual,
+                        )
+
+    def _infer_attr_types(
+        self,
+        scope: ModuleScope,
+        info: ClassInfo,
+        func: ast.AST,
+    ) -> None:
+        for node in _iter_statements(func, skip_nested=True):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                value: Optional[ast.AST] = node.value
+            elif isinstance(node, ast.AnnAssign):
+                target = node.target
+                annotated = _annotation_type(node.annotation)
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                    and annotated is not None
+                ):
+                    resolved = self._resolve_dotted(scope, annotated)
+                    if resolved in self.classes or (
+                        resolved in _KNOWN_EXTERNAL_CLASSES
+                    ):
+                        info.attr_types.setdefault(
+                            target.attr,
+                            resolved
+                            if resolved in self.classes
+                            else _KNOWN_EXTERNAL_CLASSES[resolved],
+                        )
+                continue
+            else:
+                continue
+            if not (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                continue
+            call = _call_of(value) if value is not None else None
+            if call is None:
+                continue
+            inferred = self._callable_type(scope, call)
+            if inferred is not None:
+                info.attr_types.setdefault(target.attr, inferred)
+
+    def _summarize_function(
+        self,
+        scope: ModuleScope,
+        node: ast.AST,
+        qualname: str,
+        class_qualname: Optional[str],
+    ) -> None:
+        summary = FunctionSummary(
+            qualname=qualname,
+            module=scope.module,
+            node=node,
+            is_async=isinstance(node, ast.AsyncFunctionDef),
+            class_qualname=class_qualname,
+        )
+        local_types = self._local_types(scope, node)
+        nested: List[Tuple[ast.AST, str]] = []
+        for child in ast.iter_child_nodes(node):
+            self._walk_body(scope, summary, child, local_types, nested, node)
+        self.functions[qualname] = summary
+        for inner, inner_qual in nested:
+            # nested defs run on their own schedule; summarize separately
+            # (without self resolution — closures over self stay unresolved).
+            self._summarize_function(scope, inner, inner_qual, None)
+
+    def _local_types(self, scope: ModuleScope, func: ast.AST) -> Dict[str, str]:
+        """``x = SomeClass(...)`` locals, plus simple parameter annotations."""
+        types: Dict[str, str] = {}
+        args = getattr(func, "args", None)
+        if args is not None:
+            every = list(args.posonlyargs) + list(args.args) + list(
+                args.kwonlyargs
+            )
+            for arg in every:
+                annotated = _annotation_type(arg.annotation)
+                if annotated is None:
+                    continue
+                resolved = self._resolve_dotted(scope, annotated)
+                if resolved in self.classes:
+                    types[arg.arg] = resolved
+                elif resolved in _KNOWN_EXTERNAL_CLASSES:
+                    types[arg.arg] = _KNOWN_EXTERNAL_CLASSES[resolved]
+        for node in _iter_statements(func, skip_nested=True):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if not isinstance(target, ast.Name):
+                    continue
+                call = _call_of(node.value)
+                if call is None:
+                    continue
+                inferred = self._callable_type(scope, call)
+                if inferred is not None:
+                    types[target.id] = inferred
+        return types
+
+    def _walk_body(
+        self,
+        scope: ModuleScope,
+        summary: FunctionSummary,
+        node: ast.AST,
+        local_types: Dict[str, str],
+        nested: List[Tuple[ast.AST, str]],
+        owner: ast.AST,
+    ) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            nested.append((node, f"{summary.qualname}.<locals>.{node.name}"))
+            return
+        if isinstance(node, ast.Lambda):
+            return
+        if isinstance(node, ast.Await):
+            summary.awaits += 1
+        elif isinstance(node, (ast.AsyncFor, ast.AsyncWith)):
+            summary.awaits += 1
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                expr = item.context_expr
+                call = expr if isinstance(expr, ast.Call) else None
+                probe = call.func if call is not None else expr
+                dotted = dotted_name(probe)
+                resolved = None
+                if call is not None:
+                    resolved = self._callable_type(scope, call)
+                elif dotted is not None:
+                    resolved = self._lookup_value_type(
+                        scope, summary, dotted, local_types
+                    )
+                if _is_lockish(dotted, resolved):
+                    label = dotted or resolved or "<lock>"
+                    summary.locks_held.append(label)
+                    summary.lock_nodes.append((label, node))
+        if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+            if node.value.id == "self":
+                if isinstance(node.ctx, ast.Load):
+                    summary.self_reads.add(node.attr)
+                else:
+                    summary.self_writes.add(node.attr)
+        if isinstance(node, ast.Call):
+            site = self.resolve_call(scope, summary, node, local_types)
+            summary.calls.append(site)
+            if blocking_kind(site.target) and site.kind == "external":
+                summary.blocking.append(site)
+        for child in ast.iter_child_nodes(node):
+            self._walk_body(scope, summary, child, local_types, nested, owner)
+
+    def _lookup_value_type(
+        self,
+        scope: ModuleScope,
+        summary: FunctionSummary,
+        dotted: str,
+        local_types: Dict[str, str],
+    ) -> Optional[str]:
+        """Type of a value expression like ``self._lock`` or ``lock``."""
+        parts = dotted.split(".")
+        if parts[0] == "self" and len(parts) == 2 and summary.class_qualname:
+            info = self._class_with_attr(summary.class_qualname, parts[1])
+            if info is not None:
+                return info.attr_types[parts[1]]
+            return None
+        if len(parts) == 1:
+            return local_types.get(parts[0]) or scope.var_types.get(parts[0])
+        return None
+
+    # -- resolution ----------------------------------------------------------
+
+    def _class_with_attr(
+        self, class_qualname: str, attr: str
+    ) -> Optional[ClassInfo]:
+        """The class (walking project bases) defining ``attr``'s type."""
+        seen: Set[str] = set()
+        current: Optional[str] = class_qualname
+        while current is not None and current not in seen:
+            seen.add(current)
+            info = self.classes.get(current)
+            if info is None:
+                return None
+            if attr in info.attr_types:
+                return info
+            current = self._first_project_base(info)
+        return None
+
+    def _first_project_base(self, info: ClassInfo) -> Optional[str]:
+        scope = self.scopes[module_dotted_name(info.module)]
+        for base in info.bases:
+            resolved = self._resolve_dotted(scope, base)
+            if resolved in self.classes:
+                return resolved
+        return None
+
+    def _method_on(self, class_qualname: str, method: str) -> Optional[str]:
+        """Method qualname on a class or its (project-resolved) bases."""
+        seen: Set[str] = set()
+        current: Optional[str] = class_qualname
+        while current is not None and current not in seen:
+            seen.add(current)
+            info = self.classes.get(current)
+            if info is None:
+                return None
+            if method in info.methods:
+                return info.methods[method]
+            current = self._first_project_base(info)
+        return None
+
+    def resolve_call(
+        self,
+        scope: ModuleScope,
+        summary: FunctionSummary,
+        call: ast.Call,
+        local_types: Optional[Dict[str, str]] = None,
+    ) -> CallSite:
+        """Resolve one call expression to a :class:`CallSite`."""
+        local_types = local_types if local_types is not None else {}
+        func = call.func
+        # chained receiver: Path(p).read_text(), SomeClass().method()
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Call):
+            receiver = self._callable_type(scope, func.value)
+            if receiver is not None:
+                return self._method_site(call, receiver, func.attr)
+            return CallSite(call, None, "unresolved")
+        dotted = dotted_name(func)
+        if dotted is None:
+            return CallSite(call, None, "unresolved")
+        parts = dotted.split(".")
+        if parts[0] == "self" and summary.class_qualname is not None:
+            if len(parts) == 2:
+                target = self._method_on(summary.class_qualname, parts[1])
+                if target is not None:
+                    return CallSite(call, target, "project")
+                return CallSite(call, None, "unresolved")
+            if len(parts) == 3:
+                info = self._class_with_attr(summary.class_qualname, parts[1])
+                if info is not None:
+                    return self._method_site(
+                        call, info.attr_types[parts[1]], parts[2]
+                    )
+            return CallSite(call, None, "unresolved")
+        if parts[0] == "self":
+            return CallSite(call, None, "unresolved")
+        # typed local / module var receiver: x.method()
+        if len(parts) == 2:
+            receiver = local_types.get(parts[0]) or scope.var_types.get(
+                parts[0]
+            )
+            if receiver is not None:
+                return self._method_site(call, receiver, parts[1])
+        resolved = self._resolve_dotted(scope, dotted)
+        if resolved is None:
+            return CallSite(call, None, "unresolved")
+        if resolved in self.function_names:
+            return CallSite(call, resolved, "project")
+        if resolved in self.classes:
+            # instantiation: the edge is the constructor, when one exists
+            init = self._method_on(resolved, "__init__")
+            return CallSite(call, init if init is not None else resolved, "project")
+        # Class.method / Class.classmethod on a project class
+        if len(parts) >= 2:
+            head = ".".join(resolved.split(".")[:-1])
+            if head in self.classes:
+                target = self._method_on(head, resolved.split(".")[-1])
+                if target is not None:
+                    return CallSite(call, target, "project")
+                return CallSite(call, None, "unresolved")
+        if len(parts) == 1 and resolved == dotted:
+            # a bare name that no import or definition explains: builtin
+            # (open/input are the ones the rules care about) or a local
+            # callable we cannot type — never guess "external" for the
+            # latter, a parameter named like a primitive must not flag.
+            if resolved in ("open", "input"):
+                return CallSite(call, resolved, "external")
+            return CallSite(call, None, "unresolved")
+        return CallSite(call, resolved, "external")
+
+    def _method_site(
+        self, call: ast.Call, receiver_type: str, method: str
+    ) -> CallSite:
+        if receiver_type in self.classes:
+            target = self._method_on(receiver_type, method)
+            if target is not None:
+                return CallSite(call, target, "project")
+            return CallSite(call, None, "unresolved")
+        return CallSite(call, f"{receiver_type}.{method}", "external")
+
+    # -- queries -------------------------------------------------------------
+
+    def function(self, qualname: str) -> Optional[FunctionSummary]:
+        return self.functions.get(qualname)
+
+    def async_roots(self) -> List[FunctionSummary]:
+        """Async functions in the analyzed scope, sorted by qualname."""
+        return [
+            summary
+            for _, summary in sorted(self.functions.items())
+            if summary.is_async and self.in_async_scope(summary.module)
+        ]
+
+    @staticmethod
+    def in_async_scope(module: Module) -> bool:
+        """Whether a module's helpers are traversed by the async rules.
+
+        The serve/obs packages plus top-level ``repro`` modules; the
+        simulation core is a traversal boundary (see module docstring).
+        """
+        parts = module.repro_parts
+        if not parts:
+            return False
+        if len(parts) == 2:  # ('repro', 'parallel.py') — top-level module
+            return True
+        return parts[1] in ASYNC_SCOPE_SUBPACKAGES
+
+    def blocking_chain(self, qualname: str) -> Optional[Tuple[str, ...]]:
+        """Call chain from ``qualname`` to a blocking primitive, or None.
+
+        The chain lists the project functions traversed (``qualname``
+        first) and ends with the blocking target itself.  Traversal
+        never enters async functions (each is its own analysis root),
+        functions outside the async scope, or cycles.
+        """
+        if qualname in self._blocking_memo:
+            return self._blocking_memo[qualname]
+        self._blocking_memo[qualname] = None  # cycle guard
+        summary = self.functions.get(qualname)
+        if summary is None:
+            return None
+        chain: Optional[Tuple[str, ...]] = None
+        if summary.blocking:
+            site = min(summary.blocking, key=lambda s: s.line)
+            chain = (qualname, site.target or "<blocking>")
+        else:
+            for site in summary.calls:
+                if site.kind != "project" or site.target is None:
+                    continue
+                callee = self.functions.get(site.target)
+                if callee is None or callee.is_async:
+                    continue
+                if not self.in_async_scope(callee.module):
+                    continue
+                sub = self.blocking_chain(site.target)
+                if sub is not None:
+                    chain = (qualname,) + sub
+                    break
+        self._blocking_memo[qualname] = chain
+        return chain
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON form of the whole graph (the ``--graph-dump`` payload)."""
+        return {
+            "modules": sorted(self.modules_by_name),
+            "functions": {
+                qualname: summary.to_dict()
+                for qualname, summary in sorted(self.functions.items())
+            },
+        }

@@ -2,7 +2,7 @@
 
 Importing this package registers every rule with the engine registry
 (:func:`repro.lint.engine.register`); :func:`repro.lint.engine.default_rules`
-does so lazily.  The six families:
+does so lazily.  The seven families:
 
 - ``unit-safety`` (:mod:`.units`) — constants go through ``repro.units``;
 - ``determinism`` (:mod:`.determinism`) — no global RNG / wall clock in
@@ -13,9 +13,21 @@ does so lazily.  The six families:
 - ``public-api`` (:mod:`.api`) — ``__all__`` resolves, modules are
   documented;
 - ``faults`` (:mod:`.faults`) — schedulers observe temperatures through
-  the sensor shim, never ground truth.
+  the sensor shim, never ground truth;
+- ``async-safety`` (:mod:`.asyncsafety`) — the asyncio serve hot path
+  never blocks the loop, races on shared state across an ``await``, or
+  leaks request-scoped ContextVars (project pass over the call graph,
+  :mod:`repro.lint.graph`).
 """
 
-from . import api, contract, determinism, faults, frozen, units
+from . import api, asyncsafety, contract, determinism, faults, frozen, units
 
-__all__ = ["api", "contract", "determinism", "faults", "frozen", "units"]
+__all__ = [
+    "api",
+    "asyncsafety",
+    "contract",
+    "determinism",
+    "faults",
+    "frozen",
+    "units",
+]

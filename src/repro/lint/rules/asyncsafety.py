@@ -1,0 +1,458 @@
+"""Family ``async-safety`` — concurrency hazards on the serve hot path.
+
+The serve stack (:mod:`repro.serve`) is a single-threaded asyncio loop
+by design: determinism needs one interleaving, and the paper's workload
+fits one core.  That design converts every blocking call reachable from
+a handler into a *global* stall — all tenants' rotation-interval queries
+wait behind it — and every read-modify-write of shared state that spans
+an ``await`` into a lost-update race the moment two requests interleave.
+Per-file rules cannot see either hazard: the blocking call typically
+hides two sync helpers deep, and the interleaving hazard is a property
+of statement *order*, not of any one statement.
+
+These rules run as project passes over :class:`repro.lint.graph.ProjectGraph`
+(built lazily once per run).  Analysis scope — which async functions are
+roots, and which sync helpers are traversed — is
+:meth:`ProjectGraph.in_async_scope`: the ``serve``/``obs`` packages plus
+top-level ``repro`` modules.  Calls into the simulation core are
+boundary edges, never traversed: the core is synchronous compute whose
+one deliberate loop-block (``/v1/simulate``) is governed by the
+documented horizon clamp, and traversing it would flag runtime-dead
+paths (e.g. trace sinks never constructed under serve configs).  The
+family gates at **zero false positives** on the committed tree; every
+heuristic here errs toward silence (unresolved calls produce no edge).
+
+The five rules, each with a worked example in ``docs/lint.md``:
+
+- ``async-blocking-call`` — an ``async def`` reaches a blocking
+  primitive (``time.sleep``, sync file I/O, ``subprocess``,
+  ``requests``-style sockets), directly or through sync helpers;
+- ``async-shared-mutation`` — an async method reads ``self.<attr>``,
+  suspends at an ``await``, then re-binds the same attribute with no
+  lock held (lost-update across interleaving);
+- ``async-unawaited-coroutine`` — a call to a project ``async def``
+  used as a bare statement: the coroutine is created, never scheduled;
+- ``async-lock-across-blocking`` — a blocking primitive reached while a
+  lock is held (serializes the stall across every waiter);
+- ``async-contextvar-leak`` — ``ContextVar.set`` whose token is
+  discarded or never ``reset`` in a ``finally`` (request state bleeds
+  into the next request on the same task).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from ..engine import Project, Rule, dotted_name, register
+from ..findings import Finding
+from ..graph import FunctionSummary, ProjectGraph
+
+FAMILY = "async-safety"
+
+
+def _short(qualname: str) -> str:
+    """Human form of a qualname: strip the ``repro.``-tree module prefix."""
+    parts = qualname.split(".")
+    keep = [p for p in parts if p[:1].isupper() or p == parts[-1]]
+    return ".".join(keep) if keep else qualname
+
+
+def _chain_text(chain: Tuple[str, ...]) -> str:
+    return " -> ".join([_short(q) for q in chain[:-1]] + [chain[-1]])
+
+
+def _owned_statements(func: ast.AST) -> Iterator[ast.AST]:
+    """All nodes of ``func``'s own body, nested def/lambda bodies excluded."""
+    stack: List[ast.AST] = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _project_blocking_edges(
+    graph: ProjectGraph, summary: FunctionSummary
+) -> Iterator[Tuple[ast.Call, Tuple[str, ...]]]:
+    """Call sites of ``summary`` whose sync project callee reaches a
+    blocking primitive, with the chain (callee..primitive)."""
+    seen: Set[str] = set()
+    for site in summary.calls:
+        if site.kind != "project" or site.target is None:
+            continue
+        if site.target in seen:
+            continue
+        callee = graph.functions.get(site.target)
+        if callee is None or callee.is_async:
+            continue
+        if not graph.in_async_scope(callee.module):
+            continue
+        chain = graph.blocking_chain(site.target)
+        if chain is not None:
+            seen.add(site.target)
+            yield site.node, chain
+
+
+@register
+class AsyncBlockingCallRule(Rule):
+    """Blocking primitive reachable from an ``async def``."""
+
+    id = "async-blocking-call"
+    family = FAMILY
+    description = (
+        "async def in the serve/obs scope reaches a blocking primitive "
+        "(time.sleep, sync file I/O, subprocess, sockets) directly or "
+        "through sync helpers — it stalls the whole event loop"
+    )
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        graph = project.graph()
+        for root in graph.async_roots():
+            reported: Set[str] = set()
+            for site in root.blocking:
+                target = site.target or "<blocking>"
+                if target in reported:
+                    continue
+                reported.add(target)
+                yield root.module.finding(
+                    self,
+                    site.node,
+                    f"async `{_short(root.qualname)}` calls blocking "
+                    f"`{target}` on the event loop",
+                )
+            for node, chain in _project_blocking_edges(graph, root):
+                yield root.module.finding(
+                    self,
+                    node,
+                    f"async `{_short(root.qualname)}` reaches blocking "
+                    f"`{chain[-1]}` via {_chain_text(chain)}",
+                )
+
+
+# -- async-shared-mutation -----------------------------------------------------
+
+#: ordered event kinds produced by :func:`_mutation_events`.
+_READ, _WRITE, _AWAIT, _LOCK_IN, _LOCK_OUT = range(5)
+
+
+def _mutation_events(
+    node: ast.AST, events: List[Tuple[int, str, ast.AST]]
+) -> None:
+    """Linearize a function body into read/write/await/lock events.
+
+    Approximate execution order: values before stores, loop bodies once,
+    both branches of a conditional in sequence.  Nested function bodies
+    are excluded (they run on their own schedule).
+    """
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+        return
+    if isinstance(node, ast.Attribute):
+        if isinstance(node.value, ast.Name) and node.value.id == "self":
+            kind = _READ if isinstance(node.ctx, ast.Load) else _WRITE
+            events.append((kind, node.attr, node))
+        _mutation_events(node.value, events)
+        return
+    if isinstance(node, ast.Await):
+        _mutation_events(node.value, events)
+        events.append((_AWAIT, "", node))
+        return
+    if isinstance(node, (ast.AsyncFor,)):
+        events.append((_AWAIT, "", node))
+    if isinstance(node, ast.Assign):
+        _mutation_events(node.value, events)
+        for target in node.targets:
+            _mutation_events(target, events)
+        return
+    if isinstance(node, ast.AugAssign):
+        # `self.x += v` reads then writes self.x
+        if (
+            isinstance(node.target, ast.Attribute)
+            and isinstance(node.target.value, ast.Name)
+            and node.target.value.id == "self"
+        ):
+            events.append((_READ, node.target.attr, node.target))
+        _mutation_events(node.value, events)
+        _mutation_events(node.target, events)
+        return
+    if isinstance(node, (ast.With, ast.AsyncWith)):
+        lockish = any(
+            "lock" in (dotted_name(
+                item.context_expr.func
+                if isinstance(item.context_expr, ast.Call)
+                else item.context_expr
+            ) or "").rsplit(".", 1)[-1].lower()
+            for item in node.items
+        )
+        for item in node.items:
+            _mutation_events(item.context_expr, events)
+        if isinstance(node, ast.AsyncWith):
+            events.append((_AWAIT, "", node))
+        if lockish:
+            events.append((_LOCK_IN, "", node))
+        for child in node.body:
+            _mutation_events(child, events)
+        if lockish:
+            events.append((_LOCK_OUT, "", node))
+        return
+    for child in ast.iter_child_nodes(node):
+        _mutation_events(child, events)
+
+
+@register
+class AsyncSharedMutationRule(Rule):
+    """Read-modify-write of ``self.`` state across an ``await``."""
+
+    id = "async-shared-mutation"
+    family = FAMILY
+    description = (
+        "async method reads self-state, awaits, then re-binds the same "
+        "attribute without a lock — interleaved requests lose updates"
+    )
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        graph = project.graph()
+        for root in graph.async_roots():
+            if root.class_qualname is None:
+                continue
+            events: List[Tuple[int, str, ast.AST]] = []
+            for child in ast.iter_child_nodes(root.node):
+                _mutation_events(child, events)
+            yield from self._scan(root, events)
+
+    def _scan(
+        self,
+        root: FunctionSummary,
+        events: List[Tuple[int, str, ast.AST]],
+    ) -> Iterator[Finding]:
+        lock_depth = 0
+        #: attr -> line of an unlocked read not yet superseded by a write.
+        pending_reads: Dict[str, int] = {}
+        #: attrs whose pending read has an await after it.
+        awaited: Set[str] = set()
+        reported: Set[str] = set()
+        for kind, attr, node in events:
+            if kind == _LOCK_IN:
+                lock_depth += 1
+            elif kind == _LOCK_OUT:
+                lock_depth = max(0, lock_depth - 1)
+            elif kind == _AWAIT:
+                awaited.update(pending_reads)
+            elif kind == _READ:
+                pending_reads.setdefault(attr, getattr(node, "lineno", 1))
+            elif kind == _WRITE:
+                if (
+                    attr in awaited
+                    and lock_depth == 0
+                    and attr not in reported
+                ):
+                    reported.add(attr)
+                    read_line = pending_reads.get(attr, 0)
+                    yield root.module.finding(
+                        self,
+                        node,
+                        f"async `{_short(root.qualname)}` re-binds "
+                        f"`self.{attr}` after an await that follows its "
+                        f"read (line {read_line}) with no lock held — "
+                        "interleaved coroutines race on it",
+                    )
+                # a write resets the window either way
+                pending_reads.pop(attr, None)
+                awaited.discard(attr)
+
+
+@register
+class AsyncUnawaitedCoroutineRule(Rule):
+    """Bare call of a project ``async def`` — coroutine never runs."""
+
+    id = "async-unawaited-coroutine"
+    family = FAMILY
+    description = (
+        "calling an async def as a bare statement creates a coroutine "
+        "that is never awaited, gathered or scheduled as a task"
+    )
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        graph = project.graph()
+        for _, summary in sorted(graph.functions.items()):
+            if not graph.in_async_scope(summary.module):
+                continue
+            sites = {
+                id(site.node): site
+                for site in summary.calls
+                if site.kind == "project" and site.target is not None
+            }
+            for node in _owned_statements(summary.node):
+                if not isinstance(node, ast.Expr):
+                    continue
+                if not isinstance(node.value, ast.Call):
+                    continue
+                site = sites.get(id(node.value))
+                if site is None or site.target is None:
+                    continue
+                callee = graph.functions.get(site.target)
+                if callee is None or not callee.is_async:
+                    continue
+                yield summary.module.finding(
+                    self,
+                    node,
+                    f"`{_short(summary.qualname)}` calls async "
+                    f"`{_short(site.target)}` without await/gather/"
+                    "create_task — the coroutine never runs",
+                )
+
+
+@register
+class AsyncLockAcrossBlockingRule(Rule):
+    """Blocking primitive reached while a lock is held."""
+
+    id = "async-lock-across-blocking"
+    family = FAMILY
+    description = (
+        "a lock held in an async function guards a blocking call — every "
+        "waiter serializes behind the stall"
+    )
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        graph = project.graph()
+        for root in graph.async_roots():
+            if not root.lock_nodes:
+                continue
+            blocking_by_id = {id(site.node): site for site in root.blocking}
+            edges = dict(
+                (id(node), chain)
+                for node, chain in _project_blocking_edges(graph, root)
+            )
+            for label, with_node in root.lock_nodes:
+                for node in _owned_statements(with_node):
+                    if not isinstance(node, ast.Call):
+                        continue
+                    site = blocking_by_id.get(id(node))
+                    if site is not None:
+                        yield root.module.finding(
+                            self,
+                            node,
+                            f"async `{_short(root.qualname)}` holds "
+                            f"`{label}` across blocking "
+                            f"`{site.target}`",
+                        )
+                        continue
+                    chain = edges.get(id(node))
+                    if chain is not None:
+                        yield root.module.finding(
+                            self,
+                            node,
+                            f"async `{_short(root.qualname)}` holds "
+                            f"`{label}` across blocking `{chain[-1]}` "
+                            f"via {_chain_text(chain)}",
+                        )
+
+
+@register
+class AsyncContextvarLeakRule(Rule):
+    """``ContextVar.set`` without a ``reset`` on every exit path."""
+
+    id = "async-contextvar-leak"
+    family = FAMILY
+    description = (
+        "ContextVar.set whose token is discarded or never reset in a "
+        "finally — request-scoped state bleeds into the next request"
+    )
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        graph = project.graph()
+        for module_name in sorted(graph.scopes):
+            scope = graph.scopes[module_name]
+            if not graph.in_async_scope(scope.module):
+                continue
+            contextvars = {
+                name
+                for name, type_name in scope.var_types.items()
+                if type_name == "contextvars.ContextVar"
+            }
+            if not contextvars:
+                continue
+            for _, summary in sorted(graph.functions.items()):
+                if summary.module is not scope.module:
+                    continue
+                yield from self._check_function(summary, contextvars)
+
+    def _check_function(
+        self, summary: FunctionSummary, contextvars: Set[str]
+    ) -> Iterator[Finding]:
+        resets = self._finally_resets(summary.node, contextvars)
+        for node in _owned_statements(summary.node):
+            set_call = self._set_call(node, contextvars)
+            if set_call is None:
+                continue
+            var, call = set_call
+            token = self._token_name(summary.node, call)
+            if token is None:
+                yield summary.module.finding(
+                    self,
+                    call,
+                    f"`{_short(summary.qualname)}` discards the token of "
+                    f"`{var}.set(...)` — the previous value can never be "
+                    "restored",
+                )
+            elif (var, token) not in resets:
+                yield summary.module.finding(
+                    self,
+                    call,
+                    f"`{_short(summary.qualname)}` never resets "
+                    f"`{var}` with token `{token}` in a finally — the "
+                    "value leaks past the request on an exception path",
+                )
+
+    @staticmethod
+    def _set_call(
+        node: ast.AST, contextvars: Set[str]
+    ) -> Optional[Tuple[str, ast.Call]]:
+        if not isinstance(node, ast.Call):
+            return None
+        dotted = dotted_name(node.func)
+        if dotted is None or "." not in dotted:
+            return None
+        var, _, method = dotted.rpartition(".")
+        if method == "set" and var in contextvars:
+            return var, node
+        return None
+
+    @staticmethod
+    def _token_name(func: ast.AST, call: ast.Call) -> Optional[str]:
+        """The Name a ``set`` call's token is bound to, if any."""
+        for node in _owned_statements(func):
+            if (
+                isinstance(node, ast.Assign)
+                and node.value is call
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+            ):
+                return node.targets[0].id
+        return None
+
+    @staticmethod
+    def _finally_resets(
+        func: ast.AST, contextvars: Set[str]
+    ) -> Set[Tuple[str, str]]:
+        """``(var, token)`` pairs reset inside some ``finally`` block."""
+        resets: Set[Tuple[str, str]] = set()
+        for node in _owned_statements(func):
+            if not isinstance(node, ast.Try):
+                continue
+            for stmt in node.finalbody:
+                for call in ast.walk(stmt):
+                    if not isinstance(call, ast.Call) or not call.args:
+                        continue
+                    dotted = dotted_name(call.func)
+                    if dotted is None:
+                        continue
+                    var, _, method = dotted.rpartition(".")
+                    if (
+                        method == "reset"
+                        and var in contextvars
+                        and isinstance(call.args[0], ast.Name)
+                    ):
+                        resets.add((var, call.args[0].id))
+        return resets

@@ -75,10 +75,10 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-async def _serve(config: ServeConfig) -> None:
-    server = ThermalServer(config)
+async def _serve(server: ThermalServer) -> None:
     await server.start()
-    print(f"repro.serve listening on http://{config.host}:{server.port}")
+    host = server.config.host
+    print(f"repro.serve listening on http://{host}:{server.port}")
     await server.serve_forever()
 
 
@@ -97,8 +97,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         slo_latency_s=args.slo_latency,
         slo_error_budget=args.slo_budget,
     )
+    # Constructed before the loop starts: ``__init__`` may open a trace
+    # sink (``--trace-path``), which must not block the running loop.
+    server = ThermalServer(config)
     try:
-        asyncio.run(_serve(config))
+        asyncio.run(_serve(server))
     except KeyboardInterrupt:
         pass
     return EXIT_OK

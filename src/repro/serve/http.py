@@ -69,11 +69,28 @@ from .service import ServeConfig, ThermalService, metric_label
 
 __all__ = ["ThermalServer"]
 
-#: Tenant resolved while dispatching the current request (set by
-#: ``_tenant_for``); a ContextVar so interleaved requests on the single
-#: event loop cannot cross-attribute their latencies.
-_REQUEST_TENANT: ContextVar[Optional[str]] = ContextVar(
-    "repro_serve_request_tenant", default=None
+class _RequestScope:
+    """Mutable per-request state carried by :data:`_REQUEST_SCOPE`.
+
+    One instance per served request.  ``_tenant_for`` records the tenant
+    it resolved by *mutating* the scope rather than re-``set``-ing the
+    ContextVar: the var is set exactly once per request (token captured)
+    and reset in a ``finally``, so no request's state can leak into the
+    next one on the same connection — the discipline the
+    ``async-contextvar-leak`` lint rule checks.
+    """
+
+    __slots__ = ("tenant",)
+
+    def __init__(self) -> None:
+        self.tenant: Optional[str] = None
+
+
+#: Scope of the request currently being dispatched; a ContextVar so
+#: interleaved requests on the single event loop cannot cross-attribute
+#: their latencies.  Set/reset exclusively by ``_handle_connection``.
+_REQUEST_SCOPE: ContextVar[Optional[_RequestScope]] = ContextVar(
+    "repro_serve_request_scope", default=None
 )
 
 #: Path -> short endpoint label for metric names and span names.
@@ -182,11 +199,17 @@ class ThermalServer:
             await self._server.serve_forever()
 
     async def close(self) -> None:
-        """Stop accepting connections and release the socket."""
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
-            self._server = None
+        """Stop accepting connections and release the socket.
+
+        ``self._server`` is detached *before* the await: a concurrent
+        ``close`` (or a ``start`` racing a shutdown) interleaving at
+        ``wait_closed`` must not see — or re-close — a half-closed
+        server (the ``async-shared-mutation`` hazard).
+        """
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+            await server.wait_closed()
 
     # -- connection handling -------------------------------------------------
 
@@ -200,18 +223,21 @@ class ThermalServer:
                     break
                 method, path, headers, body = request
                 endpoint = _endpoint_of(path.partition("?")[0])
-                _REQUEST_TENANT.set(None)
+                scope_token = _REQUEST_SCOPE.set(_RequestScope())
                 started = time.perf_counter()
-                with self.tracer.span(
-                    f"http.{endpoint}", root=True, method=method, path=path
-                ) as span:
-                    status, payload, extra = await self._dispatch(
-                        method, path, headers, body
+                try:
+                    with self.tracer.span(
+                        f"http.{endpoint}", root=True, method=method, path=path
+                    ) as span:
+                        status, payload, extra = await self._dispatch(
+                            method, path, headers, body
+                        )
+                        span.annotate(status=status)
+                    self._observe_latency(
+                        endpoint, time.perf_counter() - started
                     )
-                    span.annotate(status=status)
-                self._observe_latency(
-                    endpoint, time.perf_counter() - started
-                )
+                finally:
+                    _REQUEST_SCOPE.reset(scope_token)
                 keep_alive = headers.get("connection", "keep-alive") != "close"
                 self._write_response(writer, status, payload, extra, keep_alive)
                 await writer.drain()
@@ -241,7 +267,8 @@ class ThermalServer:
         self.registry.histogram(
             f"serve.http.latency.{endpoint}", timing=True
         ).observe(elapsed_s)
-        tenant_name = _REQUEST_TENANT.get()
+        scope = _REQUEST_SCOPE.get()
+        tenant_name = scope.tenant if scope is not None else None
         if tenant_name is None:
             return
         self.registry.histogram(
@@ -407,7 +434,9 @@ class ThermalServer:
                 retry_after_s=wait_s,
             )
         tenant.requests += 1
-        _REQUEST_TENANT.set(name)
+        scope = _REQUEST_SCOPE.get()
+        if scope is not None:
+            scope.tenant = name
         return tenant
 
     async def _peak(

@@ -1,0 +1,170 @@
+"""The incremental findings cache: hits, invalidation, soundness.
+
+The contract under test (see :mod:`repro.lint.cache`): unchanged files
+are served from the cache, any content change is a miss, project-pass
+rules re-run every time, and a corrupt or mismatched cache degrades to
+a cold run — never to wrong findings.
+"""
+
+import json
+import textwrap
+
+from repro.lint import (
+    LintCache,
+    default_rules,
+    has_project_pass,
+    run_lint,
+    rules_signature,
+)
+
+
+def write_tree(tmp_path, files):
+    for relpath, code in files.items():
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(code))
+
+
+def make_cache(tmp_path):
+    signature = rules_signature(r.id for r in default_rules())
+    return LintCache(tmp_path / "cache.json", signature)
+
+
+class TestCacheFlow:
+    def test_second_run_hits_for_unchanged_files(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "repro/a.py": '"""doc."""\nx = 1\n',
+                "repro/b.py": '"""doc."""\ny = 2\n',
+            },
+        )
+        cold = make_cache(tmp_path)
+        first = run_lint([tmp_path / "repro"], cache=cold)
+        assert cold.misses == 2 and cold.hits == 0
+        warm = make_cache(tmp_path)
+        second = run_lint([tmp_path / "repro"], cache=warm)
+        assert warm.hits == 2 and warm.misses == 0
+        assert first == second
+
+    def test_changed_file_misses_others_hit(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "repro/a.py": '"""doc."""\nx = 1\n',
+                "repro/b.py": '"""doc."""\ny = 2\n',
+            },
+        )
+        run_lint([tmp_path / "repro"], cache=make_cache(tmp_path))
+        (tmp_path / "repro" / "a.py").write_text(
+            '"""doc."""\ntau_s = 0.5e-3\n'
+        )
+        warm = make_cache(tmp_path)
+        findings = run_lint([tmp_path / "repro"], cache=warm)
+        assert warm.hits == 1 and warm.misses == 1
+        assert [f.rule for f in findings] == ["unit-raw-literal"]
+
+    def test_cached_findings_round_trip_exactly(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {"repro/a.py": '"""doc."""\ntau_s = 0.5e-3\n'},
+        )
+        first = run_lint([tmp_path / "repro"], cache=make_cache(tmp_path))
+        warm = make_cache(tmp_path)
+        second = run_lint([tmp_path / "repro"], cache=warm)
+        assert warm.hits == 1
+        assert first == second
+        assert [f.to_dict() for f in first] == [f.to_dict() for f in second]
+
+    def test_suppressed_findings_stay_suppressed_from_cache(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "repro/a.py": (
+                    '"""doc."""\n'
+                    "tau_s = 0.5e-3  # lint: ignore[unit-raw-literal]\n"
+                ),
+            },
+        )
+        assert run_lint([tmp_path / "repro"], cache=make_cache(tmp_path)) == []
+        warm = make_cache(tmp_path)
+        assert run_lint([tmp_path / "repro"], cache=warm) == []
+        assert warm.hits == 1
+
+
+class TestInvalidation:
+    def test_different_rule_selection_invalidates(self, tmp_path):
+        write_tree(tmp_path, {"repro/a.py": '"""doc."""\nx = 1\n'})
+        run_lint([tmp_path / "repro"], cache=make_cache(tmp_path))
+        narrowed = LintCache(
+            tmp_path / "cache.json", rules_signature(["unit-raw-literal"])
+        )
+        run_lint(
+            [tmp_path / "repro"],
+            rules=[
+                r for r in default_rules() if r.id == "unit-raw-literal"
+            ],
+            cache=narrowed,
+        )
+        assert narrowed.hits == 0 and narrowed.misses == 1
+
+    def test_corrupt_cache_file_degrades_to_cold(self, tmp_path):
+        write_tree(tmp_path, {"repro/a.py": '"""doc."""\nx = 1\n'})
+        (tmp_path / "cache.json").write_text("{not json")
+        cache = make_cache(tmp_path)
+        findings = run_lint([tmp_path / "repro"], cache=cache)
+        assert findings == []
+        assert cache.misses == 1
+
+    def test_deleted_file_is_pruned_on_save(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "repro/a.py": '"""doc."""\nx = 1\n',
+                "repro/b.py": '"""doc."""\ny = 2\n',
+            },
+        )
+        run_lint([tmp_path / "repro"], cache=make_cache(tmp_path))
+        (tmp_path / "repro" / "b.py").unlink()
+        run_lint([tmp_path / "repro"], cache=make_cache(tmp_path))
+        payload = json.loads((tmp_path / "cache.json").read_text())
+        assert len(payload["files"]) == 1
+
+
+class TestProjectPassSoundness:
+    def test_project_rules_rerun_on_warm_cache(self, tmp_path):
+        # a transitive blocking chain spans two files; editing only the
+        # *helper* must still flip the finding in the handler's file,
+        # which a per-file cache would hide if project passes were cached.
+        write_tree(
+            tmp_path,
+            {
+                "repro/serve/helper.py": (
+                    '"""doc."""\n\n\ndef persist(path):\n    return path\n'
+                ),
+                "repro/serve/handler.py": (
+                    '"""doc."""\n'
+                    "from .helper import persist\n\n\n"
+                    "async def handle(path):\n"
+                    "    return persist(path)\n"
+                ),
+            },
+        )
+        assert run_lint([tmp_path / "repro"], cache=make_cache(tmp_path)) == []
+        (tmp_path / "repro" / "serve" / "helper.py").write_text(
+            '"""doc."""\n\n\ndef persist(path):\n    return open(path)\n'
+        )
+        warm = make_cache(tmp_path)
+        findings = run_lint([tmp_path / "repro"], cache=warm)
+        assert warm.hits == 1  # handler.py untouched — served from cache
+        assert [f.rule for f in findings] == ["async-blocking-call"]
+        assert findings[0].path.endswith("handler.py")
+
+    def test_project_pass_rules_are_detected(self):
+        project_rules = {
+            r.id for r in default_rules() if has_project_pass(r)
+        }
+        assert "sched-export" in project_rules
+        assert "async-blocking-call" in project_rules
+        assert "async-contextvar-leak" in project_rules
+        assert "unit-raw-literal" not in project_rules

@@ -9,6 +9,7 @@ from repro.lint import (
     default_rules,
     load_baseline,
     partition,
+    rule_families,
     rule_ids,
     run_lint,
     save_baseline,
@@ -40,7 +41,7 @@ class TestFinding:
 
 
 class TestRegistry:
-    def test_default_rules_cover_the_six_families(self):
+    def test_default_rules_cover_the_seven_families(self):
         families = {rule.family for rule in default_rules()}
         assert families == {
             "unit-safety",
@@ -49,7 +50,13 @@ class TestRegistry:
             "scheduler-contract",
             "public-api",
             "faults",
+            "async-safety",
         }
+
+    def test_rule_families_sorted_and_distinct(self):
+        families = rule_families()
+        assert families == sorted(set(families))
+        assert "async-safety" in families
 
     def test_rule_ids_unique_and_sorted(self):
         ids = rule_ids()

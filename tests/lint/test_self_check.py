@@ -2,8 +2,10 @@
 
 This is the tier-1 wiring of the domain lint: ``src/repro`` must produce
 zero findings (the committed baseline is empty), and introducing a
-positive-case snippet from any of the six rule families must flip the
-CLI to exit status 1.
+positive-case snippet from any of the seven rule families must flip the
+CLI to exit status 1.  The ``async-safety`` snippet is deliberately
+*transitive* — the async def reaches ``time.sleep`` only through a sync
+helper, which is exactly what the per-file rules could never see.
 """
 
 import json
@@ -42,6 +44,15 @@ FAMILY_SNIPPETS = {
         "        return None\n",
     ),
     "public-api": ("repro/mod.py", '"""doc."""\n__all__ = ["ghost"]\n'),
+    "async-safety": (
+        "repro/serve/mod.py",
+        '"""doc."""\n'
+        "import time\n"
+        "def helper():\n"
+        "    time.sleep(0.1)\n"
+        "async def handler():\n"
+        "    return helper()\n",
+    ),
     "faults": (
         "repro/sched/mod.py",
         '"""doc."""\ndef f(ctx):\n    return ctx.core_temperatures_c()\n',
@@ -102,3 +113,87 @@ class TestGateFiresPerFamily:
         result = _cli("check", str(tmp_path / "missing"), cwd=tmp_path)
         assert result.returncode == 2
         assert "error:" in result.stderr
+
+
+@pytest.mark.lint
+class TestFamilySelection:
+    """Families are selectors everywhere rule ids are (satellite fix)."""
+
+    def test_select_family_runs_all_members(self, tmp_path):
+        result = _cli("rules", "--select", "async-safety", "--json")
+        assert result.returncode == 0, result.stderr
+        rules = json.loads(result.stdout)
+        assert {r["id"] for r in rules} == {
+            "async-blocking-call",
+            "async-contextvar-leak",
+            "async-lock-across-blocking",
+            "async-shared-mutation",
+            "async-unawaited-coroutine",
+        }
+        assert all(r["family"] == "async-safety" for r in rules)
+
+    def test_check_json_records_carry_family(self, tmp_path):
+        relpath, code = FAMILY_SNIPPETS["async-safety"]
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(code))
+        result = _cli(
+            "check", str(tmp_path), "--select", "async-safety", "--json",
+            cwd=tmp_path,
+        )
+        assert result.returncode == 1, result.stdout + result.stderr
+        payload = json.loads(result.stdout)
+        assert payload["families"] == ["async-safety"]
+        assert all(
+            f["family"] == "async-safety" for f in payload["findings"]
+        )
+
+    def test_unknown_family_is_usage_error(self, tmp_path):
+        result = _cli("check", "--select", "no-such-family", cwd=tmp_path)
+        assert result.returncode == 2
+        assert "unknown rule ids/families" in result.stderr
+
+
+@pytest.mark.lint
+class TestIncrementalCache:
+    def test_warm_run_hits_every_file(self, tmp_path):
+        relpath = "repro/mod.py"
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text('"""doc."""\nx = 1\n')
+        first = _cli("check", str(tmp_path), "--json", cwd=tmp_path)
+        assert json.loads(first.stdout)["cache"] == {
+            "hits": 0, "misses": 1
+        }
+        second = _cli("check", str(tmp_path), "--json", cwd=tmp_path)
+        assert json.loads(second.stdout)["cache"] == {
+            "hits": 1, "misses": 0
+        }
+        assert (tmp_path / ".lint-cache.json").exists()
+
+    def test_no_cache_flag_skips_cache(self, tmp_path):
+        relpath = "repro/mod.py"
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text('"""doc."""\nx = 1\n')
+        result = _cli(
+            "check", str(tmp_path), "--no-cache", "--json", cwd=tmp_path
+        )
+        assert "cache" not in json.loads(result.stdout)
+        assert not (tmp_path / ".lint-cache.json").exists()
+
+
+@pytest.mark.lint
+class TestGraphDump:
+    def test_dump_is_json_with_function_summaries(self):
+        result = _cli(
+            "check", str(SRC / "serve" / "http.py"), "--graph-dump"
+        )
+        assert result.returncode == 0, result.stderr
+        payload = json.loads(result.stdout)
+        functions = payload["functions"]
+        handler = functions[
+            "repro.serve.http.ThermalServer._handle_connection"
+        ]
+        assert handler["async"] is True
+        assert handler["awaits"] >= 3

@@ -1,0 +1,105 @@
+"""Suppression and baseline edge cases.
+
+Satellite coverage for the corners the happy-path tests skip: a family
+suppression on a line carrying findings from *two* families must
+silence only its own; baseline fingerprints are line-independent (they
+survive edits that shift code) but path-*dependent* (renaming a file
+deliberately resurfaces its grandfathered findings for re-triage).
+"""
+
+import textwrap
+
+from .conftest import rule_ids
+from repro.lint import load_baseline, partition, run_lint, save_baseline
+
+
+class TestFamilySuppressionOnMultiFindingLine:
+    # one line, two findings from different families: a raw unit literal
+    # (unit-safety) and a wall-clock read (determinism, in repro/sim/)
+    CODE = '"""doc."""\nimport time\ntau_s = 0.5e-3; stamp = time.time(){comment}\n'
+
+    def write(self, tmp_path, comment=""):
+        path = tmp_path / "repro" / "sim" / "mod.py"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(self.CODE.format(comment=comment)))
+        return tmp_path / "repro"
+
+    def test_both_findings_without_suppression(self, tmp_path):
+        findings = run_lint([self.write(tmp_path)])
+        assert sorted(rule_ids(findings)) == [
+            "det-wallclock",
+            "unit-raw-literal",
+        ]
+
+    def test_family_comment_silences_only_its_member(self, tmp_path):
+        root = self.write(tmp_path, comment="  # lint: ignore[determinism]")
+        findings = run_lint([root])
+        assert rule_ids(findings) == ["unit-raw-literal"]
+
+    def test_two_families_in_one_comment(self, tmp_path):
+        root = self.write(
+            tmp_path, comment="  # lint: ignore[determinism, unit-safety]"
+        )
+        assert run_lint([root]) == []
+
+    def test_blanket_comment_silences_both(self, tmp_path):
+        root = self.write(tmp_path, comment="  # lint: ignore")
+        assert run_lint([root]) == []
+
+    def test_mixed_id_and_family_tokens(self, tmp_path):
+        root = self.write(
+            tmp_path,
+            comment="  # lint: ignore[det-wallclock, unit-safety]",
+        )
+        assert run_lint([root]) == []
+
+
+class TestBaselineFingerprintStability:
+    CODE = '"""doc."""\ntau_s = 0.5e-3\n'
+
+    def write(self, tmp_path, relpath, prefix=""):
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(prefix + textwrap.dedent(self.CODE))
+        return path
+
+    def test_line_shift_stays_grandfathered(self, tmp_path):
+        self.write(tmp_path, "repro/mod.py")
+        baseline_path = tmp_path / "baseline.json"
+        findings = run_lint([tmp_path / "repro"])
+        assert len(findings) == 1
+        save_baseline(baseline_path, findings)
+        # shift the finding down by several lines: same file, same rule,
+        # same message — the fingerprint must not notice
+        self.write(
+            tmp_path, "repro/mod.py", prefix="# one\n# two\n# three\n"
+        )
+        shifted = run_lint([tmp_path / "repro"])
+        assert shifted[0].line != findings[0].line
+        new, grandfathered = partition(
+            shifted, load_baseline(baseline_path)
+        )
+        assert new == []
+        assert len(grandfathered) == 1
+
+    def test_rename_resurfaces_the_finding(self, tmp_path):
+        # the path is deliberately part of the fingerprint: moving a file
+        # is a re-review event, not something a baseline should mask
+        old = self.write(tmp_path, "repro/mod.py")
+        baseline_path = tmp_path / "baseline.json"
+        save_baseline(baseline_path, run_lint([tmp_path / "repro"]))
+        old.rename(tmp_path / "repro" / "renamed.py")
+        findings = run_lint([tmp_path / "repro"])
+        new, grandfathered = partition(
+            findings, load_baseline(baseline_path)
+        )
+        assert len(new) == 1
+        assert grandfathered == []
+
+    def test_baseline_round_trips_through_disk(self, tmp_path):
+        self.write(tmp_path, "repro/mod.py")
+        baseline_path = tmp_path / "baseline.json"
+        findings = run_lint([tmp_path / "repro"])
+        save_baseline(baseline_path, findings)
+        fingerprints = load_baseline(baseline_path)
+        assert fingerprints == {f.fingerprint for f in findings}

@@ -209,16 +209,36 @@ class HotPotato:
         if not free:
             return None
         # evaluate the whole slot scan as one batched candidate set: every
-        # trial shares the same tau, so all of them ride one stacked einsum
+        # trial shares the same tau, so all of them ride one stacked einsum.
+        # The candidates differ only in which free slot hosts the new
+        # thread, so only the first needs a full schedule construction:
+        # every other sequence is the first one with the thread's power
+        # moved to the other slot's rotation track (pure assignment of the
+        # same floats the full construction writes — byte-identical).
         trial = self._copy_slots()
-        seqs: List[np.ndarray] = []
-        taus: List[Optional[float]] = []
-        for slot in free:
-            trial[ring][slot] = thread_id
-            seq, effective_tau = self._power_seq_for(trial, self.tau_s)
-            trial[ring][slot] = None
-            seqs.append(seq)
-            taus.append(effective_tau)
+        trial[ring][free[0]] = thread_id
+        first, effective_tau = self._power_seq_for(trial, self.tau_s)
+        trial[ring][free[0]] = None
+        seqs: List[np.ndarray] = [first]
+        taus: List[Optional[float]] = [effective_tau]
+        if len(free) > 1:
+            cores_arr = np.asarray(self.rings.ring(ring))
+            size = cores_arr.shape[0]
+            period = first.shape[0]
+            epochs = np.arange(period)
+            # slots only move when the candidate schedule actually rotates
+            shift = epochs if effective_tau is not None else np.zeros(
+                period, dtype=int
+            )
+            idle = float(self.idle_power_w)
+            thread_power = float(self._threads[thread_id].power_w)
+            first_track = cores_arr[(free[0] + shift) % size]
+            for slot in free[1:]:
+                seq = first.copy()
+                seq[epochs, first_track] = idle
+                seq[epochs, cores_arr[(slot + shift) % size]] = thread_power
+                seqs.append(seq)
+                taus.append(effective_tau)
         peaks = self.calculator.peak_batch(seqs, taus)
         best = int(np.argmin(peaks))  # first minimum = lowest slot index
         return (float(peaks[best]), free[best])

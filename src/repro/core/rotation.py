@@ -134,9 +134,23 @@ class RotationSchedule:
         """
         period = self.period_epochs
         seq = np.full((period, n_cores), float(idle_power_w))
-        for epoch in range(period):
-            for thread, core in self.placement_at(epoch).items():
-                seq[epoch, core] = float(thread_power_w[thread])
+        epochs = np.arange(period)[:, None]
+        for group in self.groups:
+            occupied = [
+                (slot, float(thread_power_w[thread]))
+                for slot, thread in enumerate(group.slots)
+                if thread is not None
+            ]
+            if not occupied:
+                continue
+            # Slot j sits on core cores[(j + k) % size] at epoch k; gather
+            # the whole period at once.  Pure assignment of the same float64
+            # values the scalar loop wrote, so the result is byte-identical.
+            slot_idx = np.array([slot for slot, _ in occupied])
+            values = np.array([value for _, value in occupied])
+            cores_arr = np.asarray(group.cores)
+            core_ids = cores_arr[(slot_idx[None, :] + epochs) % group.size]
+            seq[epochs, core_ids] = values[None, :]
         return seq
 
     def migrations_between(

@@ -11,18 +11,19 @@ under medium load.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..config import SystemConfig, table1
 from ..io import result_from_dict, result_to_dict
-from ..parallel import Cell, run_cells
+from ..parallel import BatchedSweepRunner, Cell, run_cells
 from ..sched.hotpotato_runtime import HotPotatoScheduler
 from ..sched.pcmig import PCMigScheduler
 from ..sim.context import SimContext
 from ..sim.engine import IntervalSimulator
 from ..sim.metrics import SimulationResult
+from ..thermal.matex import ThermalDynamics
 from ..thermal.rc_model import RCThermalModel
 from ..workload.generator import (
     materialize,
@@ -147,6 +148,45 @@ def _simulate_cell(
     return sim.run(max_time_s=max_time_s)
 
 
+def _build_batched_sims(
+    cells: List[Cell],
+) -> Tuple[List[IntervalSimulator], float]:
+    """Builder for the ``jobs="auto"`` vectorized policy.
+
+    Mirrors :func:`repro.experiments.fig4a._build_batched_sims`: the
+    simulators are exactly :func:`_simulate_cell`'s, except their
+    contexts share one :class:`ThermalDynamics` per thermal model so the
+    fused batch can step every cell in the same eigenbasis.
+    """
+    dynamics_of: Dict[int, ThermalDynamics] = {}
+    sims: List[IntervalSimulator] = []
+    max_time_s = 0.0
+    for cell in cells:
+        kw = cell.kwargs
+        dynamics = dynamics_of.get(id(kw["model"]))
+        if dynamics is None:
+            dynamics = ThermalDynamics(kw["model"])
+            dynamics_of[id(kw["model"])] = dynamics
+        specs = poisson_arrivals(
+            random_mixed_workload(
+                kw["n_tasks"], seed=kw["seed"], work_scale=kw["work_scale"]
+            ),
+            kw["arrival_rate_per_s"],
+            seed=kw["seed"] + 1,
+        )
+        sims.append(
+            IntervalSimulator(
+                kw["config"],
+                _SCHEDULERS[kw["scheduler"]](),
+                materialize(specs),
+                ctx=SimContext(kw["config"], dynamics=dynamics),
+                record_trace=False,
+            )
+        )
+        max_time_s = kw["max_time_s"]
+    return sims, max_time_s
+
+
 def run(
     config: SystemConfig = None,
     model: Optional[RCThermalModel] = None,
@@ -155,17 +195,21 @@ def run(
     seed: int = 7,
     work_scale: float = 2.0,
     max_time_s: float = 60.0,
-    jobs: int = 1,
+    jobs: Union[int, str] = 1,
     checkpoint_path=None,
     resume: bool = False,
+    report: Optional[Dict] = None,
 ) -> Fig4bResult:
     """Regenerate Fig. 4(b) over the given arrival-rate sweep.
 
     ``jobs > 1`` distributes the (rate, scheduler) cells over worker
-    processes; results are identical to a serial run.
+    processes; ``jobs="auto"`` picks a policy (normally the vectorized
+    in-process batch).  Results are identical to a serial run under
+    every policy.
 
     ``checkpoint_path``/``resume`` enable crash-tolerant sweeps exactly
-    as in :func:`repro.experiments.fig4a.run` (``docs/faults.md``).
+    as in :func:`repro.experiments.fig4a.run` (``docs/faults.md``);
+    ``report`` receives the executed policy and batch counters.
     """
     cfg = config if config is not None else table1()
     shared = SimContext(cfg, model)
@@ -195,6 +239,8 @@ def run(
         resume=resume,
         encode=result_to_dict,
         decode=result_from_dict,
+        batch_runner=BatchedSweepRunner(_build_batched_sims),
+        report=report,
     )
     points = tuple(
         LoadPoint(

@@ -52,6 +52,10 @@ class PCGovScheduler(Scheduler):
         self._budget_w: Optional[float] = None
         self._core_freq: Optional[np.ndarray] = None
         self._profile_of: Dict[str, object] = {}
+        # the profile governor is a pure function of (profile, core,
+        # budget): the DVFS ladder, LLC latencies and power model never
+        # change mid-run, so memoizing the picked level is byte-exact
+        self._profile_freq_cache: Dict[tuple, float] = {}
 
     def attach(self, ctx) -> None:
         super().attach(ctx)
@@ -114,7 +118,12 @@ class PCGovScheduler(Scheduler):
         f_max = self.ctx.config.dvfs.f_max_hz
         if profile is None or self._budget_w is None:
             return f_max
+        key = (profile.name, core, self._budget_w)
+        cached = self._profile_freq_cache.get(key)
+        if cached is not None:
+            return cached
         levels = self.ctx.dvfs.levels
+        chosen = levels[0]
         for mid in range(len(levels) - 1, -1, -1):
             compute, stall = self.ctx.perf.activity_fractions(
                 profile, core, levels[mid]
@@ -123,8 +132,10 @@ class PCGovScheduler(Scheduler):
                 profile.p_dyn_ref_w, levels[mid], compute, stall
             )
             if power <= self._budget_w:
-                return levels[mid]
-        return levels[0]
+                chosen = levels[mid]
+                break
+        self._profile_freq_cache[key] = chosen
+        return chosen
 
     def _measured_frequency(self, thread_id: str, core: int) -> float:
         """Highest step whose measured-power projection fits the budget."""

@@ -1,5 +1,6 @@
 """Interval thermal simulation substrate (HotSniper analogue)."""
 
+from .batch import BatchedSimulatorSet
 from .context import SimContext
 from .dtm import DtmController
 from .engine import IntervalSimulator
@@ -19,6 +20,7 @@ from .metrics import SimulationResult, TaskRecord
 from .migration import MigrationAccountant
 
 __all__ = [
+    "BatchedSimulatorSet",
     "DtmController",
     "DtmEngaged",
     "DtmReleased",

@@ -1,0 +1,133 @@
+"""SIGKILL-resume under the vectorized sweep policy.
+
+``tests/faults/test_crash_recovery.py`` proves a serial checkpointed
+sweep survives an uncatchable kill; this mirrors it for
+``jobs="auto"`` — the fused :class:`~repro.sim.batch.BatchedSimulatorSet`
+path.  The batched driver fires the checkpoint callback as each cell
+*finishes* (completion order, not submission order), so a kill lands
+with a partially-filled checkpoint whose cells were stepped in lock-step
+with unfinished ones — and the resumed sweep must still be
+byte-identical to an uninterrupted serial run.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import config
+from repro.experiments import fig4a
+
+_BENCHMARKS = ("blackscholes", "canneal")
+_WORK_SCALE = 60.0
+_MAX_TIME_S = 60.0
+_SEED = 42
+_N_CELLS = len(_BENCHMARKS) * 2  # x {pcmig, hotpotato}
+
+_CHILD_SCRIPT = """
+import sys
+from repro import config
+from repro.experiments import fig4a
+
+fig4a.run(
+    config=config.small_test(),
+    benchmarks={benchmarks!r},
+    seed={seed},
+    work_scale={work_scale},
+    max_time_s={max_time_s},
+    jobs="auto",
+    checkpoint_path={path!r},
+)
+"""
+
+
+def _checkpoint_fingerprint(path):
+    records = []
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        record = json.loads(line)
+        record["result"].pop("scheduler_wall_time_s", None)
+        record["result"].pop("profile", None)
+        records.append(record)
+    return records
+
+
+def _count_lines(path):
+    if not path.exists():
+        return 0
+    return sum(1 for line in path.read_text(encoding="utf-8").splitlines() if line)
+
+
+def test_sigkill_resume_batched_matches_serial(tmp_path):
+    ref_ckpt = tmp_path / "reference.jsonl"
+    crash_ckpt = tmp_path / "crashed.jsonl"
+
+    reference = fig4a.run(
+        config=config.small_test(),
+        benchmarks=_BENCHMARKS,
+        seed=_SEED,
+        work_scale=_WORK_SCALE,
+        max_time_s=_MAX_TIME_S,
+        jobs=1,
+        checkpoint_path=str(ref_ckpt),
+    )
+    assert _count_lines(ref_ckpt) == _N_CELLS
+
+    script = _CHILD_SCRIPT.format(
+        benchmarks=_BENCHMARKS,
+        seed=_SEED,
+        work_scale=_WORK_SCALE,
+        max_time_s=_MAX_TIME_S,
+        path=str(crash_ckpt),
+    )
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    child = subprocess.Popen([sys.executable, "-c", script], env=env)
+    try:
+        deadline = time.monotonic() + 120.0
+        while time.monotonic() < deadline:
+            if _count_lines(crash_ckpt) >= 1:
+                break
+            if child.poll() is not None:
+                pytest.fail("child sweep exited before it could be killed")
+            time.sleep(0.02)
+        else:
+            pytest.fail("child sweep never checkpointed a cell")
+        child.kill()
+        child.wait(timeout=30)
+    finally:
+        if child.poll() is None:
+            child.kill()
+            child.wait(timeout=30)
+    assert child.returncode == -signal.SIGKILL
+
+    done_before_resume = _count_lines(crash_ckpt)
+    assert 1 <= done_before_resume < _N_CELLS, (
+        f"kill landed after {done_before_resume}/{_N_CELLS} cells; "
+        "the sweep must die mid-flight for resume to mean anything"
+    )
+
+    report = {}
+    resumed = fig4a.run(
+        config=config.small_test(),
+        benchmarks=_BENCHMARKS,
+        seed=_SEED,
+        work_scale=_WORK_SCALE,
+        max_time_s=_MAX_TIME_S,
+        jobs="auto",
+        checkpoint_path=str(crash_ckpt),
+        resume=True,
+        report=report,
+    )
+    # the resume itself must have taken the fused path (more than one
+    # cell left) or the serial single-cell path — never fork
+    assert report["policy"] in ("vectorized", "serial")
+    assert resumed.render() == reference.render()
+    assert _checkpoint_fingerprint(crash_ckpt) == _checkpoint_fingerprint(
+        ref_ckpt
+    )

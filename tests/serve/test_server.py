@@ -284,6 +284,83 @@ class TestMicroBatching:
         asyncio.run(main())
 
 
+class TestSimulateBatching:
+    """Coalesced /v1/simulate bursts run fused and stay byte-identical."""
+
+    PAYLOADS = [
+        {
+            "tenant": "t0",
+            "max_time_s": 0.02,
+            "scheduler": "hotpotato",
+            "workload": {"kind": "homogeneous", "seed": 1},
+        },
+        {
+            "tenant": "t0",
+            "max_time_s": 0.02,
+            "scheduler": "pcmig",
+            "workload": {"kind": "homogeneous", "seed": 1},
+        },
+        {
+            "tenant": "t0",
+            "max_time_s": 0.03,  # distinct horizon within one burst
+            "scheduler": "hotpotato",
+            "workload": {"kind": "mixed", "seed": 3, "n_tasks": 3},
+        },
+    ]
+
+    def test_burst_equals_sequential_bitwise(self):
+        serve_config = ServeConfig(port=0, batch_window_s=0.1)
+
+        async def handler(server, host, port):
+            await _create_tenant(host, port, "t0")
+            sequential = []
+            for payload in self.PAYLOADS:
+                status, body = await _post(
+                    host, port, "/v1/simulate", payload
+                )
+                assert status == 200
+                sequential.append(body)
+            assert server.sim_batcher.simulate_fused == 0
+
+            burst = await asyncio.gather(
+                *(
+                    _post(host, port, "/v1/simulate", p)
+                    for p in self.PAYLOADS
+                )
+            )
+            assert all(status == 200 for status, _ in burst)
+            # the burst coalesced and its bodies (floats included) are
+            # exactly the sequential ones
+            assert server.sim_batcher.simulate_fused >= 2
+            assert [body for _, body in burst] == sequential
+            snapshot = server.registry.snapshot()
+            assert snapshot["parallel.batch.width_initial"] >= 2
+            assert snapshot["parallel.batch.fused_updates"] >= 1
+
+        run_server(handler, serve_config)
+
+    def test_burst_isolates_per_request_failures(self):
+        serve_config = ServeConfig(port=0, batch_window_s=0.1)
+
+        async def handler(server, host, port):
+            await _create_tenant(host, port, "t0")
+            good = self.PAYLOADS[0]
+            bad = dict(good, scheduler="does-not-exist")
+            (s_good, body_good), (s_bad, body_bad) = await asyncio.gather(
+                _post(host, port, "/v1/simulate", good),
+                _post(host, port, "/v1/simulate", bad),
+            )
+            assert s_good == 200
+            assert body_good["scheduler"] == "hotpotato"
+            assert s_bad == 400
+            assert "unknown scheduler" in body_bad["error"]
+            # a validation error is the caller's fault, not a simulate
+            # failure: the tenant's degradation ladder must not move
+            assert server.service.tenant("t0").mode == "normal"
+
+        run_server(handler, serve_config)
+
+
 class TestDegradationOverHttp:
     def test_simulate_failure_maps_to_503_retry_after(self, monkeypatch):
         serve_config = ServeConfig(port=0, retry_after_s=30.0)

@@ -1,0 +1,213 @@
+"""Lock-step batched sweeps are byte-identical to solo runs.
+
+The acceptance bar for ``repro.sim.batch``: driving S simulators through
+one :class:`BatchedSimulatorSet` — including both detach paths (finish
+and interval-length divergence) and fault-injected configs — produces
+*exactly* the results of S independent ``sim.run()`` calls.  Same floats
+bit for bit, traces included.
+"""
+
+import numpy as np
+import pytest
+
+from repro import config
+from repro.io import result_to_dict
+from repro.sched.fixed_rotation import FixedRotationScheduler
+from repro.sched.hotpotato_runtime import HotPotatoScheduler
+from repro.sched.pcmig import PCMigScheduler
+from repro.sim.batch import BatchedSimulatorSet
+from repro.sim.context import SimContext
+from repro.sim.engine import IntervalSimulator
+from repro.thermal.matex import ThermalDynamics
+from repro.workload.benchmarks import PARSEC
+from repro.workload.task import Task
+
+MAX_TIME_S = 0.25
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return config.small_test()
+
+
+@pytest.fixture(scope="module")
+def model(cfg):
+    return SimContext(cfg).thermal_model
+
+
+def _tasks(variant):
+    """Per-cell workloads with staggered finish times (exercises the
+    finish-detach path: cells leave the batch one by one)."""
+    plans = [
+        [("x264", 2, 1), ("canneal", 2, 2)],
+        [("blackscholes", 2, 3)],
+        [("swaptions", 1, 4), ("streamcluster", 2, 5)],
+        [("canneal", 2, 6)],
+    ]
+    return [
+        Task(i, PARSEC[name], threads, seed=seed)
+        for i, (name, threads, seed) in enumerate(plans[variant])
+    ]
+
+
+def _fingerprint(result):
+    """Everything a run produced, wall-clock telemetry excluded."""
+    data = result_to_dict(result)
+    data.pop("scheduler_wall_time_s", None)
+    data.pop("profile", None)
+    if result.trace is not None:
+        data["trace_temps"] = result.trace.temperatures.tolist()
+        data["trace_times"] = result.trace.times.tolist()
+    return data
+
+
+def _solo_results(cfg, model, scheduler_cls, n_cells=4):
+    results = []
+    for variant in range(n_cells):
+        sim = IntervalSimulator(
+            cfg,
+            scheduler_cls(),
+            _tasks(variant),
+            ctx=SimContext(cfg, model),
+        )
+        results.append(sim.run(max_time_s=MAX_TIME_S))
+    return results
+
+
+def _batched_sims(cfg, model, scheduler_cls, n_cells=4):
+    dynamics = ThermalDynamics(model)
+    return [
+        IntervalSimulator(
+            cfg,
+            scheduler_cls(),
+            _tasks(variant),
+            ctx=SimContext(cfg, dynamics=dynamics),
+        )
+        for variant in range(n_cells)
+    ]
+
+
+class TestByteIdentity:
+    @pytest.mark.parametrize(
+        "scheduler_cls", [HotPotatoScheduler, PCMigScheduler]
+    )
+    @pytest.mark.parametrize("faults", [False, True])
+    def test_batched_equals_solo(self, cfg, model, scheduler_cls, faults):
+        run_cfg = (
+            cfg.with_faults(
+                seed=7,
+                sensor_noise_sigma_c=0.4,
+                sensor_dropout_prob=0.05,
+                power_spike_prob=0.05,
+                power_spike_w=1.0,
+            )
+            if faults
+            else cfg
+        )
+        solo = _solo_results(run_cfg, model, scheduler_cls)
+        batch = BatchedSimulatorSet(
+            _batched_sims(run_cfg, model, scheduler_cls)
+        )
+        batched = batch.run_all(MAX_TIME_S)
+        assert [_fingerprint(r) for r in batched] == [
+            _fingerprint(r) for r in solo
+        ]
+        stats = batch.stats()
+        assert stats["width_initial"] == 4
+        assert stats["detached_finished"] + stats["detached_diverged"] == 4
+        assert stats["rounds"] >= 1
+
+    def test_divergent_cell_detaches_and_matches(self, cfg, model):
+        """A cell whose rotation interval matches nobody leaves the batch
+        mid-sweep via the divergence path — and still matches its solo run."""
+
+        def sims(ctx_of):
+            taus = (0.5e-3, 0.5e-3, 0.8e-3)  # the odd one diverges
+            return [
+                IntervalSimulator(
+                    cfg,
+                    FixedRotationScheduler(tau_s=tau),
+                    _tasks(i % 4),
+                    ctx=ctx_of(),
+                )
+                for i, tau in enumerate(taus)
+            ]
+
+        solo = [s.run(max_time_s=MAX_TIME_S) for s in sims(lambda: SimContext(cfg, model))]
+        dynamics = ThermalDynamics(model)
+        batch = BatchedSimulatorSet(
+            sims(lambda: SimContext(cfg, dynamics=dynamics)), detach_after=2
+        )
+        batched = batch.run_all(MAX_TIME_S)
+        assert batch.stats()["detached_diverged"] >= 1
+        assert [_fingerprint(r) for r in batched] == [
+            _fingerprint(r) for r in solo
+        ]
+
+    def test_per_sim_horizons(self, cfg, model):
+        """A horizon sequence bounds each cell independently."""
+        horizons = [0.1, 0.25]
+        solo = []
+        for variant, horizon in enumerate(horizons):
+            sim = IntervalSimulator(
+                cfg,
+                HotPotatoScheduler(),
+                _tasks(variant),
+                ctx=SimContext(cfg, model),
+            )
+            solo.append(sim.run(max_time_s=horizon))
+        batch = BatchedSimulatorSet(_batched_sims(cfg, model, HotPotatoScheduler, 2))
+        batched = batch.run_all(horizons)
+        assert [_fingerprint(r) for r in batched] == [
+            _fingerprint(r) for r in solo
+        ]
+
+
+class TestDriverContract:
+    def test_requires_shared_dynamics(self, cfg, model):
+        sims = [
+            IntervalSimulator(
+                cfg,
+                HotPotatoScheduler(),
+                _tasks(i),
+                ctx=SimContext(cfg, model),  # each builds its own dynamics
+            )
+            for i in range(2)
+        ]
+        with pytest.raises(ValueError, match="share one ThermalDynamics"):
+            BatchedSimulatorSet(sims)
+
+    def test_rejects_empty_and_bad_detach(self, cfg, model):
+        with pytest.raises(ValueError, match="at least one"):
+            BatchedSimulatorSet([])
+        sims = _batched_sims(cfg, model, HotPotatoScheduler, 1)
+        with pytest.raises(ValueError, match="detach_after"):
+            BatchedSimulatorSet(sims, detach_after=0)
+
+    def test_cell_view_refuses_direct_stepping(self, cfg, model):
+        sims = _batched_sims(cfg, model, HotPotatoScheduler, 2)
+        batch = BatchedSimulatorSet(sims)
+
+        seen = {}
+
+        def on_finish(index, result):
+            # while any cell is still attached, its adopted state is the
+            # batch view and direct stepping must fail loudly
+            for other, sim in enumerate(sims):
+                if other not in seen and other != index:
+                    state = sim.thermal_state
+                    if batch._cell_of[other] is not None:
+                        with pytest.raises(RuntimeError, match="fused batch"):
+                            state.step(np.zeros(cfg.n_cores), 1e-3)
+            seen[index] = result
+
+        batch.run_all(MAX_TIME_S, on_finish=on_finish)
+        assert set(seen) == {0, 1}
+
+    def test_on_finish_replacement(self, cfg, model):
+        sims = _batched_sims(cfg, model, HotPotatoScheduler, 2)
+        batch = BatchedSimulatorSet(sims)
+        results = batch.run_all(
+            MAX_TIME_S, on_finish=lambda index, result: ("wrapped", index)
+        )
+        assert results == [("wrapped", 0), ("wrapped", 1)]

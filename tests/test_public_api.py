@@ -18,6 +18,7 @@ class TestDocumentedEntryPoints:
             (
                 "repro.thermal",
                 [
+                    "BatchedSpectralState",
                     "Floorplan",
                     "RCThermalModel",
                     "ThermalDynamics",
@@ -59,6 +60,7 @@ class TestDocumentedEntryPoints:
             (
                 "repro.sim",
                 [
+                    "BatchedSimulatorSet",
                     "IntervalSimulator",
                     "SimContext",
                     "SimulationResult",

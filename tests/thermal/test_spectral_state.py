@@ -111,11 +111,14 @@ class TestStateContract:
         with pytest.raises(ValueError, match="node temperatures"):
             SpectralThermalState(dynamics16, _AMBIENT_C, np.zeros(3))
 
-    def test_coefficients_property_is_a_copy(self, dynamics16):
+    def test_coefficients_property_is_a_frozen_view(self, dynamics16):
         model = dynamics16.model
         state = SpectralThermalState(
             dynamics16, _AMBIENT_C, model.ambient_vector(_AMBIENT_C)
         )
         coeffs = state.coefficients
-        coeffs[:] = 99.0
+        with pytest.raises(ValueError):
+            coeffs[:] = 99.0
         assert not np.allclose(state.coefficients, 99.0)
+        # a view over the live buffer, not a per-read copy
+        assert coeffs.base is not None

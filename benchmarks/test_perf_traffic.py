@@ -1,0 +1,145 @@
+"""Traffic-layer overhead benchmarks: the numbers behind ``BENCH_traffic.json``.
+
+Arrival generation is bookkeeping, not science: whatever the pattern, the
+time spent drawing a schedule (process construction + thinning +
+assignment, or a JSONL trace round-trip) must stay a rounding error next
+to the thermal simulation it feeds.  The CI gate holds every pattern's
+generation wall time to at most **5%** of one fig4b sweep cell at the
+same task count — the measured margins are orders of magnitude larger;
+the slack absorbs shared-box noise.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.config import small_test
+from repro.experiments import fig4b
+from repro.sim.context import SimContext
+from repro.traffic import (
+    TRAFFIC_PATTERNS,
+    assign_arrivals,
+    build_process,
+    load_arrival_trace,
+    write_arrival_trace,
+)
+from repro.workload.generator import random_mixed_workload
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+ARTIFACT = REPO_ROOT / "BENCH_traffic.json"
+
+N_TASKS = 40
+ARRIVAL_RATE_PER_S = 30.0
+CELL_MAX_TIME_S = 0.4
+REPEATS = 3
+OVERHEAD_BUDGET = 0.05
+
+
+def _best_of(fn, repeats=REPEATS):
+    best = None
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best, result
+
+
+@pytest.fixture(scope="module")
+def cell_wall():
+    """Wall time of one fig4b sweep cell (the denominator of the gate)."""
+    cfg = small_test()
+    ctx = SimContext(cfg)
+
+    def one_cell():
+        return fig4b._simulate_cell(
+            arrival_rate_per_s=ARRIVAL_RATE_PER_S,
+            scheduler="hotpotato",
+            config=cfg,
+            model=ctx.thermal_model,
+            n_tasks=N_TASKS,
+            seed=7,
+            work_scale=0.5,
+            max_time_s=CELL_MAX_TIME_S,
+        )
+
+    wall_s, result = _best_of(one_cell, repeats=2)
+    assert result.tasks, "the reference cell must complete work"
+    return wall_s
+
+
+@pytest.fixture(scope="module")
+def generation(tmp_path_factory):
+    """Per-pattern arrival-generation wall time at the cell's task count."""
+    horizon_s = N_TASKS / ARRIVAL_RATE_PER_S
+    report = {}
+    for pattern in TRAFFIC_PATTERNS:
+        if pattern == "trace":
+            continue
+
+        def generate(pattern=pattern):
+            process = build_process(
+                pattern, ARRIVAL_RATE_PER_S, horizon_s=horizon_s
+            )
+            return assign_arrivals(
+                random_mixed_workload(N_TASKS, seed=7), process, seed=8
+            )
+
+        wall_s, specs = _best_of(generate)
+        assert len(specs) == N_TASKS
+        report[pattern] = wall_s
+
+    # trace: a full JSONL write + validated load round-trip
+    path = tmp_path_factory.mktemp("bench_traffic") / "arrivals.jsonl"
+    specs = assign_arrivals(
+        random_mixed_workload(N_TASKS, seed=7),
+        build_process("poisson", ARRIVAL_RATE_PER_S),
+        seed=8,
+    )
+
+    def round_trip():
+        write_arrival_trace(path, specs)
+        return load_arrival_trace(path)
+
+    wall_s, loaded = _best_of(round_trip)
+    assert len(loaded) == N_TASKS
+    report["trace"] = wall_s
+    return report
+
+
+def test_artifact_written(cell_wall, generation):
+    ARTIFACT.write_text(
+        json.dumps(
+            {
+                "benchmark": "traffic_overhead",
+                "platform": "small_test (4 cores)",
+                "n_tasks": N_TASKS,
+                "arrival_rate_per_s": ARRIVAL_RATE_PER_S,
+                "repeats": REPEATS,
+                "cell_wall_s": cell_wall,
+                "generation_wall_s": generation,
+                "overhead_fraction": {
+                    pattern: wall / cell_wall
+                    for pattern, wall in generation.items()
+                },
+                "budget_fraction": OVERHEAD_BUDGET,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    assert json.loads(ARTIFACT.read_text())["cell_wall_s"] > 0
+
+
+def test_generation_within_five_percent_of_a_cell(cell_wall, generation):
+    """The CI gate: no arrival pattern may cost more than 5% of the
+    simulation cell it feeds (measured fractions are well under 1%)."""
+    for pattern, wall_s in generation.items():
+        assert wall_s <= OVERHEAD_BUDGET * cell_wall, (
+            f"{pattern} arrival generation took {wall_s * 1e3:.2f} ms — "
+            f"more than {OVERHEAD_BUDGET:.0%} of a "
+            f"{cell_wall * 1e3:.1f} ms sweep cell"
+        )

@@ -65,6 +65,18 @@ def main(argv=None) -> int:
         help="with --checkpoint, skip cells already recorded there; the "
         "resumed sweep is byte-identical to an uninterrupted one",
     )
+    parser.add_argument(
+        "--traffic",
+        choices=fig4b.MATRIX_TRAFFICS,
+        default="poisson",
+        help="arrival process for fig4b (docs/traffic.md); the default "
+        "reproduces the paper's Poisson schedule byte-for-byte",
+    )
+    parser.add_argument(
+        "--trace-path",
+        metavar="PATH",
+        help="JSONL arrival trace replayed by --traffic trace",
+    )
     args = parser.parse_args(argv)
     if isinstance(args.jobs, int) and args.jobs < 1:
         parser.error("--jobs must be >= 1 (or 'auto')")
@@ -72,12 +84,24 @@ def main(argv=None) -> int:
         parser.error("--resume requires --checkpoint")
     if args.checkpoint and args.experiment not in ("fig4a", "fig4b"):
         parser.error("--checkpoint only applies to fig4a / fig4b")
+    if args.traffic != "poisson" and args.experiment != "fig4b":
+        parser.error("--traffic only applies to fig4b")
+    if args.trace_path and args.traffic != "trace":
+        parser.error("--trace-path requires --traffic trace")
+    if args.traffic == "trace" and not args.trace_path:
+        parser.error("--traffic trace requires --trace-path")
 
     selected = _EXPERIMENTS[:-1] if args.experiment == "all" else (args.experiment,)
     for name in selected:
         print(f"\n{'=' * 72}\n{name}\n{'=' * 72}")
         result = _run_one(
-            name, args.quick, args.jobs, args.checkpoint, args.resume
+            name,
+            args.quick,
+            args.jobs,
+            args.checkpoint,
+            args.resume,
+            args.traffic,
+            args.trace_path,
         )
         print(result.render())
     return 0
@@ -89,6 +113,8 @@ def _run_one(
     jobs: int = 1,
     checkpoint: str = None,
     resume: bool = False,
+    traffic: str = "poisson",
+    trace_path: str = None,
 ):
     if name == "table1":
         return table1.run()
@@ -115,6 +141,8 @@ def _run_one(
             jobs=jobs,
             checkpoint_path=checkpoint,
             resume=resume,
+            traffic=traffic,
+            trace_path=trace_path,
         )
     if name == "overhead":
         return overhead.run(n_repetitions=50 if quick else 200)

@@ -92,6 +92,10 @@ def result_to_dict(result: SimulationResult, include_trace: bool = False) -> dic
         "scheduler_invocations": result.scheduler_invocations,
         "annotations": dict(result.annotations),
     }
+    if result.energy_per_core_j:
+        data["energy_per_core_j"] = list(result.energy_per_core_j)
+    if result.instructions_retired:
+        data["instructions_retired"] = result.instructions_retired
     if result.metrics_snapshot:
         data["metrics_snapshot"] = dict(result.metrics_snapshot)
     if result.profile:
@@ -125,6 +129,10 @@ def result_from_dict(data: dict) -> SimulationResult:
         migration_count=data["migration_count"],
         migration_penalty_s=data["migration_penalty_s"],
         energy_j=data["energy_j"],
+        energy_per_core_j=[
+            float(e) for e in data.get("energy_per_core_j", [])
+        ],
+        instructions_retired=float(data.get("instructions_retired", 0.0)),
         scheduler_wall_time_s=data["scheduler_wall_time_s"],
         scheduler_invocations=data["scheduler_invocations"],
         annotations=dict(data.get("annotations", {})),

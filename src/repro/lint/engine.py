@@ -61,7 +61,15 @@ DETERMINISTIC_SUBPACKAGES = ("sim", "sched", "thermal", "core")
 #: trace/span ids are monotonic counters and durations come from
 #: ``perf_counter`` only, so a span JSONL is replayable and two traced
 #: runs differ only in their (excluded-by-convention) timing fields.
-DETERMINISTIC_MODULES = ("parallel.py", "faults/", "serve/", "obs/spans.py")
+#: The traffic layer is determinism-critical by construction: every
+#: arrival schedule (and its JSONL trace) is a pure function of its seed.
+DETERMINISTIC_MODULES = (
+    "parallel.py",
+    "faults/",
+    "serve/",
+    "obs/spans.py",
+    "traffic/",
+)
 
 #: Rule id reported for files the engine cannot parse.
 PARSE_ERROR_RULE = "parse-error"

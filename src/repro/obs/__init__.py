@@ -68,6 +68,7 @@ from .detect import (
     Detector,
     DtmThrashDetector,
     PowerMapDetector,
+    QosDeadlineViolationDetector,
     RotationStallDetector,
     SloLatencyViolationDetector,
     SpanOrphanDetector,
@@ -132,6 +133,7 @@ __all__ = [
     "PhaseProfiler",
     "PhaseStat",
     "PowerMapDetector",
+    "QosDeadlineViolationDetector",
     "RotationStallDetector",
     "RotationStats",
     "RunAnalysis",

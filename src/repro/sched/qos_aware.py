@@ -1,0 +1,251 @@
+"""QoS/energy-aware HotPotato variant for open-system traffic.
+
+:class:`QoSAwareScheduler` extends the paper's scheduler
+(:class:`~repro.sched.hotpotato_runtime.HotPotatoScheduler`) with the two
+policies the companion QoS work (PAPERS.md) adds on top of thread
+rotation:
+
+**Energy relaxation.**  Algorithm 2 picks the slowest *analytically*
+sustainable rotation interval; the analytic estimates are conservative,
+so a lightly loaded chip often rotates faster than its observed
+temperatures require.  When the sensor-observed thermal headroom
+(``T_DTM - max(T_observed)``) stays at or above ``energy_headroom_c``
+for ``relax_patience`` consecutive decisions, the scheduler raises
+the heuristic's ``tau_bias`` by one ladder rung — slower rotation, fewer
+migrations, less migration energy — and re-optimizes.  Any decision that
+sees the headroom dip below the margin drops the bias back to zero
+immediately; hardware DTM remains the backstop throughout.
+
+**Priority admission and overload shedding.**  The admission queue is
+kept in priority order (:mod:`repro.workload.qos`; ties arrival-first),
+and the *traffic mode* reuses the naming of the ``repro.faults``
+degradation ladder (``normal`` / ``degraded`` / ``safe-park``) driven by
+queue pressure instead of sensor staleness:
+
+- ``normal`` — queued threads < ``overload_queue_threads`` (default: the
+  core count): every task is admissible;
+- ``degraded`` — queued threads at or above that threshold: best-effort
+  tasks are *parked* (skipped for admission; they keep queueing);
+- ``safe-park`` — queued threads at or above ``park_queue_threads``
+  (default: twice the core count): only critical tasks are admitted.
+
+Parked tasks are shed softly: they stay queued and become admissible
+again as soon as completions shrink the queue below the threshold, so
+light load always drains to ``normal``.  An anti-starvation rule keeps
+an all-parked queue from self-locking: when the chip is completely idle
+the best queued task is admitted regardless of mode (see
+:meth:`QoSAwareScheduler._drain_queue`).  The current mode, parked count
+and relaxation state are published as ``sched.qos_*`` metrics and
+per-decision annotations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional
+
+from ..workload.qos import (
+    PRIORITY_BEST_EFFORT,
+    PRIORITY_CRITICAL,
+    PRIORITY_NORMAL,
+    priority_of,
+)
+from ..workload.task import Task
+from .base import DEGRADATION_MODES, SchedulerDecision
+from .hotpotato_runtime import _REFRESH_SPACING, HotPotatoScheduler
+
+#: Minimum admissible priority per traffic mode (the degradation-ladder
+#: names of ``repro.faults``, repurposed for queue pressure).
+_MIN_PRIORITY_BY_MODE = {
+    "normal": PRIORITY_BEST_EFFORT,
+    "degraded": PRIORITY_NORMAL,
+    "safe-park": PRIORITY_CRITICAL,
+}
+
+
+class QoSAwareScheduler(HotPotatoScheduler):
+    """HotPotato plus energy relaxation and priority-aware shedding."""
+
+    name = "qos"
+
+    def __init__(
+        self,
+        headroom_delta_c: Optional[float] = None,
+        initial_tau_s: Optional[float] = None,
+        energy_headroom_c: float = 6.0,
+        relax_patience: int = 8,
+        overload_queue_threads: Optional[int] = None,
+        park_queue_threads: Optional[int] = None,
+    ) -> None:
+        super().__init__(
+            headroom_delta_c=headroom_delta_c, initial_tau_s=initial_tau_s
+        )
+        if energy_headroom_c <= 0:
+            raise ValueError("energy headroom must be positive")
+        if relax_patience < 1:
+            raise ValueError("relax patience must be at least 1")
+        self.energy_headroom_c = float(energy_headroom_c)
+        self.relax_patience = int(relax_patience)
+        self._overload_override = overload_queue_threads
+        self._park_override = park_queue_threads
+        self._headroom_streak = 0
+        self._traffic_mode = "normal"
+        self._relaxed_decisions = 0
+        self._relax_events = 0
+        self._parked_peak = 0
+        self._shed_decisions = 0
+
+    def attach(self, ctx) -> None:
+        super().attach(ctx)
+        n_cores = ctx.n_cores
+        self.overload_queue_threads = (
+            self._overload_override
+            if self._overload_override is not None
+            else n_cores
+        )
+        self.park_queue_threads = (
+            self._park_override
+            if self._park_override is not None
+            else 2 * n_cores
+        )
+        if self.park_queue_threads < self.overload_queue_threads:
+            raise ValueError(
+                "park threshold must be at least the overload threshold"
+            )
+
+    # -- priority admission / overload shedding ---------------------------------
+
+    def _queued_threads(self) -> int:
+        return sum(task.n_threads for task in self._queue)
+
+    def _update_traffic_mode(self) -> None:
+        queued = self._queued_threads()
+        if queued >= self.park_queue_threads:
+            self._traffic_mode = "safe-park"
+        elif queued >= self.overload_queue_threads:
+            self._traffic_mode = "degraded"
+        else:
+            self._traffic_mode = "normal"
+
+    def _admissible(self, task: Task) -> bool:
+        minimum = _MIN_PRIORITY_BY_MODE[self._traffic_mode]
+        return priority_of(task.qos) >= minimum
+
+    def _parked_tasks(self) -> List[Task]:
+        return [task for task in self._queue if not self._admissible(task)]
+
+    def _chip_is_idle(self) -> bool:
+        """True when no admitted thread occupies any core."""
+        free = sum(
+            len(self.hotpotato.free_slots(ring))
+            for ring in range(self.ctx.rings.n_rings)
+        )
+        return free >= self.ctx.n_cores
+
+    def _drain_queue(self, now_s: float) -> None:
+        """Admit every admissible queued task that fits, priority first.
+
+        The queue is resorted on each drain (highest priority first, then
+        arrival time, then task id — all deterministic); tasks parked by
+        the current traffic mode are skipped, and a task whose thread
+        count does not fit is passed over in favour of smaller admissible
+        ones behind it (greedy backfill).
+
+        **Anti-starvation rule:** if every queued task is parked while the
+        chip sits completely idle, the best queued task that fits is
+        admitted anyway — an idle chip serves nobody by parking, and
+        without this rule an all-best-effort queue would self-lock (its
+        own queue pressure holds the mode that parks it).  Each such
+        admission shrinks the queue, so pressure eventually falls below
+        the threshold and the mode relaxes back to ``normal``.
+        """
+        self._update_traffic_mode()
+        self._queue.sort(
+            key=lambda t: (-priority_of(t.qos), t.arrival_time_s, t.task_id)
+        )
+        progressed = True
+        while progressed:
+            progressed = False
+            for task in self._queue:
+                if not self._admissible(task):
+                    continue
+                if self._can_admit(task):
+                    self._queue.remove(task)
+                    self._admit(task, now_s)
+                    # admissions shrink the queue, which may relax the
+                    # mode and un-park lower-priority tasks — recompute
+                    self._update_traffic_mode()
+                    progressed = True
+                    break
+            if not progressed and self._queue and self._chip_is_idle():
+                for task in self._queue:
+                    if self._can_admit(task):
+                        self._queue.remove(task)
+                        self._admit(task, now_s)
+                        self._update_traffic_mode()
+                        progressed = True
+                        break
+
+    def on_task_arrival(self, task: Task, now_s: float) -> None:
+        self._queue.append(task)
+        self._drain_queue(now_s)
+        self._parked_peak = max(self._parked_peak, len(self._parked_tasks()))
+
+    def on_task_complete(self, task: Task, now_s: float) -> None:
+        self._release(task, now_s)
+        self._drain_queue(now_s)
+
+    # -- energy relaxation -------------------------------------------------------
+
+    def _update_energy_relaxation(self, now_s: float) -> None:
+        headroom = self.ctx.config.thermal.dtm_threshold_c - float(
+            self.observed_temperatures().max()
+        )
+        if headroom >= self.energy_headroom_c:
+            self._headroom_streak += 1
+        else:
+            self._headroom_streak = 0
+            if self.hotpotato.tau_bias:
+                # headroom gone: return to the paper's selection now
+                self.hotpotato.tau_bias = 0
+                self._settled = False
+                self._intervals_since_refresh = _REFRESH_SPACING
+            return
+        if (
+            self._headroom_streak >= self.relax_patience
+            and self.hotpotato.tau_bias == 0
+        ):
+            self.hotpotato.tau_bias = 1
+            self._relax_events += 1
+            self._settled = False
+            self._intervals_since_refresh = _REFRESH_SPACING
+
+    def decide(self, now_s: float) -> SchedulerDecision:
+        self._update_energy_relaxation(now_s)
+        decision = super().decide(now_s)
+        if self.hotpotato.tau_bias:
+            self._relaxed_decisions += 1
+        parked = len(self._parked_tasks())
+        if parked:
+            self._shed_decisions += 1
+        decision.annotations["qos_traffic_mode"] = float(
+            DEGRADATION_MODES.index(self._traffic_mode)
+        )
+        decision.annotations["qos_parked_tasks"] = float(parked)
+        decision.annotations["qos_tau_relaxed"] = float(
+            1 if self.hotpotato.tau_bias else 0
+        )
+        return decision
+
+    def metrics(self) -> Mapping[str, float]:
+        """QoS policy counters, on top of the HotPotato ones."""
+        data = dict(super().metrics())
+        data["qos_traffic_mode"] = float(
+            DEGRADATION_MODES.index(self._traffic_mode)
+        )
+        data["qos_parked_tasks"] = float(len(self._parked_tasks()))
+        data["qos_parked_peak"] = float(self._parked_peak)
+        data["qos_shed_decisions"] = float(self._shed_decisions)
+        data["qos_relaxed_decisions"] = float(self._relaxed_decisions)
+        data["qos_relax_events"] = float(self._relax_events)
+        data["qos_tau_relaxed"] = float(1 if self.hotpotato.tau_bias else 0)
+        return data

@@ -36,6 +36,7 @@ import numpy as np
 from .._cli import EXIT_ERROR, EXIT_OK, run_cli
 from ..obs.export import parse_openmetrics, write_trace_waterfall
 from ..obs.metrics import Histogram
+from ..traffic import TRAFFIC_PATTERNS, build_process
 from .http import ThermalServer
 from .service import ServeConfig
 
@@ -66,6 +67,9 @@ class LoadgenConfig:
     mesh_width: int = 4
     mesh_height: int = 4
     seed: int = 0
+    #: arrival process shaping the request tape (``docs/traffic.md``);
+    #: the default Poisson tape is byte-identical to pre-traffic releases
+    traffic: str = "poisson"
     #: simulated horizon of one ``simulate`` request [s]
     simulate_horizon_s: float = 0.02
     #: enable span tracing on the server under load
@@ -82,8 +86,15 @@ def _build_requests(
     kinds = [kind for kind, _ in _DEFAULT_MIX]
     weights = np.asarray([weight for _, weight in _DEFAULT_MIX])
     weights = weights / weights.sum()
-    gaps = rng.exponential(1.0 / config.arrival_rate_per_s, config.n_requests)
-    offsets = np.cumsum(gaps)
+    # The arrival process draws its base stream from the same rng that
+    # seeds the per-request draws below, so the default Poisson tape is
+    # byte-identical to the pre-traffic inline exponential/cumsum code.
+    process = build_process(
+        config.traffic,
+        config.arrival_rate_per_s,
+        horizon_s=config.n_requests / config.arrival_rate_per_s,
+    )
+    offsets = process.sample_times(config.n_requests, rng, seed=config.seed)
     tape: List[Tuple[float, str, str, Optional[Dict[str, Any]]]] = []
     for index in range(config.n_requests):
         kind = kinds[int(rng.choice(len(kinds), p=weights))]
@@ -243,6 +254,7 @@ async def _run(
             "arrival_rate_per_s": config.arrival_rate_per_s,
             "mesh": [config.mesh_width, config.mesh_height],
             "seed": config.seed,
+            "traffic": config.traffic,
         },
         "duration_s": duration_s,
         "throughput_rps": config.n_requests / duration_s if duration_s else 0.0,
@@ -319,6 +331,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--tenants", type=int, default=4)
     parser.add_argument("--rate", type=float, default=400.0, help="arrivals/s")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--traffic",
+        choices=[p for p in TRAFFIC_PATTERNS if p != "trace"],
+        default="poisson",
+        help="arrival process for the request tape (docs/traffic.md)",
+    )
     parser.add_argument("--out", default="BENCH_serve.json")
     parser.add_argument(
         "--trace-waterfall",
@@ -335,6 +353,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             n_requests=args.requests,
             arrival_rate_per_s=args.rate,
             seed=args.seed,
+            traffic=args.traffic,
             trace=args.trace_waterfall is not None,
             trace_waterfall_path=args.trace_waterfall,
         )

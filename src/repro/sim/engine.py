@@ -401,6 +401,10 @@ class IntervalSimulator:
         )
         self._run_records: List[TaskRecord] = []
         self._run_energy_j = 0.0
+        #: per-core energy integral [J] (energy accounting, docs/traffic.md)
+        self._energy_per_core_j = np.zeros(self.ctx.n_cores)
+        #: instructions retired across all threads (J/instruction metric)
+        self._instructions_retired = 0.0
         self._now = 0.0
         self._idle_power = self.ctx.power_model.idle_power_w()
         if self._run_trace is not None:
@@ -457,7 +461,11 @@ class IntervalSimulator:
             if self.events is not None:
                 self.events.record(
                     TaskArrived(
-                        now, task.task_id, task.profile.name, task.n_threads
+                        now,
+                        task.task_id,
+                        task.profile.name,
+                        task.n_threads,
+                        task.deadline_time_s,
                     )
                 )
 
@@ -566,6 +574,7 @@ class IntervalSimulator:
             tpi = self.ctx.perf.time_per_instruction_s(profile, core, f_hz)
             wanted = exec_time / tpi
             retired = task.advance(index, wanted)
+            self._instructions_retired += retired
             busy_time = retired * tpi
             compute_b, stall_b = self.ctx.perf.activity_fractions(
                 profile, core, f_hz
@@ -616,6 +625,7 @@ class IntervalSimulator:
 
         if plan.kind == "idle":
             self._run_energy_j += self._idle_power * self.ctx.n_cores * dt
+            self._energy_per_core_j += plan.power_w * dt
             self._now += dt
             now = self._now
             if trace is not None:
@@ -637,6 +647,7 @@ class IntervalSimulator:
         decision = plan.decision
         power = plan.power_w
         self._run_energy_j += float(np.sum(power)) * dt
+        self._energy_per_core_j += power * dt
         self._now += dt
         now = self._now
         if trace is not None:
@@ -672,6 +683,11 @@ class IntervalSimulator:
             )
             if self._metrics is not None:
                 self._metrics.counter("engine.tasks.completed").inc()
+                # deterministic (sim-time) response-time distribution:
+                # p50/p99 are published as gauges at finalize
+                self._metrics.histogram("engine.response_time_s").observe(
+                    now - task.arrival_time_s
+                )
             self._run_records.append(
                 TaskRecord(
                     task_id=task.task_id,
@@ -701,6 +717,30 @@ class IntervalSimulator:
             if self._injector is not None:
                 for key, value in self._injector.metrics().items():
                     self._metrics.gauge(f"faults.{key}").set(value)
+            # energy accounting (docs/traffic.md): total, EDP, J/instr,
+            # and the per-core spread of the energy integral
+            self._metrics.gauge("energy.total_j").set(self._run_energy_j)
+            self._metrics.gauge("energy.edp_js").set(
+                self._run_energy_j * self._now
+            )
+            if self._instructions_retired > 0:
+                self._metrics.gauge("energy.j_per_instruction").set(
+                    self._run_energy_j / self._instructions_retired
+                )
+            self._metrics.gauge("energy.per_core_max_j").set(
+                float(np.max(self._energy_per_core_j))
+            )
+            self._metrics.gauge("energy.per_core_mean_j").set(
+                float(np.mean(self._energy_per_core_j))
+            )
+            if self._run_records:
+                response = self._metrics.histogram("engine.response_time_s")
+                self._metrics.gauge("engine.response_time_p50_s").set(
+                    response.quantile(0.5)
+                )
+                self._metrics.gauge("engine.response_time_p99_s").set(
+                    response.quantile(0.99)
+                )
         if self._recorder is not None:
             # streaming sinks persist everything recorded so far; the
             # in-memory recorder's flush is a no-op
@@ -716,6 +756,8 @@ class IntervalSimulator:
             migration_count=self._accountant.migration_count,
             migration_penalty_s=self._accountant.total_penalty_s,
             energy_j=self._run_energy_j,
+            energy_per_core_j=[float(e) for e in self._energy_per_core_j],
+            instructions_retired=self._instructions_retired,
             scheduler_wall_time_s=self._sched_wall_s,
             scheduler_invocations=self._sched_calls,
             time_breakdown=dict(self._breakdown),

@@ -98,6 +98,11 @@ class SimulationResult:
     migration_penalty_s: float = 0.0
     #: total chip energy [J]
     energy_j: float = 0.0
+    #: per-core energy integral [J] (empty when not tracked, e.g. results
+    #: deserialized from pre-energy-accounting campaigns)
+    energy_per_core_j: List[float] = field(default_factory=list)
+    #: instructions retired across all threads over the run
+    instructions_retired: float = 0.0
     #: wall-clock spent inside scheduler decisions [s] (overhead study)
     scheduler_wall_time_s: float = 0.0
     scheduler_invocations: int = 0
@@ -146,6 +151,30 @@ class SimulationResult:
             if record.task_id == task_id:
                 return record.response_time_s
         raise KeyError(f"task {task_id} not completed")
+
+    @property
+    def edp_js(self) -> float:
+        """Energy-delay product [J*s]: total energy times the run's span."""
+        return self.energy_j * self.sim_time_s
+
+    @property
+    def energy_per_instruction_j(self) -> float:
+        """Average energy per retired instruction [J] (0 when no work ran)."""
+        if self.instructions_retired <= 0:
+            return 0.0
+        return self.energy_j / self.instructions_retired
+
+    def response_time_quantile_s(self, q: float) -> float:
+        """Exact response-time quantile over completed tasks.
+
+        (The metrics snapshot additionally carries the log-bucketed
+        estimator's p50/p99 as ``engine.response_time_p50_s`` /
+        ``..._p99_s`` gauges when metrics are enabled.)
+        """
+        if not self.tasks:
+            raise ValueError("no completed tasks")
+        values = sorted(t.response_time_s for t in self.tasks)
+        return float(np.quantile(np.asarray(values), q))
 
     def mean_scheduler_overhead_s(self) -> float:
         """Mean wall-clock time of one scheduler invocation."""

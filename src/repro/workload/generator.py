@@ -14,12 +14,13 @@ randomness is seeded for reproducibility.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import List, Optional, Sequence
 
 import numpy as np
 
 from .benchmarks import PARSEC, BenchmarkProfile, parsec_profile
+from .qos import QosSpec
 from .task import Task
 
 
@@ -33,6 +34,8 @@ class TaskSpec:
     seed: int = 0
     #: multiplier on all phase instruction counts (longer inputs)
     work_scale: float = 1.0
+    #: optional QoS annotation (deadline / SLO / priority class)
+    qos: Optional[QosSpec] = None
 
     def materialize(self, task_id: int) -> Task:
         """Create the runnable :class:`Task`."""
@@ -43,11 +46,19 @@ class TaskSpec:
             arrival_time_s=self.arrival_time_s,
             seed=self.seed,
             work_scale=self.work_scale,
+            qos=self.qos,
         )
 
 
 def materialize(specs: Sequence[TaskSpec]) -> List[Task]:
-    """Create tasks from specs with sequential ids (arrival order)."""
+    """Create tasks from specs with sequential ids (arrival order).
+
+    The sort key is ``(arrival_time_s, position in the input list)`` — a
+    stable sort — so arrival-assignment helpers that already return specs
+    in arrival order (:func:`poisson_arrivals`,
+    :func:`repro.traffic.assign_arrivals`) keep their pairing of spec
+    payloads to ids unchanged.
+    """
     ordered = sorted(specs, key=lambda s: s.arrival_time_s)
     return [spec.materialize(task_id) for task_id, spec in enumerate(ordered)]
 
@@ -120,15 +131,23 @@ def poisson_arrivals(
 
     ``arrival_rate_per_s`` is the mean number of task arrivals per second;
     sweeping it moves the open system between under- and over-load.
+
+    **Ordering contract** (shared by every arrival-assignment helper, see
+    :func:`repro.traffic.assign_arrivals`): the returned list is sorted by
+    final arrival time, so list position == the sequential id
+    :func:`materialize` will assign.  Cumulative exponential gaps are
+    already monotone, but the explicit sort makes the contract hold for
+    any composed process whose raw draw order is not its time order —
+    without it, ids would silently detach from their spec payloads for
+    the first out-of-order stream.
     """
     if arrival_rate_per_s <= 0:
         raise ValueError("arrival rate must be positive")
     rng = np.random.default_rng(seed)
     gaps = rng.exponential(1.0 / arrival_rate_per_s, size=len(specs))
     arrivals = np.cumsum(gaps)
-    return [
-        TaskSpec(
-            spec.profile, spec.n_threads, float(at), spec.seed, spec.work_scale
-        )
+    assigned = [
+        replace(spec, arrival_time_s=float(at))
         for spec, at in zip(specs, arrivals)
     ]
+    return sorted(assigned, key=lambda s: s.arrival_time_s)

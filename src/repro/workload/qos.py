@@ -1,0 +1,96 @@
+"""Per-job QoS annotations: latency SLOs, deadlines, priority classes.
+
+The open-system evaluation (Fig. 4b) treats every task identically; a
+serving system does not.  Following the companion work on energy-efficient
+QoS-aware scheduling for S-NUCA many-cores (PAPERS.md), each task may carry
+a :class:`QosSpec`:
+
+- ``latency_slo_s`` — the *soft* response-time objective.  Informational:
+  response-time percentiles are reported against it, nothing is enforced.
+- ``deadline_s`` — the *hard* relative deadline (seconds after arrival).
+  Completing later — or being shed and never completing — is a
+  ``qos-deadline-violation`` (see :mod:`repro.obs.detect`).
+- ``priority`` — the admission class used by
+  :class:`~repro.sched.qos_aware.QoSAwareScheduler` under overload:
+  higher-priority tasks are admitted first and shed last.
+
+A task without a spec behaves exactly as before this module existed: the
+scheduler treats it as ``PRIORITY_NORMAL`` with no deadline, and no
+detector ever fires for it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+#: Priority classes, lowest first.  Under overload the QoS-aware scheduler
+#: parks ``best-effort`` tasks first, then everything below ``critical``.
+PRIORITY_BEST_EFFORT = 0
+PRIORITY_NORMAL = 1
+PRIORITY_CRITICAL = 2
+
+#: Human-readable names for the priority classes (serialization).
+PRIORITY_NAMES = {
+    PRIORITY_BEST_EFFORT: "best-effort",
+    PRIORITY_NORMAL: "normal",
+    PRIORITY_CRITICAL: "critical",
+}
+
+
+@dataclass(frozen=True)
+class QosSpec:
+    """Quality-of-service annotation attached to a task."""
+
+    #: soft response-time objective [s] (reporting only), or None.
+    latency_slo_s: Optional[float] = None
+    #: hard relative deadline [s] after arrival, or None.
+    deadline_s: Optional[float] = None
+    #: admission class: one of the ``PRIORITY_*`` constants.
+    priority: int = PRIORITY_NORMAL
+
+    def __post_init__(self) -> None:
+        if self.latency_slo_s is not None and self.latency_slo_s <= 0:
+            raise ValueError("latency SLO must be positive")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError("deadline must be positive")
+        if self.priority not in PRIORITY_NAMES:
+            raise ValueError(
+                f"priority must be one of {sorted(PRIORITY_NAMES)}, "
+                f"got {self.priority}"
+            )
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form (JSON-serializable, ``None`` fields omitted)."""
+        data: Dict[str, object] = {"priority": self.priority}
+        if self.latency_slo_s is not None:
+            data["latency_slo_s"] = self.latency_slo_s
+        if self.deadline_s is not None:
+            data["deadline_s"] = self.deadline_s
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "QosSpec":
+        """Rebuild a spec from :meth:`to_dict` output."""
+        allowed = {"latency_slo_s", "deadline_s", "priority"}
+        unknown = set(data) - allowed
+        if unknown:
+            raise ValueError(f"unknown QoS fields: {sorted(unknown)}")
+        return cls(
+            latency_slo_s=(
+                float(data["latency_slo_s"])
+                if data.get("latency_slo_s") is not None
+                else None
+            ),
+            deadline_s=(
+                float(data["deadline_s"])
+                if data.get("deadline_s") is not None
+                else None
+            ),
+            priority=int(data.get("priority", PRIORITY_NORMAL)),
+        )
+
+
+def priority_of(qos: Optional[QosSpec]) -> int:
+    """The admission class of a (possibly missing) QoS spec."""
+    return qos.priority if qos is not None else PRIORITY_NORMAL

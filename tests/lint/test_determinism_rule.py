@@ -269,6 +269,54 @@ class TestSpansModuleIsDeterministic:
         assert determinism == []
 
 
+class TestTrafficPackageIsDeterministic:
+    """repro/traffic/ joined DETERMINISTIC_MODULES: every arrival
+    schedule and JSONL trace is a pure function of its seed (the
+    scenario-matrix suite and the loadgen byte-compat guarantee depend
+    on it), so calendar time and global RNG are banned."""
+
+    def test_wallclock_in_traffic_fires(self, lint_files):
+        code = DOC + "import time\nstamp = time.time()\n"
+        findings = lint_files(
+            {"repro/traffic/snippet.py": code}, select="det-wallclock"
+        )
+        assert rule_ids(findings) == ["det-wallclock"]
+
+    def test_global_random_in_traffic_fires(self, lint_files):
+        code = DOC + "import random\ngap = random.expovariate(30.0)\n"
+        findings = lint_files(
+            {"repro/traffic/snippet.py": code}, select="det-global-random"
+        )
+        assert rule_ids(findings) == ["det-global-random"]
+
+    def test_perf_counter_in_traffic_is_clean(self, lint_files):
+        code = DOC + "import time\nstart = time.perf_counter()\n"
+        assert (
+            lint_files(
+                {"repro/traffic/snippet.py": code}, select="determinism"
+            )
+            == []
+        )
+
+    def test_committed_traffic_package_is_clean(self):
+        from pathlib import Path
+
+        from repro.lint import run_lint
+
+        traffic = (
+            Path(__file__).resolve().parent.parent.parent
+            / "src"
+            / "repro"
+            / "traffic"
+        )
+        sources = sorted(traffic.glob("*.py"))
+        assert sources, "traffic package sources not found"
+        determinism = [
+            f for f in run_lint(sources) if f.family == "determinism"
+        ]
+        assert determinism == []
+
+
 class TestBatchedEngineIsDeterministic:
     """The batched engine rides the sim/ and thermal/ scoping: a fused
     sweep's whole contract is byte-identity with solo runs, so a wall

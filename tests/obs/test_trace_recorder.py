@@ -59,7 +59,12 @@ class TestRecording:
         record = recorder.record_event(TaskArrived(0.25, 3, "x264", 4))
         assert record.time_s == 0.25
         assert record.event == "TaskArrived"
-        assert record.data == {"task_id": 3, "benchmark": "x264", "n_threads": 4}
+        assert record.data == {
+            "task_id": 3,
+            "benchmark": "x264",
+            "n_threads": 4,
+            "deadline_s": None,
+        }
 
     def test_record_event_rejects_non_dataclass(self):
         with pytest.raises(TypeError):

@@ -98,3 +98,58 @@ class TestMaterialize:
         assert task.task_id == 3
         assert task.n_threads == 4
         assert task.arrival_time_s == 0.5
+
+
+class TestArrivalOrderingContract:
+    """Regression: ids must follow *final* arrival order (docs/traffic.md).
+
+    Every arrival-assignment helper returns specs sorted by assigned
+    arrival time so that list position == the sequential id
+    ``materialize`` hands out.  Cumulative Poisson gaps are monotone by
+    construction, but composed processes (flash-crowd overlays) are not —
+    the explicit sort is what keeps the pairing stable either way.
+    """
+
+    def test_out_of_order_specs_get_ids_by_arrival(self):
+        specs = [
+            TaskSpec(PARSEC["canneal"], 1, 0.3, seed=0),
+            TaskSpec(PARSEC["swaptions"], 2, 0.1, seed=1),
+            TaskSpec(PARSEC["blackscholes"], 1, 0.2, seed=2),
+        ]
+        tasks = materialize(specs)
+        assert [t.task_id for t in tasks] == [0, 1, 2]
+        assert [t.profile.name for t in tasks] == [
+            "swaptions",
+            "blackscholes",
+            "canneal",
+        ]
+
+    def test_poisson_arrivals_position_equals_materialized_id(self):
+        specs = poisson_arrivals(
+            random_mixed_workload(15, seed=6), 30.0, seed=7
+        )
+        tasks = materialize(specs)
+        for position, (spec, task) in enumerate(zip(specs, tasks)):
+            assert task.task_id == position
+            assert task.arrival_time_s == spec.arrival_time_s
+            assert task.profile.name == spec.profile.name
+            assert task.n_threads == spec.n_threads
+
+    def test_composed_process_keeps_the_contract(self):
+        """assign_arrivals sorts even when the raw draw order is not the
+        time order (flash-crowd burst arrivals interleave the base)."""
+        from repro.traffic import Burst, FlashCrowd, PoissonProcess
+        from repro.traffic import assign_arrivals
+
+        process = FlashCrowd(
+            PoissonProcess(10.0),
+            (Burst(start_s=0.01, duration_s=0.05, rate_per_s=500.0),),
+        )
+        specs = assign_arrivals(
+            random_mixed_workload(12, seed=8), process, seed=9
+        )
+        tasks = materialize(specs)
+        assert [t.task_id for t in tasks] == list(range(12))
+        assert [t.arrival_time_s for t in tasks] == [
+            s.arrival_time_s for s in specs
+        ]

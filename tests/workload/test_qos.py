@@ -1,0 +1,122 @@
+"""QoS annotations: validation, serialization, and task plumbing."""
+
+import pytest
+
+from repro.workload.benchmarks import PARSEC
+from repro.workload.qos import (
+    PRIORITY_BEST_EFFORT,
+    PRIORITY_CRITICAL,
+    PRIORITY_NAMES,
+    PRIORITY_NORMAL,
+    QosSpec,
+    priority_of,
+)
+from repro.workload.task import Task
+
+
+class TestQosSpecValidation:
+    def test_defaults_are_normal_priority_with_no_contracts(self):
+        spec = QosSpec()
+        assert spec.latency_slo_s is None
+        assert spec.deadline_s is None
+        assert spec.priority == PRIORITY_NORMAL
+
+    def test_nonpositive_slo_rejected(self):
+        with pytest.raises(ValueError, match="SLO"):
+            QosSpec(latency_slo_s=0.0)
+        with pytest.raises(ValueError, match="SLO"):
+            QosSpec(latency_slo_s=-1.0)
+
+    def test_nonpositive_deadline_rejected(self):
+        with pytest.raises(ValueError, match="deadline"):
+            QosSpec(deadline_s=0.0)
+        with pytest.raises(ValueError, match="deadline"):
+            QosSpec(deadline_s=-0.5)
+
+    def test_unknown_priority_rejected(self):
+        with pytest.raises(ValueError, match="priority"):
+            QosSpec(priority=99)
+        with pytest.raises(ValueError, match="priority"):
+            QosSpec(priority=-1)
+
+    def test_priority_constants_are_ordered_and_named(self):
+        assert PRIORITY_BEST_EFFORT < PRIORITY_NORMAL < PRIORITY_CRITICAL
+        assert set(PRIORITY_NAMES) == {
+            PRIORITY_BEST_EFFORT,
+            PRIORITY_NORMAL,
+            PRIORITY_CRITICAL,
+        }
+
+    def test_specs_are_frozen_and_comparable(self):
+        spec = QosSpec(deadline_s=1.0)
+        with pytest.raises(AttributeError):
+            spec.deadline_s = 2.0
+        assert spec == QosSpec(deadline_s=1.0)
+        assert spec != QosSpec(deadline_s=2.0)
+
+
+class TestQosSpecSerialization:
+    def test_round_trip_full_spec(self):
+        spec = QosSpec(
+            latency_slo_s=0.25, deadline_s=1.5, priority=PRIORITY_CRITICAL
+        )
+        assert QosSpec.from_dict(spec.to_dict()) == spec
+
+    def test_none_fields_are_omitted(self):
+        assert QosSpec().to_dict() == {"priority": PRIORITY_NORMAL}
+        assert QosSpec(deadline_s=2.0).to_dict() == {
+            "priority": PRIORITY_NORMAL,
+            "deadline_s": 2.0,
+        }
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown QoS fields.*laatency"):
+            QosSpec.from_dict({"priority": 0, "laatency": 1.0})
+
+    def test_from_dict_defaults_missing_priority(self):
+        assert QosSpec.from_dict({}).priority == PRIORITY_NORMAL
+
+    def test_from_dict_validates_values(self):
+        with pytest.raises(ValueError, match="deadline"):
+            QosSpec.from_dict({"deadline_s": -1.0})
+        with pytest.raises(ValueError, match="priority"):
+            QosSpec.from_dict({"priority": 42})
+
+
+class TestPriorityOf:
+    def test_missing_spec_is_normal(self):
+        assert priority_of(None) == PRIORITY_NORMAL
+
+    def test_annotated_spec_wins(self):
+        assert (
+            priority_of(QosSpec(priority=PRIORITY_BEST_EFFORT))
+            == PRIORITY_BEST_EFFORT
+        )
+
+
+class TestTaskQosPlumbing:
+    def test_task_defaults_to_no_qos(self):
+        task = Task(0, PARSEC["blackscholes"], 2, seed=0)
+        assert task.qos is None
+        assert task.deadline_time_s is None
+
+    def test_absolute_deadline_is_arrival_plus_relative(self):
+        task = Task(
+            0,
+            PARSEC["blackscholes"],
+            2,
+            arrival_time_s=1.5,
+            seed=0,
+            qos=QosSpec(deadline_s=0.25),
+        )
+        assert task.deadline_time_s == pytest.approx(1.75)
+
+    def test_spec_without_deadline_has_no_absolute_deadline(self):
+        task = Task(
+            0,
+            PARSEC["blackscholes"],
+            2,
+            seed=0,
+            qos=QosSpec(latency_slo_s=0.5),
+        )
+        assert task.deadline_time_s is None
